@@ -1,0 +1,70 @@
+"""Figure 3: the Social Interaction A scheduling deep-dive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.figure3 import format_figure3, run_figure3
+
+
+@pytest.fixture(scope="module")
+def figure3(harness):
+    return run_figure3(harness)
+
+
+def test_figure3_regeneration(benchmark, harness):
+    rows, report = benchmark.pedantic(
+        run_figure3, args=(harness,), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure3(rows, report))
+    assert rows
+
+
+def test_figure3_all_models_appear(figure3):
+    rows, _ = figure3
+    assert {r.model_code for r in rows} == {"HT", "ES", "GE", "DR"}
+
+
+def test_figure3_ge_follows_es(figure3):
+    """The data dependency: GE frame f starts after ES frame f ends."""
+    rows, _ = figure3
+    es_end = {r.model_frame: r.end_ms for r in rows if r.model_code == "ES"}
+    for ge in (r for r in rows if r.model_code == "GE"):
+        assert ge.model_frame in es_end
+        assert ge.start_ms >= es_end[ge.model_frame] - 1e-9
+
+
+def test_figure3_half_rate_models_skip_frames(figure3):
+    """HT and DR at 30 FPS consume every other 60 FPS sensor frame."""
+    rows, report = figure3
+    plan = None
+    from repro.workload import FramePlan
+
+    for sm in report.simulation.scenario.models:
+        if sm.code == "HT":
+            plan = FramePlan(sm)
+    assert plan.sensor_frame_for(1) == 2
+
+    ht = sorted(
+        (r for r in rows if r.model_code == "HT"),
+        key=lambda r: r.model_frame,
+    )
+    if len(ht) >= 2:
+        # Consecutive HT frames are ~1/30 s apart in input time.
+        gap = ht[1].request_ms - ht[0].request_ms
+        assert gap == pytest.approx(1000 / 30, abs=2.0)
+
+
+def test_figure3_dr_waits_for_lidar(figure3):
+    """DR's request time is the max of its camera and lidar arrivals."""
+    rows, report = figure3
+    dr = [r for r in rows if r.model_code == "DR"]
+    assert dr
+    from repro.workload import FramePlan
+
+    sm = report.simulation.scenario.get("DR")
+    plan = FramePlan(sm)
+    for row in dr:
+        expected = plan.request_time_s(row.model_frame, seed=0) * 1e3
+        assert row.request_ms == pytest.approx(expected, abs=1e-6)

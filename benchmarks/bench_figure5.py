@@ -1,0 +1,74 @@
+"""Figure 5: the full accelerator x scenario score sweep.
+
+Regenerates all eight subplots — 13 accelerators x {4K, 8K} x 7 scenarios
+plus the cross-scenario average — and checks the headline shapes the
+paper reports from this figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import best_accelerator, format_figure5, run_figure5
+
+
+@pytest.fixture(scope="module")
+def figure5_rows(harness):
+    return run_figure5(harness)
+
+
+def test_figure5_regeneration(benchmark, harness):
+    rows = benchmark.pedantic(
+        run_figure5, args=(harness,), rounds=1, iterations=1
+    )
+    # 13 accelerators x 2 budgets x (7 scenarios + 1 average).
+    assert len(rows) == 13 * 2 * 8
+    print()
+    print(format_figure5(rows, "overall"))
+    print()
+    print(format_figure5(rows, "rt"))
+
+
+def test_figure5_scores_bounded(figure5_rows):
+    for row in figure5_rows:
+        for v in (row.rt, row.energy, row.qoe, row.overall):
+            assert 0.0 <= v <= 1.0, row
+
+
+def test_figure5_ar_gaming_hardest_at_4k(figure5_rows):
+    """AR gaming (the PD-saturated scenario) has the lowest 4K scores."""
+    by_scenario: dict[str, list[float]] = {}
+    for row in figure5_rows:
+        if row.pe_budget == "4K" and row.scenario != "average":
+            by_scenario.setdefault(row.scenario, []).append(row.overall)
+    means = {s: sum(v) / len(v) for s, v in by_scenario.items()}
+    assert min(means, key=means.get) == "ar_gaming"
+
+
+def test_figure5_winner_diversity(figure5_rows):
+    """Observation 1: scenarios prefer different accelerators."""
+    winners = {
+        scenario: best_accelerator(figure5_rows, scenario, "4K")
+        for scenario in ("social_interaction_a", "ar_assistant",
+                         "ar_gaming", "vr_gaming")
+    }
+    assert len(set(winners.values())) >= 2, winners
+
+
+def test_section4_observations(benchmark, harness):
+    """The executable EXPERIMENTS.md: every Section 4 claim must hold."""
+    from repro.eval import format_observations, verify_observations
+
+    observations = benchmark.pedantic(
+        verify_observations, args=(harness,), rounds=1, iterations=1
+    )
+    print()
+    print(format_observations(observations))
+    assert all(o.holds for o in observations)
+
+
+def test_figure5_average_panel(figure5_rows):
+    """Subplot (h): the averages exist for every accelerator."""
+    averages = [r for r in figure5_rows if r.scenario == "average"]
+    assert len(averages) == 26
+    assert all(0.0 < r.overall <= 1.0 for r in averages)

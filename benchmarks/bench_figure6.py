@@ -1,0 +1,47 @@
+"""Figure 6: AR-gaming timelines on accelerator J, 4K vs 8K PEs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_figure6, run_figure6
+
+
+@pytest.fixture(scope="module")
+def figure6(harness):
+    return run_figure6(harness)
+
+
+def test_figure6_regeneration(benchmark, harness):
+    results = benchmark.pedantic(
+        run_figure6, args=(harness,), rounds=1, iterations=1
+    )
+    print()
+    print(format_figure6(results))
+
+
+def test_figure6_4k_drops_far_more(figure6):
+    """Paper: 47.1% drops at 4K vs 2.3% at 8K."""
+    assert figure6["4K"].drop_rate > 0.25
+    assert figure6["8K"].drop_rate < 0.10
+
+
+def test_figure6_utilization_misleads(figure6):
+    """The 4K system is (at least) as busy yet scores far worse."""
+    assert figure6["4K"].utilization >= figure6["8K"].utilization - 0.02
+    assert figure6["4K"].report.overall < figure6["8K"].report.overall - 0.1
+
+
+def test_figure6_pd_fails_on_4k(figure6):
+    """The 4K system starves PD (the paper: 'completely fails to run')."""
+    pd_4k = figure6["4K"].report.score.model("PD")
+    assert pd_4k.mean_unit("rt") < 0.05
+    assert pd_4k.qoe < 0.75
+
+
+def test_figure6_8k_rt_limited_by_pd_only(figure6):
+    """8K panel: PD misses deadlines, HT/DE mostly fine (paper RT 0.68)."""
+    score = figure6["8K"].report.score
+    assert score.model("PD").mean_unit("rt") < 0.1
+    assert score.model("DE").mean_unit("rt") > 0.9
+    assert 0.3 < score.rt < 0.9

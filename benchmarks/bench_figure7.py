@@ -1,0 +1,57 @@
+"""Figure 7: ES->GE dynamic-cascading probability sweep.
+
+The paper runs 200 trials per point; the bench uses 30 to keep the
+regeneration quick (pass --figure7-trials through run_figure7 directly
+for the full count — the trend is stable well below 200).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_figure7, run_figure7
+
+TRIALS = 30
+
+
+@pytest.fixture(scope="module")
+def figure7_rows(harness):
+    return run_figure7(harness, trials=TRIALS)
+
+
+def test_figure7_regeneration(benchmark, harness):
+    rows = benchmark.pedantic(
+        run_figure7, args=(harness,), kwargs={"trials": TRIALS},
+        rounds=1, iterations=1,
+    )
+    assert len(rows) == 8  # 2 accelerators x 4 probabilities
+    print()
+    print(format_figure7(rows))
+
+
+def test_figure7_j_outscores_b(figure7_rows):
+    """J is the paper's high-score design, B the low-score one."""
+    b_scores = [r.overall for r in figure7_rows if r.acc_id == "B"]
+    j_scores = [r.overall for r in figure7_rows if r.acc_id == "J"]
+    assert min(j_scores) > max(b_scores)
+
+
+def test_figure7_overall_roughly_stable(figure7_rows):
+    """Both designs maintain their overall score across the sweep."""
+    for acc in ("B", "J"):
+        scores = [r.overall for r in figure7_rows if r.acc_id == acc]
+        assert max(scores) - min(scores) < 0.15, acc
+
+
+def test_figure7_b_sheds_qoe_under_pressure(figure7_rows):
+    """Paper: B's QoE declines (~0.06) as cascading rises to 100%."""
+    b = sorted(
+        (r for r in figure7_rows if r.acc_id == "B"),
+        key=lambda r: r.probability,
+    )
+    assert b[-1].qoe <= b[0].qoe + 0.01
+
+
+def test_figure7_j_qoe_flat(figure7_rows):
+    j = [r.qoe for r in figure7_rows if r.acc_id == "J"]
+    assert max(j) - min(j) < 0.05

@@ -1,0 +1,52 @@
+"""Figure 8: the real-time score function across k values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import format_figure8, run_figure8
+
+
+@pytest.fixture(scope="module")
+def figure8_series():
+    return run_figure8()
+
+
+def test_figure8_regeneration(benchmark):
+    series = benchmark.pedantic(run_figure8, rounds=3, iterations=1)
+    assert [s.k for s in series] == [0.0, 1.0, 15.0, 50.0]
+    print()
+    print(format_figure8(series))
+
+
+def test_figure8_k0_is_deadline_insensitive(figure8_series):
+    """k = 0: the score is completely unrelated to the deadline."""
+    k0 = next(s for s in figure8_series if s.k == 0.0)
+    assert all(v == 0.5 for v in k0.scores)
+
+
+def test_figure8_all_curves_cross_half_at_deadline(figure8_series):
+    """Every sigmoid passes through 0.5 where latency equals the window."""
+    for series in figure8_series:
+        if series.k == 0:
+            continue
+        idx = series.latencies_s.index(1.0)
+        assert series.scores[idx] == pytest.approx(0.5)
+
+
+def test_figure8_larger_k_sharper(figure8_series):
+    """k orders the curves by steepness around the deadline."""
+    at_1_2 = {}
+    for series in figure8_series:
+        idx = min(
+            range(len(series.latencies_s)),
+            key=lambda i: abs(series.latencies_s[i] - 1.2),
+        )
+        at_1_2[series.k] = series.scores[idx]
+    assert at_1_2[50.0] < at_1_2[15.0] < at_1_2[1.0] <= at_1_2[0.0]
+
+
+def test_figure8_saturates(figure8_series):
+    k15 = next(s for s in figure8_series if s.k == 15.0)
+    assert k15.scores[0] > 0.999      # latency 0
+    assert k15.scores[-1] < 0.001     # latency 2 s vs 1 s window

@@ -1,0 +1,61 @@
+"""Tables 1, 2, 3, 5 and 7: the definitional tables of the paper."""
+
+from __future__ import annotations
+
+from repro.eval import table1, table2, table3, table5, table6, table7
+from repro.workload import SCENARIOS, UNIT_MODELS
+
+
+def test_table1(benchmark):
+    text = benchmark(table1)
+    print()
+    print(text)
+    # 11 unit models, three categories.
+    assert sum(1 for m in UNIT_MODELS.values()) == 11
+    for fragment in ("Hand Tracking", "PlaneRCNN", "LibriSpeech",
+                     "AUC PCK, GT 0.948"):
+        assert fragment in text
+
+
+def test_table2(benchmark):
+    text = benchmark(table2)
+    print()
+    print(text)
+    assert len(SCENARIOS) == 7
+    assert "VR gaming" in text or "vr_gaming" in text
+    # The dependency annotations reproduce Table 2's D/C markers.
+    assert "ES->GE:D" in text and "KD->SR:C" in text
+
+
+def test_table3(benchmark):
+    text = benchmark(table3)
+    print()
+    print(text)
+    for fragment in ("camera", "lidar", "microphone",
+                     "60 FPS", "3 FPS"):
+        assert fragment in text
+
+
+def test_table5(benchmark):
+    text = benchmark(table5)
+    print()
+    print(text)
+    for fragment in ("FDA", "SFDA", "HDA", "WS@4096PE",
+                     "WS@3072PE + OS@1024PE"):
+        assert fragment in text
+
+
+def test_table6(benchmark):
+    text = benchmark(table6)
+    print()
+    print(text)
+    for fragment in ("MLPerf Inference", "ILLIXR", "XRBench"):
+        assert fragment in text
+
+
+def test_table7(benchmark):
+    text = benchmark(table7)
+    print()
+    print(text)
+    for fragment in ("EM-24L", "SelfAttention", "DWCONV", "RoIAlign"):
+        assert fragment in text

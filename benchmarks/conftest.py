@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_*`` module regenerates one of the paper's tables or
+figures (see DESIGN.md's per-experiment index) and times the regeneration
+with pytest-benchmark.  Regenerated rows are printed so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's evaluation output in one go.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Harness
+from repro.costmodel import CostTable
+
+collect_ignore: list[str] = []
+
+
+def pytest_configure(config):
+    # Benchmarks live in bench_*.py files.
+    config.addinivalue_line("markers", "figure: paper-figure regeneration")
+
+
+@pytest.fixture(scope="session")
+def cost_table() -> CostTable:
+    return CostTable()
+
+
+@pytest.fixture(scope="session")
+def harness(cost_table: CostTable) -> Harness:
+    return Harness(costs=cost_table)

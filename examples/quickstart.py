@@ -1,0 +1,31 @@
+"""Quickstart: score one accelerator on one XR usage scenario.
+
+Runs the AR-gaming scenario (hand tracking at 45 FPS, depth estimation
+and plane detection at 30 FPS) on accelerator J — the heterogeneous
+WS+OS design of Table 5 — at both the 4K and 8K PE budgets, and prints
+the score report the XRBench harness produces.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Harness, build_accelerator
+
+
+def main() -> None:
+    harness = Harness()
+
+    for total_pes in (4096, 8192):
+        system = build_accelerator("J", total_pes)
+        report = harness.run_scenario("ar_gaming", system)
+        print(report.summary())
+        print()
+
+    # The full suite produces the single mandatory XRBench SCORE.
+    suite = harness.run_suite(build_accelerator("J", 8192))
+    print(suite.summary())
+
+
+if __name__ == "__main__":
+    main()

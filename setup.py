@@ -1,0 +1,13 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so the package installs in minimal offline
+environments that lack the ``wheel`` package (where PEP-517 editable
+installs fail with "invalid command 'bdist_wheel'"):
+
+    pip install -e . --no-build-isolation   # normal environments
+    python setup.py develop                 # wheel-less fallback
+"""
+
+from setuptools import setup
+
+setup()

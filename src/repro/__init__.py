@@ -1,0 +1,49 @@
+"""repro: a pure-Python reproduction of XRBench (MLSys 2023).
+
+XRBench is a real-time multi-task multi-model (MTMM) machine-learning
+benchmark suite for extended-reality (XR) / metaverse devices.  This
+package rebuilds the whole published stack:
+
+* :mod:`repro.workload` — sensors, the 11 unit models, the 7 usage
+  scenarios, jittered load generation and dynamic model cascading.
+* :mod:`repro.nn` / :mod:`repro.zoo` — executable layer-graph reference
+  implementations of every unit model.
+* :mod:`repro.costmodel` — a MAESTRO-style analytical latency/energy
+  model for WS/OS/RS-dataflow accelerators.
+* :mod:`repro.hardware` — the 13 accelerator configurations of Table 5.
+* :mod:`repro.runtime` — the discrete-event benchmark runtime with
+  pluggable schedulers.
+* :mod:`repro.core` — the XRBench scoring metrics and the harness.
+* :mod:`repro.eval` — drivers regenerating every evaluation table/figure.
+
+Quickstart::
+
+    from repro import Harness, build_accelerator
+
+    report = Harness().run_scenario("ar_gaming", build_accelerator("J"))
+    print(report.summary())
+"""
+
+from .core import (
+    BenchmarkReport,
+    Harness,
+    HarnessConfig,
+    ScenarioReport,
+    ScoreConfig,
+)
+from .hardware import build_accelerator
+from .workload import benchmark_suite, get_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkReport",
+    "Harness",
+    "HarnessConfig",
+    "ScenarioReport",
+    "ScoreConfig",
+    "__version__",
+    "benchmark_suite",
+    "build_accelerator",
+    "get_scenario",
+]

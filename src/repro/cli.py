@@ -1,0 +1,311 @@
+"""Command-line interface: ``xrbench``.
+
+Subcommands:
+
+* ``run`` — run one scenario on one accelerator and print the report.
+* ``suite`` — run the full seven-scenario suite on one accelerator.
+* ``figure5`` / ``figure6`` / ``figure7`` / ``figure8`` — regenerate the
+  paper's evaluation figures as text tables.
+* ``tables`` — print the definitional tables (1, 2, 3, 5, 6, 7).
+* ``models`` — per-model layer summaries and cost-model estimates.
+* ``ablations`` / ``pareto`` / ``stats`` — design-choice ablations,
+  Pareto-frontier analysis and multi-seed statistics.
+* ``export`` — suite results as a submission payload, JSON or CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import Harness, HarnessConfig
+from repro.costmodel import CostTable, Dataflow
+from repro.hardware import ACCELERATOR_IDS, build_accelerator
+from repro.workload import SCENARIO_ORDER, UNIT_MODELS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xrbench",
+        description="XRBench (MLSys 2023) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--pes", type=int, default=4096,
+            help="total PE budget (default 4096)",
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--duration", type=float, default=1.0,
+            help="streamed seconds per run (default 1.0)",
+        )
+        p.add_argument(
+            "--scheduler", default="latency_greedy",
+            choices=["latency_greedy", "round_robin", "edf",
+                     "rate_monotonic"],
+        )
+        p.add_argument(
+            "--frame-loss", type=float, default=0.0,
+            help="failure injection: sensor frame-loss probability",
+        )
+
+    run_p = sub.add_parser("run", help="run one scenario on one accelerator")
+    run_p.add_argument("scenario", choices=list(SCENARIO_ORDER))
+    run_p.add_argument("accelerator", choices=list(ACCELERATOR_IDS))
+    run_p.add_argument("--timeline", action="store_true",
+                       help="print the execution timeline")
+    add_common(run_p)
+
+    suite_p = sub.add_parser("suite", help="run the full scenario suite")
+    suite_p.add_argument("accelerator", choices=list(ACCELERATOR_IDS))
+    add_common(suite_p)
+
+    fig5_p = sub.add_parser("figure5", help="regenerate Figure 5")
+    fig5_p.add_argument(
+        "--metric", default="overall",
+        choices=["rt", "energy", "qoe", "overall"],
+    )
+    add_common(fig5_p)
+
+    fig6_p = sub.add_parser("figure6", help="regenerate Figure 6")
+    fig6_p.add_argument("--accelerator", default="J",
+                        choices=list(ACCELERATOR_IDS))
+    add_common(fig6_p)
+
+    fig7_p = sub.add_parser("figure7", help="regenerate Figure 7")
+    fig7_p.add_argument("--trials", type=int, default=200)
+    add_common(fig7_p)
+
+    sub.add_parser("figure8", help="regenerate Figure 8")
+
+    tables_p = sub.add_parser("tables", help="print definitional tables")
+    tables_p.add_argument(
+        "--which", default="all",
+        choices=["1", "2", "3", "5", "6", "7", "all"],
+    )
+
+    models_p = sub.add_parser("models", help="model summaries and costs")
+    models_p.add_argument("--code", choices=list(UNIT_MODELS), default=None)
+    models_p.add_argument("--pes", type=int, default=4096)
+
+    ablate_p = sub.add_parser("ablations", help="design-choice ablations")
+    ablate_p.add_argument(
+        "--which", default="all",
+        choices=["scheduler", "jitter", "k", "enmax", "dvfs",
+                 "quantization", "all"],
+    )
+
+    sub.add_parser(
+        "observations",
+        help="verify the paper's Section 4 claims against this build",
+    )
+
+    pareto_p = sub.add_parser(
+        "pareto", help="Pareto frontier over accelerator designs"
+    )
+    pareto_p.add_argument("--pes", type=int, default=4096)
+
+    stats_p = sub.add_parser(
+        "stats", help="multi-seed statistics for a dynamic scenario"
+    )
+    stats_p.add_argument("scenario", choices=list(SCENARIO_ORDER))
+    stats_p.add_argument("accelerator", choices=list(ACCELERATOR_IDS))
+    stats_p.add_argument("--seeds", type=int, default=20)
+    add_common(stats_p)
+
+    export_p = sub.add_parser(
+        "export", help="suite results as JSON submission or CSV"
+    )
+    export_p.add_argument("accelerator", choices=list(ACCELERATOR_IDS))
+    export_p.add_argument("--format", default="submission",
+                          choices=["submission", "json", "csv"])
+    export_p.add_argument("--breakdowns", action="store_true")
+    add_common(export_p)
+
+    return parser
+
+
+def _harness(args: argparse.Namespace) -> Harness:
+    return Harness(
+        config=HarnessConfig(
+            duration_s=args.duration,
+            seed=args.seed,
+            scheduler=args.scheduler,
+            frame_loss_probability=getattr(args, "frame_loss", 0.0),
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "run":
+        harness = _harness(args)
+        system = build_accelerator(args.accelerator, args.pes)
+        report = harness.run_scenario(args.scenario, system)
+        print(report.summary())
+        if args.timeline:
+            print(report.timeline())
+        return 0
+
+    if args.command == "suite":
+        harness = _harness(args)
+        system = build_accelerator(args.accelerator, args.pes)
+        print(harness.run_suite(system).summary())
+        return 0
+
+    if args.command == "figure5":
+        from repro.eval import format_figure5, run_figure5
+
+        rows = run_figure5(_harness(args))
+        print(format_figure5(rows, args.metric))
+        return 0
+
+    if args.command == "figure6":
+        from repro.eval import format_figure6, run_figure6
+
+        print(format_figure6(run_figure6(_harness(args), args.accelerator)))
+        return 0
+
+    if args.command == "figure7":
+        from repro.eval import format_figure7, run_figure7
+
+        print(format_figure7(run_figure7(_harness(args), trials=args.trials)))
+        return 0
+
+    if args.command == "figure8":
+        from repro.eval import format_figure8, run_figure8
+
+        print(format_figure8(run_figure8()))
+        return 0
+
+    if args.command == "tables":
+        from repro.eval import table1, table2, table3, table5, table6, table7
+
+        tables = {"1": table1, "2": table2, "3": table3, "5": table5,
+                  "6": table6, "7": table7}
+        which = tables.keys() if args.which == "all" else [args.which]
+        print("\n\n".join(tables[w]() for w in which))
+        return 0
+
+    if args.command == "models":
+        costs = CostTable()
+        codes = [args.code] if args.code else list(UNIT_MODELS)
+        for code in codes:
+            model = UNIT_MODELS[code]
+            graph = model.graph
+            print(
+                f"{code} ({model.task}): {graph.total_macs / 1e9:.2f} GMACs, "
+                f"{graph.total_params / 1e6:.2f} M params, "
+                f"{graph.num_layers} layers"
+            )
+            for df in Dataflow:
+                c = costs.cost(code, df, args.pes)
+                print(
+                    f"  {df.value}@{args.pes}PE: {c.latency_ms:7.2f} ms, "
+                    f"{c.energy_mj:7.1f} mJ, util {c.utilization:.1%}"
+                )
+        return 0
+
+    if args.command == "ablations":
+        from repro.eval import (
+            dvfs_ablation,
+            enmax_sensitivity,
+            jitter_ablation,
+            quantization_ablation,
+            rt_k_sensitivity,
+            scheduler_ablation,
+        )
+
+        costs = CostTable()
+        which = args.which
+        if which in ("scheduler", "all"):
+            print("scheduler ablation (ar_gaming, J@8K):")
+            for r in scheduler_ablation(costs):
+                print(f"  {r.setting:<16s} overall={r.overall:.3f} "
+                      f"rt={r.rt:.3f} qoe={r.qoe:.3f}")
+        if which in ("jitter", "all"):
+            mean, spread = jitter_ablation(costs)
+            print("jitter ablation (social_interaction_a, A@4K):")
+            print(f"  mean overall={mean.overall:.3f}; "
+                  f"seed spread={spread.overall:.4f}")
+        if which in ("k", "all"):
+            print("RT-score k sensitivity (ar_gaming, J@8K):")
+            for r in rt_k_sensitivity(costs):
+                print(f"  {r.setting:<8s} overall={r.overall:.3f} "
+                      f"rt={r.rt:.3f}")
+        if which in ("enmax", "all"):
+            print("Enmax sensitivity (ar_assistant, C@4K):")
+            for r in enmax_sensitivity(costs):
+                print(f"  {r.setting:<16s} overall={r.overall:.3f}")
+        if which in ("dvfs", "all"):
+            print("slack-aware DVFS (WS@4K):")
+            for code, row in dvfs_ablation(costs).items():
+                print(f"  {code}: f={row['chosen_frequency']:.1f} "
+                      f"saving={row['energy_saving']:+.1%}")
+        if which in ("quantization", "all"):
+            print("weight quantisation (numpy engine):")
+            for code, by_bits in quantization_ablation().items():
+                for bits, row in by_bits.items():
+                    print(f"  {code} int{bits}: "
+                          f"acc_score={row['accuracy_score']:.3f} "
+                          f"meets_goal={bool(row['meets_goal'])}")
+        return 0
+
+    if args.command == "observations":
+        from repro.eval import format_observations, verify_observations
+
+        observations = verify_observations()
+        print(format_observations(observations))
+        return 0 if all(o.holds for o in observations) else 1
+
+    if args.command == "pareto":
+        from repro.eval import evaluate_designs, pareto_frontier
+
+        points = evaluate_designs(total_pes=args.pes)
+        frontier = {p.acc_id for p in pareto_frontier(points)}
+        print(f"Design space at {args.pes} PEs "
+              f"(score / mean energy / mean drops):")
+        for p in sorted(points, key=lambda p: -p.xrbench_score):
+            marker = "*" if p.acc_id in frontier else " "
+            print(f" {marker} {p.acc_id}  {p.xrbench_score:.3f}  "
+                  f"{p.mean_energy_mj:7.1f} mJ  {p.mean_drop_rate:6.1%}")
+        print("(* = Pareto-optimal)")
+        return 0
+
+    if args.command == "stats":
+        from repro.eval import run_seed_sweep
+
+        harness = _harness(args)
+        system = build_accelerator(args.accelerator, args.pes)
+        sweep = run_seed_sweep(harness, args.scenario, system,
+                               seeds=args.seeds)
+        print(sweep.describe())
+        return 0
+
+    if args.command == "export":
+        from repro.core import benchmark_to_dict, submission, to_csv
+
+        harness = _harness(args)
+        report = harness.run_suite(
+            build_accelerator(args.accelerator, args.pes)
+        )
+        if args.format == "submission":
+            print(submission(report, include_breakdowns=args.breakdowns))
+        elif args.format == "json":
+            import json
+
+            print(json.dumps(benchmark_to_dict(report), indent=2))
+        else:
+            print(to_csv(report), end="")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

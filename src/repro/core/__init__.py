@@ -1,0 +1,42 @@
+"""XRBench core: scoring metrics, aggregation, harness and reports."""
+
+from .aggregate import (
+    InferenceScore,
+    ModelScore,
+    ScenarioScore,
+    benchmark_score,
+    score_simulation,
+)
+from .config import HarnessConfig, ScoreConfig
+from .export import benchmark_to_dict, scenario_to_dict, submission, to_csv
+from .harness import Harness
+from .report import BenchmarkReport, ScenarioReport
+from .scores import (
+    accuracy_score,
+    energy_score,
+    inference_score,
+    qoe_score,
+    realtime_score,
+)
+
+__all__ = [
+    "benchmark_to_dict",
+    "scenario_to_dict",
+    "submission",
+    "to_csv",
+    "BenchmarkReport",
+    "Harness",
+    "HarnessConfig",
+    "InferenceScore",
+    "ModelScore",
+    "ScenarioReport",
+    "ScenarioScore",
+    "ScoreConfig",
+    "accuracy_score",
+    "benchmark_score",
+    "energy_score",
+    "inference_score",
+    "qoe_score",
+    "realtime_score",
+    "score_simulation",
+]

@@ -1,0 +1,220 @@
+"""Hierarchical score aggregation (Figure 4 / Definitions 14-16).
+
+The scoring pipeline over a finished simulation:
+
+    per-inference = RT x Energy x Accuracy          (completed frames)
+    per-model     = mean(per-inference)             (0 if all dropped)
+    per-scenario  = mean over models of per-model x QoE
+    benchmark     = mean over scenarios of per-scenario
+
+Dropped frames are excluded from the per-model mean — their cost is
+charged through the QoE factor instead, exactly as Section 3.7 specifies.
+The scenario-level unit-score *breakdowns* (the stacked bars of Figure 5)
+are per-model means averaged across models, keeping them consistent with
+the hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime import SimulationResult
+from repro.workload import InferenceRequest
+
+from .config import ScoreConfig
+from .scores import (
+    accuracy_score,
+    energy_score,
+    inference_score,
+    qoe_score,
+    realtime_score,
+)
+
+__all__ = ["InferenceScore", "ModelScore", "ScenarioScore", "score_simulation"]
+
+
+@dataclass(frozen=True)
+class InferenceScore:
+    """Scored view of one completed inference."""
+
+    request: InferenceRequest
+    rt: float
+    energy: float
+    accuracy: float
+
+    @property
+    def overall(self) -> float:
+        return inference_score(self.rt, self.energy, self.accuracy)
+
+
+@dataclass(frozen=True)
+class ModelScore:
+    """Per-model aggregation within one scenario run."""
+
+    model_code: str
+    inference_scores: tuple[InferenceScore, ...]
+    frames_streamed: int
+    frames_executed: int
+    frames_dropped: int
+    missed_deadlines: int
+    #: Helper stages (e.g. intermediate model segments) are simulated but
+    #: excluded from user-facing aggregation.
+    aux: bool = False
+
+    @property
+    def qoe(self) -> float:
+        return qoe_score(self.frames_executed, self.frames_streamed)
+
+    @property
+    def per_model(self) -> float:
+        """Mean per-inference score; zero when every frame was dropped."""
+        if not self.inference_scores:
+            return 0.0
+        return sum(s.overall for s in self.inference_scores) / len(
+            self.inference_scores
+        )
+
+    @property
+    def contribution(self) -> float:
+        """This model's term in the scenario score: per-model x QoE."""
+        return self.per_model * self.qoe
+
+    def mean_unit(self, name: str) -> float:
+        """Mean of one unit score ('rt' / 'energy' / 'accuracy')."""
+        if not self.inference_scores:
+            return 0.0
+        return sum(getattr(s, name) for s in self.inference_scores) / len(
+            self.inference_scores
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioScore:
+    """Scenario-level aggregation (Definition 15) plus breakdowns."""
+
+    scenario_name: str
+    model_scores: tuple[ModelScore, ...]
+
+    def __post_init__(self) -> None:
+        if not self.model_scores:
+            raise ValueError(
+                f"scenario {self.scenario_name!r} scored with no models"
+            )
+
+    @property
+    def scored_models(self) -> tuple[ModelScore, ...]:
+        """Models that were actually offered work during the run.
+
+        A control-dependent model whose trigger never fired (e.g. SR when
+        no keyword was uttered) streamed zero frames; it neither degraded
+        nor improved the experience, so it is excluded from aggregation
+        rather than counted as a zero.  Aux helper stages (intermediate
+        segments of a split model) are likewise excluded: the final stage
+        carries the user-visible deadline and QoE.
+        """
+        offered = tuple(
+            m
+            for m in self.model_scores
+            if m.frames_streamed > 0 and not m.aux
+        )
+        return offered or self.model_scores
+
+    @property
+    def overall(self) -> float:
+        models = self.scored_models
+        return sum(m.contribution for m in models) / len(models)
+
+    def _mean_over_models(self, fn) -> float:
+        models = self.scored_models
+        return sum(fn(m) for m in models) / len(models)
+
+    @property
+    def rt(self) -> float:
+        return self._mean_over_models(lambda m: m.mean_unit("rt"))
+
+    @property
+    def energy(self) -> float:
+        return self._mean_over_models(lambda m: m.mean_unit("energy"))
+
+    @property
+    def accuracy(self) -> float:
+        return self._mean_over_models(lambda m: m.mean_unit("accuracy"))
+
+    @property
+    def qoe(self) -> float:
+        return self._mean_over_models(lambda m: m.qoe)
+
+    @property
+    def total_missed_deadlines(self) -> int:
+        return sum(m.missed_deadlines for m in self.model_scores)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(m.frames_dropped for m in self.model_scores)
+
+    def model(self, code: str) -> ModelScore:
+        for m in self.model_scores:
+            if m.model_code == code:
+                return m
+        raise KeyError(
+            f"model {code!r} not in scenario {self.scenario_name!r}"
+        )
+
+
+def benchmark_score(scenario_scores: list[ScenarioScore]) -> float:
+    """Definition 16: mean of scenario scores across the suite."""
+    if not scenario_scores:
+        raise ValueError("benchmark score over an empty suite")
+    return sum(s.overall for s in scenario_scores) / len(scenario_scores)
+
+
+def score_simulation(
+    result: SimulationResult,
+    config: ScoreConfig | None = None,
+    measured_quality: dict[str, float] | None = None,
+) -> ScenarioScore:
+    """Score one finished simulation.
+
+    Args:
+        result: the simulation outcome.
+        config: scoring knobs (k, Enmax, epsilon); defaults apply.
+        measured_quality: optional measured model-quality values keyed by
+            task code.  Absent entries assume the model exactly meets its
+            quality goal (accuracy score 1), matching the paper's
+            evaluation where all models satisfy their accuracy targets.
+    """
+    cfg = config or ScoreConfig()
+    measured_quality = measured_quality or {}
+    model_scores = []
+    for sm in result.scenario.models:
+        code = sm.code
+        goal = sm.model.quality
+        if code in measured_quality:
+            acc = accuracy_score(goal, measured_quality[code], cfg.acc_epsilon)
+        else:
+            acc = 1.0
+        inf_scores = []
+        for request in result.completed(code):
+            rt = realtime_score(
+                request.latency_s * 1e3, request.slack_s * 1e3, cfg.rt_k
+            )
+            en = energy_score(request.energy_mj or 0.0, cfg.energy_max_mj)
+            inf_scores.append(
+                InferenceScore(request=request, rt=rt, energy=en, accuracy=acc)
+            )
+        executed = len(inf_scores)
+        streamed = result.num_frames(code)
+        model_scores.append(
+            ModelScore(
+                model_code=code,
+                inference_scores=tuple(inf_scores),
+                frames_streamed=streamed,
+                frames_executed=executed,
+                frames_dropped=len(result.dropped(code)),
+                missed_deadlines=result.missed_deadlines(code),
+                aux=sm.aux,
+            )
+        )
+    return ScenarioScore(
+        scenario_name=result.scenario.name, model_scores=tuple(model_scores)
+    )

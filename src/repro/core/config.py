@@ -1,0 +1,87 @@
+"""Benchmark-wide configuration constants.
+
+These mirror the defaults stated in the paper:
+
+* ``RT_SCORE_K`` — the steepness constant ``k`` of the real-time score
+  sigmoid (Definition 10, default 15; Figure 8 sweeps it).
+* ``ENERGY_MAX_MJ`` — ``Enmax``, the per-inference energy budget used to
+  bound the energy score into [0, 1] (Definition 11, default 1500 mJ).
+* ``ACC_EPSILON`` — the ``epsilon`` guarding lower-is-better accuracy ratios
+  against division by zero (Definition 12, default 1e-6).
+* ``DEFAULT_DURATION_S`` — how long a scenario is simulated.  The paper's
+  harness defaults to one second of streamed input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+RT_SCORE_K: float = 15.0
+ENERGY_MAX_MJ: float = 1500.0
+ACC_EPSILON: float = 1e-6
+DEFAULT_DURATION_S: float = 1.0
+
+#: Clock frequency of every simulated accelerator (Section 4.1: 1 GHz).
+CLOCK_HZ: float = 1e9
+
+#: On-chip (NoC) bandwidth shared by the PE array, bytes per cycle.
+#: Section 4.1: 256 GB/s at 1 GHz -> 256 B/cycle.
+ONCHIP_BW_BYTES_PER_CYCLE: float = 256.0
+
+#: On-chip shared scratchpad size (Section 4.1: 8 MiB).
+ONCHIP_MEMORY_BYTES: int = 8 * 1024 * 1024
+
+#: Off-chip (DRAM) bandwidth, bytes per cycle.  Not stated explicitly in the
+#: paper; we use LPDDR5-class 64 GB/s, a realistic mobile SoC figure.
+OFFCHIP_BW_BYTES_PER_CYCLE: float = 64.0
+
+
+@dataclass(frozen=True)
+class ScoreConfig:
+    """Tunable knobs of the scoring module.
+
+    Instances are immutable so a config can be shared across a whole sweep
+    without aliasing surprises.
+    """
+
+    rt_k: float = RT_SCORE_K
+    energy_max_mj: float = ENERGY_MAX_MJ
+    acc_epsilon: float = ACC_EPSILON
+
+    def __post_init__(self) -> None:
+        if self.rt_k < 0:
+            raise ValueError(f"rt_k must be >= 0, got {self.rt_k}")
+        if self.energy_max_mj <= 0:
+            raise ValueError(
+                f"energy_max_mj must be > 0, got {self.energy_max_mj}"
+            )
+        if self.acc_epsilon <= 0:
+            raise ValueError(
+                f"acc_epsilon must be > 0, got {self.acc_epsilon}"
+            )
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Top-level harness settings for one benchmark run."""
+
+    duration_s: float = DEFAULT_DURATION_S
+    seed: int = 0
+    scheduler: str = "latency_greedy"
+    score: ScoreConfig = field(default_factory=ScoreConfig)
+    #: Failure injection: probability a sensor frame is lost upstream of
+    #: the device (0 disables; see LoadGenerator.frame_loss_probability).
+    frame_loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(
+                f"duration_s must be > 0, got {self.duration_s}"
+            )
+        if self.seed < 0:
+            raise ValueError(f"seed must be >= 0, got {self.seed}")
+        if not 0.0 <= self.frame_loss_probability < 1.0:
+            raise ValueError(
+                f"frame_loss_probability must be in [0, 1), got "
+                f"{self.frame_loss_probability}"
+            )

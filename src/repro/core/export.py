@@ -1,0 +1,129 @@
+"""Report export: machine-readable results and the submission format.
+
+Section 3.7: XRBench reveals every individual score for Pareto analysis,
+but because detailed breakdowns can be commercially sensitive, *reporting
+breakdown scores is optional* — only the overall XRBench SCORE is
+mandatory.  :func:`submission` produces exactly that contract;
+:func:`scenario_to_dict` / :func:`benchmark_to_dict` / :func:`to_csv`
+serialise full reports for tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any
+
+from .report import BenchmarkReport, ScenarioReport
+
+__all__ = [
+    "scenario_to_dict",
+    "benchmark_to_dict",
+    "to_csv",
+    "submission",
+]
+
+
+def scenario_to_dict(report: ScenarioReport) -> dict[str, Any]:
+    """Full scenario report as plain data (JSON-ready)."""
+    sim, score = report.simulation, report.score
+    return {
+        "scenario": sim.scenario.name,
+        "system": sim.system.describe(),
+        "duration_s": sim.duration_s,
+        "scores": {
+            "overall": score.overall,
+            "rt": score.rt,
+            "energy": score.energy,
+            "accuracy": score.accuracy,
+            "qoe": score.qoe,
+        },
+        "frames": {
+            "streamed": len(sim.requests),
+            "executed": len(sim.completed()),
+            "dropped": len(sim.dropped()),
+            "drop_rate": sim.frame_drop_rate(),
+            "missed_deadlines": score.total_missed_deadlines,
+        },
+        "utilization": {
+            str(i): sim.utilization(i) for i in range(sim.system.num_subs)
+        },
+        "models": [
+            {
+                "code": m.model_code,
+                "per_model": m.per_model,
+                "qoe": m.qoe,
+                "rt": m.mean_unit("rt"),
+                "energy": m.mean_unit("energy"),
+                "accuracy": m.mean_unit("accuracy"),
+                "executed": m.frames_executed,
+                "streamed": m.frames_streamed,
+                "dropped": m.frames_dropped,
+                "missed_deadlines": m.missed_deadlines,
+            }
+            for m in score.model_scores
+        ],
+    }
+
+
+def benchmark_to_dict(report: BenchmarkReport) -> dict[str, Any]:
+    """Full suite report as plain data."""
+    return {
+        "system": report.system.describe(),
+        "xrbench_score": report.xrbench_score,
+        "scenarios": [
+            scenario_to_dict(r) for r in report.scenario_reports
+        ],
+    }
+
+
+def to_csv(report: BenchmarkReport) -> str:
+    """One CSV row per (scenario, model) with all score components."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        ["system", "scenario", "model", "per_model", "qoe", "rt",
+         "energy", "accuracy", "executed", "streamed", "dropped",
+         "missed_deadlines"]
+    )
+    system = report.system.describe()
+    for scenario_report in report.scenario_reports:
+        data = scenario_to_dict(scenario_report)
+        for m in data["models"]:
+            writer.writerow(
+                [system, data["scenario"], m["code"],
+                 f"{m['per_model']:.6f}", f"{m['qoe']:.6f}",
+                 f"{m['rt']:.6f}", f"{m['energy']:.6f}",
+                 f"{m['accuracy']:.6f}", m["executed"], m["streamed"],
+                 m["dropped"], m["missed_deadlines"]]
+            )
+    return buf.getvalue()
+
+
+def submission(
+    report: BenchmarkReport, include_breakdowns: bool = False
+) -> str:
+    """The official submission payload as JSON.
+
+    The overall XRBench SCORE is mandatory; per-scenario and unit-score
+    breakdowns are included only on request (Section 3.7's optionality for
+    commercially-sensitive data).
+    """
+    payload: dict[str, Any] = {
+        "benchmark": "XRBench",
+        "system": report.system.describe(),
+        "xrbench_score": round(report.xrbench_score, 6),
+    }
+    if include_breakdowns:
+        payload["breakdowns"] = [
+            {
+                "scenario": row["scenario"],
+                "overall": round(float(row["overall"]), 6),
+                "rt": round(float(row["rt"]), 6),
+                "energy": round(float(row["energy"]), 6),
+                "qoe": round(float(row["qoe"]), 6),
+            }
+            for row in report.breakdown_rows()
+        ]
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,78 @@
+"""The benchmark harness: the paper's top-level entry point.
+
+Couples the workload layer (scenarios + load generation), the runtime
+(discrete-event simulation with a pluggable scheduler) and the scoring
+module into single calls:
+
+    harness = Harness()
+    report = harness.run_scenario("ar_gaming", build_accelerator("J"))
+    suite = harness.run_suite(build_accelerator("J"))
+
+Results come back as :class:`repro.core.report.ScenarioReport` /
+:class:`repro.core.report.BenchmarkReport`, which carry the score
+breakdowns, drop/deadline statistics and the raw simulation for deeper
+inspection (timelines, per-request records).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel import CostTable
+from repro.hardware import AcceleratorSystem
+from repro.runtime import Simulator, make_scheduler
+from repro.workload import UsageScenario, benchmark_suite, get_scenario
+
+from .aggregate import score_simulation
+from .config import HarnessConfig
+from .report import BenchmarkReport, ScenarioReport
+
+__all__ = ["Harness"]
+
+
+@dataclass
+class Harness:
+    """Runs scenarios against accelerator systems and scores them.
+
+    A harness instance shares one cost table across runs, so sweeping 13
+    accelerators x 7 scenarios re-analyses each (model, engine) pair only
+    once.
+    """
+
+    config: HarnessConfig = field(default_factory=HarnessConfig)
+    costs: CostTable = field(default_factory=CostTable)
+
+    def run_scenario(
+        self,
+        scenario: UsageScenario | str,
+        system: AcceleratorSystem,
+        seed: int | None = None,
+        measured_quality: dict[str, float] | None = None,
+    ) -> ScenarioReport:
+        """Simulate and score one scenario on one system."""
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        simulator = Simulator(
+            scenario=scenario,
+            system=system,
+            scheduler=make_scheduler(self.config.scheduler),
+            duration_s=self.config.duration_s,
+            seed=self.config.seed if seed is None else seed,
+            costs=self.costs,
+            frame_loss_probability=self.config.frame_loss_probability,
+        )
+        result = simulator.run()
+        score = score_simulation(result, self.config.score, measured_quality)
+        return ScenarioReport(simulation=result, score=score)
+
+    def run_suite(
+        self,
+        system: AcceleratorSystem,
+        seed: int | None = None,
+    ) -> BenchmarkReport:
+        """Run the full seven-scenario suite (Definition 5's Omega)."""
+        reports = [
+            self.run_scenario(scenario, system, seed=seed)
+            for scenario in benchmark_suite()
+        ]
+        return BenchmarkReport(system=system, scenario_reports=reports)

@@ -1,0 +1,118 @@
+"""Benchmark reports: scores plus the detailed statistics of Figure 2.
+
+The harness returns reports rather than bare numbers because the paper's
+output contract includes "not only the scores ... but also detailed
+performance statistics such as the amount of delay over deadline, frame
+drop, execution timeline, and so on" (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime import SimulationResult, render_timeline
+
+from .aggregate import ScenarioScore, benchmark_score
+
+__all__ = ["ScenarioReport", "BenchmarkReport"]
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Everything measured for one scenario x system run."""
+
+    simulation: SimulationResult
+    score: ScenarioScore
+
+    @property
+    def overall(self) -> float:
+        return self.score.overall
+
+    def delay_over_deadline_ms(self) -> dict[str, float]:
+        """Mean lateness (ms past deadline) per model, 0 if always on time."""
+        out: dict[str, float] = {}
+        for sm in self.simulation.scenario.models:
+            late = [
+                (r.end_time_s - r.deadline_s) * 1e3
+                for r in self.simulation.completed(sm.code)
+                if r.missed_deadline
+            ]
+            out[sm.code] = sum(late) / len(late) if late else 0.0
+        return out
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        sim, score = self.simulation, self.score
+        lines = [
+            f"Scenario {sim.scenario.name!r} on {sim.system.describe()}",
+            (
+                f"  overall={score.overall:.3f}  rt={score.rt:.3f}  "
+                f"energy={score.energy:.3f}  acc={score.accuracy:.3f}  "
+                f"qoe={score.qoe:.3f}"
+            ),
+            (
+                f"  frames: {len(sim.requests)} streamed, "
+                f"{len(sim.completed())} executed, "
+                f"{len(sim.dropped())} dropped "
+                f"({sim.frame_drop_rate():.1%}); "
+                f"{score.total_missed_deadlines} missed deadlines"
+            ),
+            f"  mean engine utilization: {sim.mean_utilization():.1%}",
+        ]
+        for m in score.model_scores:
+            lines.append(
+                f"    {m.model_code}: per-model={m.per_model:.3f} "
+                f"qoe={m.qoe:.3f} rt={m.mean_unit('rt'):.3f} "
+                f"exec={m.frames_executed}/{m.frames_streamed} "
+                f"missed={m.missed_deadlines}"
+            )
+        return "\n".join(lines)
+
+    def timeline(self, width: int = 100, until_s: float | None = None) -> str:
+        return render_timeline(self.simulation, width, until_s)
+
+
+@dataclass(frozen=True)
+class BenchmarkReport:
+    """Full-suite report for one accelerator system."""
+
+    system: object  # AcceleratorSystem; kept loose to avoid import cycles
+    scenario_reports: list[ScenarioReport]
+
+    @property
+    def xrbench_score(self) -> float:
+        """Definition 16: the mandatory overall XRBench score."""
+        return benchmark_score([r.score for r in self.scenario_reports])
+
+    def scenario(self, name: str) -> ScenarioReport:
+        for report in self.scenario_reports:
+            if report.simulation.scenario.name == name:
+                return report
+        raise KeyError(f"no scenario {name!r} in this report")
+
+    def breakdown_rows(self) -> list[dict[str, float | str]]:
+        """One row per scenario: the Figure 5 bar values."""
+        rows: list[dict[str, float | str]] = []
+        for report in self.scenario_reports:
+            s = report.score
+            rows.append(
+                {
+                    "scenario": s.scenario_name,
+                    "rt": s.rt,
+                    "energy": s.energy,
+                    "qoe": s.qoe,
+                    "overall": s.overall,
+                }
+            )
+        return rows
+
+    def summary(self) -> str:
+        lines = [f"XRBench suite on {self.system.describe()}"]
+        for row in self.breakdown_rows():
+            lines.append(
+                f"  {row['scenario']:<22s} overall={row['overall']:.3f} "
+                f"rt={row['rt']:.3f} energy={row['energy']:.3f} "
+                f"qoe={row['qoe']:.3f}"
+            )
+        lines.append(f"  XRBench SCORE: {self.xrbench_score:.3f}")
+        return "\n".join(lines)

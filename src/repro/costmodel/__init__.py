@@ -1,0 +1,24 @@
+"""Analytical accelerator cost model (the MAESTRO substitute)."""
+
+from .analysis import CostModel, LayerCost, ModelCost
+from .dataflow import DATAFLOW_SPECS, Dataflow, DataflowSpec
+from .dvfs import DEFAULT_DVFS_POINTS, DvfsPoint, best_point_for_slack, scale_cost
+from .energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from .model_cost import SHARED_COST_TABLE, CostTable
+
+__all__ = [
+    "DEFAULT_DVFS_POINTS",
+    "DvfsPoint",
+    "best_point_for_slack",
+    "scale_cost",
+    "CostModel",
+    "CostTable",
+    "DATAFLOW_SPECS",
+    "DEFAULT_ENERGY_MODEL",
+    "Dataflow",
+    "DataflowSpec",
+    "EnergyModel",
+    "LayerCost",
+    "ModelCost",
+    "SHARED_COST_TABLE",
+]

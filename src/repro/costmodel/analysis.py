@@ -1,0 +1,231 @@
+"""Per-layer analytical cost analysis (the MAESTRO substitute).
+
+For each layer the model computes:
+
+* **compute cycles** — MACs divided by the effective MAC rate.  The
+  effective rate is the PE count clipped by the layer's usable
+  parallelism under the chosen dataflow, derated by the dataflow's
+  mapping efficiency and by tile-quantisation losses (a layer whose
+  parallelism is 1.5x the array runs two passes at 75% occupancy).
+* **memory cycles** — DRAM traffic over the off-chip bandwidth plus
+  scratchpad streaming over the on-chip (NoC) bandwidth.  Traffic uses a
+  simple stationary-tensor tiling model: the dataflow's stationary
+  operand is fetched once; if it does not fit in its scratchpad share,
+  the streaming operands are re-fetched once per stationary tile.
+* **energy** — MAC energy + scratchpad accesses (scaled by the
+  dataflow's operand reuse) + DRAM traffic + leakage over the layer's
+  latency.
+
+Latency per layer is ``max(compute, onchip, offchip)`` — the classical
+double-buffered overlap assumption — plus a pipeline-fill ramp.  Layers
+execute back to back; memory-only layers (pooling, upsample, concat)
+contribute their streaming time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import (
+    CLOCK_HZ,
+    OFFCHIP_BW_BYTES_PER_CYCLE,
+    ONCHIP_BW_BYTES_PER_CYCLE,
+    ONCHIP_MEMORY_BYTES,
+)
+from repro.nn import LayerSpec, ModelGraph
+
+from .dataflow import DATAFLOW_SPECS, Dataflow, DataflowSpec
+from .energy import DEFAULT_ENERGY_MODEL, EnergyModel
+
+__all__ = ["LayerCost", "ModelCost", "CostModel"]
+
+#: Cycles to fill/drain the PE array pipeline per layer.
+_RAMP_CYCLES = 512.0
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cost breakdown of one layer on one accelerator configuration."""
+
+    layer_name: str
+    compute_cycles: float
+    onchip_cycles: float
+    offchip_cycles: float
+    energy_mj: float
+    utilization: float  # achieved MACs/cycle over peak
+
+    @property
+    def latency_cycles(self) -> float:
+        return (
+            max(self.compute_cycles, self.onchip_cycles, self.offchip_cycles)
+            + _RAMP_CYCLES
+        )
+
+    @property
+    def latency_s(self) -> float:
+        return self.latency_cycles / CLOCK_HZ
+
+
+@dataclass(frozen=True)
+class ModelCost:
+    """Aggregate cost of a whole model inference."""
+
+    model_name: str
+    dataflow: Dataflow
+    num_pes: int
+    latency_s: float
+    energy_mj: float
+    utilization: float
+    layer_costs: tuple[LayerCost, ...]
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Analytical latency/energy model for one (dataflow, PE count) engine.
+
+    Attributes:
+        dataflow: the engine's dataflow style.
+        num_pes: number of processing elements.
+        onchip_bw: scratchpad/NoC bandwidth in bytes per cycle.
+        offchip_bw: DRAM bandwidth in bytes per cycle.
+        buffer_bytes: on-chip scratchpad capacity.
+        energy_model: energy coefficients.
+    """
+
+    dataflow: Dataflow
+    num_pes: int
+    onchip_bw: float = ONCHIP_BW_BYTES_PER_CYCLE
+    offchip_bw: float = OFFCHIP_BW_BYTES_PER_CYCLE
+    buffer_bytes: int = ONCHIP_MEMORY_BYTES
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise ValueError(f"num_pes must be >= 1, got {self.num_pes}")
+        if self.onchip_bw <= 0 or self.offchip_bw <= 0:
+            raise ValueError("bandwidths must be > 0")
+        if self.buffer_bytes <= 0:
+            raise ValueError("buffer size must be > 0")
+
+    @property
+    def spec(self) -> DataflowSpec:
+        return DATAFLOW_SPECS[self.dataflow]
+
+    # -- per-layer analysis -------------------------------------------------
+
+    def _effective_macs_per_cycle(self, layer: LayerSpec) -> float:
+        """Achieved MAC rate for a compute layer."""
+        dims = layer.conv_dims()
+        assert dims is not None
+        parallelism = self.spec.usable_parallelism(layer, dims)
+        if parallelism <= self.num_pes:
+            occupied = parallelism
+        else:
+            # Tile quantisation: the last pass runs partially occupied.
+            passes = -(-parallelism // self.num_pes)
+            occupied = parallelism / passes
+        return max(1.0, occupied * self.spec.mapping_efficiency)
+
+    def _dram_traffic_bytes(self, layer: LayerSpec) -> float:
+        """Off-chip traffic under the stationary-tensor tiling model."""
+        dims = layer.conv_dims()
+        w = float(layer.weight_bytes)
+        i = float(layer.in_bytes)
+        o = float(layer.out_bytes)
+        if dims is None:
+            # Memory-only op: stream input in, output out.
+            return i + o
+        share = self.buffer_bytes / 2.0
+        if self.dataflow is Dataflow.WS:
+            stationary, streaming = w, i + o
+        elif self.dataflow is Dataflow.OS:
+            stationary, streaming = o, i + w
+        else:  # RS keeps rows of everything; treat the largest as stationary.
+            stationary = max(w, i, o)
+            streaming = w + i + o - stationary
+        passes = max(1.0, stationary / share)
+        return stationary + streaming * passes
+
+    def layer_cost(self, layer: LayerSpec) -> LayerCost:
+        """Analyse one layer."""
+        em = self.energy_model
+        dims = layer.conv_dims()
+        dram_bytes = self._dram_traffic_bytes(layer)
+        offchip_cycles = dram_bytes / self.offchip_bw
+
+        if dims is None:
+            # No MACs: only data movement.
+            onchip_bytes = float(layer.in_bytes + layer.out_bytes)
+            onchip_cycles = onchip_bytes / self.onchip_bw
+            latency_cycles = max(onchip_cycles, offchip_cycles) + _RAMP_CYCLES
+            energy = (
+                em.buffer_mj(onchip_bytes)
+                + em.dram_mj(dram_bytes)
+                + em.leakage_mj(self.num_pes, latency_cycles / CLOCK_HZ)
+            )
+            return LayerCost(
+                layer_name=layer.name,
+                compute_cycles=0.0,
+                onchip_cycles=onchip_cycles,
+                offchip_cycles=offchip_cycles,
+                energy_mj=energy,
+                utilization=0.0,
+            )
+
+        macs = float(layer.macs)
+        compute_cycles = macs / self._effective_macs_per_cycle(layer)
+
+        # NoC streaming: tensors cross the on-chip network once per tile
+        # pass (multicast distributes them across PEs; per-MAC operand
+        # reads come from PE-local register files and are charged to the
+        # energy model, not to bandwidth).
+        reuse_i, reuse_w, reuse_o = self.spec.operand_reuse(layer, dims)
+        onchip_bytes = self._dram_traffic_bytes(layer)
+        onchip_cycles = onchip_bytes / self.onchip_bw
+
+        latency_cycles = (
+            max(compute_cycles, onchip_cycles, offchip_cycles) + _RAMP_CYCLES
+        )
+        latency_s = latency_cycles / CLOCK_HZ
+        buffer_accesses = (
+            macs / reuse_i + macs / reuse_w + macs / reuse_o
+        ) * self.spec.buf_reads_per_mac
+        energy = (
+            em.compute_mj(macs)
+            + em.buffer_mj(buffer_accesses)
+            + em.dram_mj(dram_bytes)
+            + em.leakage_mj(self.num_pes, latency_s)
+        )
+        return LayerCost(
+            layer_name=layer.name,
+            compute_cycles=compute_cycles,
+            onchip_cycles=onchip_cycles,
+            offchip_cycles=offchip_cycles,
+            energy_mj=energy,
+            utilization=min(1.0, macs / (latency_cycles * self.num_pes)),
+        )
+
+    # -- whole-model analysis -------------------------------------------------
+
+    def model_cost(self, graph: ModelGraph) -> ModelCost:
+        """Analyse a whole model graph, layer by layer."""
+        costs = tuple(self.layer_cost(layer) for layer in graph.layers)
+        total_cycles = sum(c.latency_cycles for c in costs)
+        total_macs = float(graph.total_macs)
+        return ModelCost(
+            model_name=graph.name,
+            dataflow=self.dataflow,
+            num_pes=self.num_pes,
+            latency_s=total_cycles / CLOCK_HZ,
+            energy_mj=sum(c.energy_mj for c in costs),
+            utilization=(
+                total_macs / (total_cycles * self.num_pes)
+                if total_cycles > 0
+                else 0.0
+            ),
+            layer_costs=costs,
+        )

@@ -1,0 +1,115 @@
+"""Dynamic voltage/frequency scaling (DVFS) on top of the cost model.
+
+Appendix B.1 observes that latency slack can be traded for energy ("we can
+adjust energy to meet the deadlines or optimize using the slack to the
+deadline (e.g., DVFS)") — which is exactly why energy is a knob, not an
+absolute minimisation target, and why the energy score is bounded rather
+than open-ended.  This module makes that trade concrete:
+
+* :class:`DvfsPoint` — an operating point: relative frequency ``f`` and the
+  classical dynamic-power scaling ``E_dynamic ~ f^2`` (voltage tracks
+  frequency), with leakage scaling ~1/f per unit work (slower runs leak
+  longer).
+* :func:`scale_cost` — re-derives a :class:`ModelCost` at an operating
+  point.
+* :func:`best_point_for_slack` — picks the slowest (most energy-efficient)
+  point that still fits a latency budget, i.e. the paper's
+  slack-into-energy optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .analysis import ModelCost
+
+__all__ = ["DvfsPoint", "DEFAULT_DVFS_POINTS", "scale_cost",
+           "best_point_for_slack"]
+
+
+@dataclass(frozen=True)
+class DvfsPoint:
+    """One DVFS operating point, relative to the nominal 1 GHz design."""
+
+    name: str
+    frequency_scale: float  # 1.0 = nominal
+
+    def __post_init__(self) -> None:
+        if not 0.1 <= self.frequency_scale <= 2.0:
+            raise ValueError(
+                f"frequency_scale must be in [0.1, 2.0], got "
+                f"{self.frequency_scale}"
+            )
+
+    @property
+    def latency_scale(self) -> float:
+        """Latency multiplier: work takes 1/f as long."""
+        return 1.0 / self.frequency_scale
+
+    @property
+    def dynamic_energy_scale(self) -> float:
+        """Dynamic energy ~ V^2, and V tracks f in the DVFS ladder."""
+        return self.frequency_scale ** 2
+
+    @property
+    def leakage_energy_scale(self) -> float:
+        """Leakage accrues over the (longer) runtime."""
+        return 1.0 / self.frequency_scale
+
+
+#: A realistic mobile-SoC ladder around the nominal point.
+DEFAULT_DVFS_POINTS: tuple[DvfsPoint, ...] = (
+    DvfsPoint("eco", 0.5),
+    DvfsPoint("low", 0.7),
+    DvfsPoint("nominal", 1.0),
+    DvfsPoint("boost", 1.3),
+)
+
+
+def scale_cost(cost: ModelCost, point: DvfsPoint,
+               leakage_fraction: float = 0.1) -> ModelCost:
+    """Re-derive a model cost at a DVFS operating point.
+
+    ``leakage_fraction`` is the share of the nominal energy attributed to
+    leakage (which scales with runtime rather than V^2).
+    """
+    if not 0.0 <= leakage_fraction <= 1.0:
+        raise ValueError(
+            f"leakage_fraction must be in [0, 1], got {leakage_fraction}"
+        )
+    dynamic = cost.energy_mj * (1.0 - leakage_fraction)
+    leakage = cost.energy_mj * leakage_fraction
+    return replace(
+        cost,
+        latency_s=cost.latency_s * point.latency_scale,
+        energy_mj=(
+            dynamic * point.dynamic_energy_scale
+            + leakage * point.leakage_energy_scale
+        ),
+    )
+
+
+def best_point_for_slack(
+    cost: ModelCost,
+    slack_s: float,
+    points: tuple[DvfsPoint, ...] = DEFAULT_DVFS_POINTS,
+    leakage_fraction: float = 0.1,
+) -> tuple[DvfsPoint, ModelCost]:
+    """The most energy-efficient operating point that fits the slack.
+
+    Falls back to the fastest point when nothing fits (the inference will
+    miss its deadline regardless; might as well minimise lateness).
+    """
+    if slack_s <= 0:
+        fastest = max(points, key=lambda p: p.frequency_scale)
+        return fastest, scale_cost(cost, fastest, leakage_fraction)
+    candidates = [
+        (p, scale_cost(cost, p, leakage_fraction)) for p in points
+    ]
+    feasible = [
+        (p, c) for p, c in candidates if c.latency_s <= slack_s
+    ]
+    if not feasible:
+        fastest = max(points, key=lambda p: p.frequency_scale)
+        return fastest, scale_cost(cost, fastest, leakage_fraction)
+    return min(feasible, key=lambda pc: pc[1].energy_mj)

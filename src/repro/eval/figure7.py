@@ -1,0 +1,83 @@
+"""Figure 7: dynamic-cascading probability sweep.
+
+Varies the probability that Gaze Estimation is triggered after Eye
+Segmentation (25% .. 100%) in the VR-gaming scenario, on accelerators B
+(low score) and J (high score) with 4K PEs, averaging over repeated
+trials as the paper does (200 experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import Harness
+from repro.hardware import build_accelerator
+from repro.workload import get_scenario
+
+__all__ = ["Figure7Row", "run_figure7", "format_figure7"]
+
+DEFAULT_PROBABILITIES: tuple[float, ...] = (0.25, 0.50, 0.75, 1.00)
+
+
+@dataclass(frozen=True)
+class Figure7Row:
+    """Mean scores for one (accelerator, cascading probability) cell."""
+
+    acc_id: str
+    probability: float
+    rt: float
+    energy: float
+    qoe: float
+    overall: float
+    trials: int
+
+
+def run_figure7(
+    harness: Harness | None = None,
+    acc_ids: tuple[str, ...] = ("B", "J"),
+    probabilities: tuple[float, ...] = DEFAULT_PROBABILITIES,
+    trials: int = 200,
+    total_pes: int = 4096,
+) -> list[Figure7Row]:
+    """Sweep the ES->GE trigger probability, averaging ``trials`` seeds."""
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    harness = harness or Harness()
+    base = get_scenario("vr_gaming")
+    rows: list[Figure7Row] = []
+    for acc_id in acc_ids:
+        system = build_accelerator(acc_id, total_pes)
+        for p in probabilities:
+            scenario = base.with_dependency_probability("ES", "GE", p)
+            acc = {"rt": 0.0, "energy": 0.0, "qoe": 0.0, "overall": 0.0}
+            for seed in range(trials):
+                score = harness.run_scenario(scenario, system, seed=seed).score
+                acc["rt"] += score.rt
+                acc["energy"] += score.energy
+                acc["qoe"] += score.qoe
+                acc["overall"] += score.overall
+            rows.append(
+                Figure7Row(
+                    acc_id=acc_id,
+                    probability=p,
+                    rt=acc["rt"] / trials,
+                    energy=acc["energy"] / trials,
+                    qoe=acc["qoe"] / trials,
+                    overall=acc["overall"] / trials,
+                    trials=trials,
+                )
+            )
+    return rows
+
+
+def format_figure7(rows: list[Figure7Row]) -> str:
+    lines = [
+        "Figure 7 — VR gaming, ES->GE cascading probability sweep (4K PEs)",
+        f"{'acc':<4s}{'prob':>6s}{'rt':>8s}{'energy':>8s}{'qoe':>8s}{'overall':>9s}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.acc_id:<4s}{r.probability:>6.0%}{r.rt:>8.3f}"
+            f"{r.energy:>8.3f}{r.qoe:>8.3f}{r.overall:>9.3f}"
+        )
+    return "\n".join(lines)

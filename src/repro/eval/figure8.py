@@ -1,0 +1,66 @@
+"""Figure 8: the real-time score function for different ``k`` values.
+
+Plots (as data series) the shifted sigmoid of Definition 10 over latency,
+with a 1-second inference window, for k in {0, 1, 15, 50} — showing how
+``k`` tunes deadline sensitivity from "indifferent" (k=0, flat 0.5) to a
+step function (k -> infinity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import realtime_score
+
+__all__ = ["Figure8Series", "run_figure8", "format_figure8"]
+
+DEFAULT_KS: tuple[float, ...] = (0.0, 1.0, 15.0, 50.0)
+
+
+@dataclass(frozen=True)
+class Figure8Series:
+    """One curve: real-time score over latency for a fixed ``k``."""
+
+    k: float
+    latencies_s: tuple[float, ...]
+    scores: tuple[float, ...]
+
+
+def run_figure8(
+    ks: tuple[float, ...] = DEFAULT_KS,
+    slack_s: float = 1.0,
+    max_latency_s: float = 2.0,
+    points: int = 81,
+) -> list[Figure8Series]:
+    """Sample the RT-score curve like Figure 8 (slack = 1 s)."""
+    if points < 2:
+        raise ValueError(f"points must be >= 2, got {points}")
+    latencies = np.linspace(0.0, max_latency_s, points)
+    series = []
+    for k in ks:
+        scores = tuple(
+            # Figure 8 plots the function on a seconds axis; the score
+            # function is unit-agnostic as long as latency/slack/k agree.
+            realtime_score(lat, slack_s, k)
+            for lat in latencies
+        )
+        series.append(
+            Figure8Series(k=k, latencies_s=tuple(latencies), scores=scores)
+        )
+    return series
+
+
+def format_figure8(series: list[Figure8Series], samples: int = 9) -> str:
+    lines = ["Figure 8 — RtScore(latency) with a 1 s window"]
+    idx = np.linspace(0, len(series[0].latencies_s) - 1, samples).astype(int)
+    header = "k \\ latency(s) " + "".join(
+        f"{series[0].latencies_s[i]:>7.2f}" for i in idx
+    )
+    lines.append(header)
+    for s in series:
+        lines.append(
+            f"k={s.k:<12.0f} " + "".join(f"{s.scores[i]:>7.3f}" for i in idx)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Pareto-frontier analysis over accelerator designs.
+
+Section 3.7: "XRBench reveals all individual scores to users to facilitate
+Pareto frontier analysis".  This module computes frontiers over arbitrary
+(higher-is-better, lower-is-better) objective pairs — most usefully
+(XRBench score, mean energy per inference) — across the Table 5 designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import Harness
+from repro.hardware import ACCELERATOR_IDS, build_accelerator
+
+__all__ = ["DesignPoint", "evaluate_designs", "pareto_frontier"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated accelerator design."""
+
+    acc_id: str
+    total_pes: int
+    xrbench_score: float
+    mean_energy_mj: float
+    mean_drop_rate: float
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: at least as good everywhere, better somewhere.
+
+        Score is higher-is-better; energy and drop rate lower-is-better.
+        """
+        at_least = (
+            self.xrbench_score >= other.xrbench_score
+            and self.mean_energy_mj <= other.mean_energy_mj
+            and self.mean_drop_rate <= other.mean_drop_rate
+        )
+        strictly = (
+            self.xrbench_score > other.xrbench_score
+            or self.mean_energy_mj < other.mean_energy_mj
+            or self.mean_drop_rate < other.mean_drop_rate
+        )
+        return at_least and strictly
+
+
+def evaluate_designs(
+    harness: Harness | None = None,
+    acc_ids: tuple[str, ...] = ACCELERATOR_IDS,
+    total_pes: int = 4096,
+) -> list[DesignPoint]:
+    """Run the suite on every design and collect the objective values."""
+    harness = harness or Harness()
+    points = []
+    for acc_id in acc_ids:
+        system = build_accelerator(acc_id, total_pes)
+        suite = harness.run_suite(system)
+        energies: list[float] = []
+        drops: list[float] = []
+        for report in suite.scenario_reports:
+            energies.extend(
+                r.energy_mj for r in report.simulation.completed()
+            )
+            drops.append(report.simulation.frame_drop_rate())
+        points.append(
+            DesignPoint(
+                acc_id=acc_id,
+                total_pes=total_pes,
+                xrbench_score=suite.xrbench_score,
+                mean_energy_mj=sum(energies) / len(energies),
+                mean_drop_rate=sum(drops) / len(drops),
+            )
+        )
+    return points
+
+
+def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:
+    """The non-dominated subset, sorted by descending score."""
+    if not points:
+        raise ValueError("no design points given")
+    frontier = [
+        p for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(frontier, key=lambda p: -p.xrbench_score)

@@ -1,0 +1,147 @@
+"""Text renderings of the paper's definitional tables.
+
+* Table 1 — unit tasks, proxy models, datasets and quality requirements.
+* Table 2 — usage scenarios and target processing rates.
+* Table 3 — input sources (sensors).
+* Table 5 — accelerator styles A-M.
+* Table 7 — concrete model instances with their operator mixes, derived
+  live from the zoo graphs (so the table stays true to the code).
+"""
+
+from __future__ import annotations
+
+from repro.hardware import ACCELERATOR_IDS, build_accelerator
+from repro.nn.layers import human_count
+from repro.workload import (
+    SCENARIO_ORDER,
+    SCENARIOS,
+    SENSORS,
+    UNIT_MODELS,
+)
+from repro.zoo import build_model
+
+__all__ = ["table1", "table2", "table3", "table5", "table6", "table7"]
+
+
+def table1() -> str:
+    """Unit tasks and proxy unit models (Table 1)."""
+    lines = [
+        "Table 1 — XRBench unit tasks and proxy unit models",
+        f"{'Category':<22s}{'Task':<26s}{'Model':<18s}"
+        f"{'Dataset':<28s}{'Requirement'}",
+    ]
+    for model in UNIT_MODELS.values():
+        lines.append(
+            f"{model.category.value:<22s}{model.task + f' ({model.code})':<26s}"
+            f"{model.model_name:<18s}{model.dataset:<28s}"
+            f"{model.quality.describe()}"
+        )
+    return "\n".join(lines)
+
+
+def table2() -> str:
+    """Target processing rates per scenario (Table 2)."""
+    codes = list(UNIT_MODELS)
+    lines = [
+        "Table 2 — Target processing rates (FPS)",
+        f"{'Usage Scenario':<22s}"
+        + "".join(f"{c:>5s}" for c in codes)
+        + "  Description",
+    ]
+    for name in SCENARIO_ORDER:
+        scenario = SCENARIOS[name]
+        cells = []
+        for code in codes:
+            try:
+                cells.append(f"{scenario.fps_of(code):>5.0f}")
+            except KeyError:
+                cells.append(f"{'-':>5s}")
+        deps = " ".join(
+            f"[{d.upstream}->{d.downstream}:"
+            f"{d.kind.value[0].upper()}@{d.probability:.0%}]"
+            for d in scenario.dependencies
+        )
+        lines.append(
+            f"{name:<22s}" + "".join(cells) + f"  {scenario.description} {deps}"
+        )
+    return "\n".join(lines)
+
+
+def table3() -> str:
+    """Input sources (Table 3)."""
+    lines = [
+        "Table 3 — Input sources",
+        f"{'Source':<14s}{'Type':<22s}{'Rate':>8s}{'Jitter':>12s}",
+    ]
+    for sensor in SENSORS.values():
+        lines.append(
+            f"{sensor.name:<14s}{sensor.input_type:<22s}"
+            f"{sensor.fps:>5.0f} FPS{sensor.jitter_ms:>9.2f} ms"
+        )
+    return "\n".join(lines)
+
+
+def table5(total_pes: int = 4096) -> str:
+    """Accelerator styles (Table 5)."""
+    lines = [
+        f"Table 5 — Accelerator styles ({total_pes} PEs total)",
+        f"{'ID':<4s}{'Style':<7s}{'Engines'}",
+    ]
+    for acc_id in ACCELERATOR_IDS:
+        system = build_accelerator(acc_id, total_pes)
+        engines = " + ".join(s.describe() for s in system.subs)
+        lines.append(f"{acc_id:<4s}{system.style:<7s}{engines}")
+    return "\n".join(lines)
+
+
+#: Table 6's comparison matrix: benchmark -> (cascon-MTMM, dynamic,
+#: real-time scenarios, ML focus, device scope, latency, energy, accuracy,
+#: QoE).  "~" marks the paper's "partially supported" triangles.
+_TABLE6_ROWS: tuple[tuple[str, str, str, str, str, str, str, str, str, str], ...] = (
+    ("MLPerf Inference", "", "", "y", "y", "server", "y", "", "y", ""),
+    ("MLPerf Tiny", "", "", "y", "y", "edge", "y", "y", "y", ""),
+    ("MLPerf Mobile", "", "", "", "y", "mobile", "y", "", "y", ""),
+    ("DeepBench", "", "", "", "y", "server/edge", "y", "", "", ""),
+    ("AI Benchmark", "", "", "", "y", "mobile", "y", "", "", ""),
+    ("EEMBC MLMark", "", "", "", "y", "edge", "y", "", "y", ""),
+    ("AIBench", "y", "~", "y", "y", "server", "y", "", "y", "y"),
+    ("AIoTBench", "", "", "", "y", "mobile/edge", "y", "", "y", ""),
+    ("ILLIXR", "y", "~", "y", "", "edge", "y", "y", "~", "y"),
+    ("VRMark", "", "", "y", "", "PC", "y", "", "", ""),
+    ("XRBench", "y", "y", "y", "y", "edge", "y", "y", "y", "y"),
+)
+
+
+def table6() -> str:
+    """Related-benchmark comparison (Table 6)."""
+    header = (
+        f"{'Benchmark':<18s}{'cascon':>7s}{'dyn':>5s}{'RT':>4s}"
+        f"{'ML':>4s}{'scope':>13s}{'lat':>5s}{'en':>4s}{'acc':>5s}"
+        f"{'QoE':>5s}"
+    )
+    lines = ["Table 6 — Existing benchmarks vs XRBench", header]
+    for row in _TABLE6_ROWS:
+        name, cascon, dyn, rt, ml, scope, lat, en, acc, qoe = row
+        lines.append(
+            f"{name:<18s}{cascon:>7s}{dyn:>5s}{rt:>4s}{ml:>4s}"
+            f"{scope:>13s}{lat:>5s}{en:>4s}{acc:>5s}{qoe:>5s}"
+        )
+    return "\n".join(lines)
+
+
+def table7() -> str:
+    """Model instances and their operator mixes (Table 7), from the zoo."""
+    lines = [
+        "Table 7 — Model instances (derived from the zoo graphs)",
+        f"{'Task':<6s}{'Instance':<26s}{'MACs':>9s}{'Params':>9s}"
+        f"  Major operators",
+    ]
+    for code, model in UNIT_MODELS.items():
+        graph = build_model(code)
+        ops = ", ".join(graph.major_operators(4))
+        lines.append(
+            f"{code:<6s}{model.instance_name:<26s}"
+            f"{human_count(graph.total_macs):>9s}"
+            f"{human_count(graph.total_params):>9s}  {ops}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Simulated accelerator hardware: engines, systems, Table-5 configs."""
+
+from .accelerator import AcceleratorStyle, AcceleratorSystem, SubAccelerator
+from .configs import (
+    ACCELERATOR_IDS,
+    PE_BUDGETS,
+    all_accelerators,
+    build_accelerator,
+)
+
+__all__ = [
+    "ACCELERATOR_IDS",
+    "AcceleratorStyle",
+    "AcceleratorSystem",
+    "PE_BUDGETS",
+    "SubAccelerator",
+    "all_accelerators",
+    "build_accelerator",
+]

@@ -1,0 +1,82 @@
+"""The thirteen accelerator configurations of Table 5.
+
+Styles:
+
+* A/B/C — FDA: one monolithic engine with the WS / OS / RS dataflow.
+* D/E/F — SFDA: two same-dataflow engines, 1:1 PE partitioning.
+* G/H/I — SFDA: four same-dataflow engines, 1:1:1:1 partitioning.
+* J     — HDA: WS + OS, 1:1.
+* K     — HDA: WS + OS, 3:1.
+* L     — HDA: WS + OS, 1:3.
+* M     — HDA: WS + OS + WS + OS, 1:1:1:1.
+
+Each is instantiated at a total PE budget of 4096 ("4K") or 8192 ("8K"),
+as in Section 4.1.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import Dataflow
+
+from .accelerator import AcceleratorStyle, AcceleratorSystem, SubAccelerator
+
+__all__ = [
+    "ACCELERATOR_IDS",
+    "PE_BUDGETS",
+    "build_accelerator",
+    "all_accelerators",
+]
+
+ACCELERATOR_IDS: tuple[str, ...] = tuple("ABCDEFGHIJKLM")
+
+#: "4K" and "8K" PE budgets of Section 4.1.
+PE_BUDGETS: dict[str, int] = {"4K": 4096, "8K": 8192}
+
+_WS, _OS, _RS = Dataflow.WS, Dataflow.OS, Dataflow.RS
+
+#: acc id -> (style, [(dataflow, share)...]); shares are integer ratios.
+_LAYOUTS: dict[str, tuple[str, list[tuple[Dataflow, int]]]] = {
+    "A": (AcceleratorStyle.FDA, [(_WS, 1)]),
+    "B": (AcceleratorStyle.FDA, [(_OS, 1)]),
+    "C": (AcceleratorStyle.FDA, [(_RS, 1)]),
+    "D": (AcceleratorStyle.SFDA, [(_WS, 1), (_WS, 1)]),
+    "E": (AcceleratorStyle.SFDA, [(_OS, 1), (_OS, 1)]),
+    "F": (AcceleratorStyle.SFDA, [(_RS, 1), (_RS, 1)]),
+    "G": (AcceleratorStyle.SFDA, [(_WS, 1)] * 4),
+    "H": (AcceleratorStyle.SFDA, [(_OS, 1)] * 4),
+    "I": (AcceleratorStyle.SFDA, [(_RS, 1)] * 4),
+    "J": (AcceleratorStyle.HDA, [(_WS, 1), (_OS, 1)]),
+    "K": (AcceleratorStyle.HDA, [(_WS, 3), (_OS, 1)]),
+    "L": (AcceleratorStyle.HDA, [(_WS, 1), (_OS, 3)]),
+    "M": (AcceleratorStyle.HDA, [(_WS, 1), (_OS, 1), (_WS, 1), (_OS, 1)]),
+}
+
+
+def build_accelerator(acc_id: str, total_pes: int = 4096) -> AcceleratorSystem:
+    """Instantiate accelerator ``acc_id`` ("A".."M") with ``total_pes``."""
+    try:
+        style, layout = _LAYOUTS[acc_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown accelerator id {acc_id!r}; "
+            f"available: {''.join(ACCELERATOR_IDS)}"
+        ) from None
+    total_shares = sum(share for _, share in layout)
+    if total_pes % total_shares:
+        raise ValueError(
+            f"total_pes={total_pes} not divisible by partition "
+            f"{total_shares} for accelerator {acc_id}"
+        )
+    unit = total_pes // total_shares
+    subs = tuple(
+        SubAccelerator(index=i, dataflow=df, num_pes=unit * share)
+        for i, (df, share) in enumerate(layout)
+    )
+    return AcceleratorSystem(
+        acc_id=acc_id, style=style, total_pes=total_pes, subs=subs
+    )
+
+
+def all_accelerators(total_pes: int = 4096) -> list[AcceleratorSystem]:
+    """All thirteen Table-5 configurations at one PE budget."""
+    return [build_accelerator(a, total_pes) for a in ACCELERATOR_IDS]

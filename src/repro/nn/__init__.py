@@ -1,0 +1,21 @@
+"""Numpy DNN substrate: layer specs, model graphs, ops and an executor."""
+
+from .executor import GraphExecutor, random_input
+from .graph import GraphBuilder, ModelGraph
+from .layers import BYTES_PER_ELEM, ConvDims, LayerSpec, OpType
+from .quantize import QuantizedExecutor, dequantize_tensor, quality_proxy, quantize_tensor
+
+__all__ = [
+    "QuantizedExecutor",
+    "dequantize_tensor",
+    "quality_proxy",
+    "quantize_tensor",
+    "BYTES_PER_ELEM",
+    "ConvDims",
+    "GraphBuilder",
+    "GraphExecutor",
+    "LayerSpec",
+    "ModelGraph",
+    "OpType",
+    "random_input",
+]

@@ -1,0 +1,168 @@
+"""Executes a :class:`ModelGraph` forward pass with numpy.
+
+Weights are materialised lazily from a seeded RNG, so a graph can be run
+end-to-end on synthetic data without any stored checkpoints — this is the
+"reference implementation" role the paper's open-source models play, with
+the datasets replaced by synthetic tensors of the right shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from . import ops
+from .graph import ModelGraph
+from .layers import LayerSpec, OpType
+
+__all__ = ["GraphExecutor", "random_input"]
+
+#: Weight scale keeps activations numerically tame through deep graphs.
+_WEIGHT_SCALE = 0.05
+
+
+def random_input(graph: ModelGraph, seed: int = 0) -> np.ndarray:
+    """Synthetic input tensor matching the graph's input shape."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(graph.input_shape).astype(np.float64)
+
+
+@dataclass
+class GraphExecutor:
+    """Runs a model graph layer by layer.
+
+    Attributes:
+        graph: the model to execute.
+        seed: RNG seed for the synthetic weights.
+        record_activations: keep every intermediate output (for tests).
+    """
+
+    graph: ModelGraph
+    seed: int = 0
+    record_activations: bool = False
+    activations: dict[str, np.ndarray] = field(default_factory=dict)
+    _weights: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def weights_for(self, layer: LayerSpec) -> dict[str, np.ndarray]:
+        """Lazily create and cache the synthetic weights of a layer."""
+        if layer.name in self._weights:
+            return self._weights[layer.name]
+        rng = np.random.default_rng(
+            (hash((self.graph.name, layer.name, self.seed)) & 0x7FFFFFFF)
+        )
+
+        def randn(*shape: int) -> np.ndarray:
+            return rng.standard_normal(shape) * _WEIGHT_SCALE
+
+        cin = layer.in_shape[0]
+        cout = layer.out_shape[0]
+        w: dict[str, np.ndarray] = {}
+        if layer.op in (OpType.CONV2D, OpType.DECONV2D):
+            w["weight"] = randn(
+                cout, cin // layer.groups, layer.kernel, layer.kernel
+            )
+            w["bias"] = randn(cout)
+        elif layer.op is OpType.DWCONV2D:
+            w["weight"] = randn(cin, layer.kernel, layer.kernel)
+            w["bias"] = randn(cin)
+        elif layer.op is OpType.FC:
+            w["weight"] = randn(cout, layer.in_elems)
+            w["bias"] = randn(cout)
+        elif layer.op is OpType.ATTENTION:
+            dim = cin
+            for key in ("wq", "wk", "wv", "wo"):
+                w[key] = randn(dim, dim)
+        elif layer.op is OpType.LAYERNORM:
+            w["gamma"] = np.ones(cin)
+            w["beta"] = np.zeros(cin)
+        self._weights[layer.name] = w
+        return w
+
+    def _run_layer(
+        self, layer: LayerSpec, x: np.ndarray, residual: np.ndarray | None
+    ) -> np.ndarray:
+        w = self.weights_for(layer)
+        if layer.op is OpType.CONV2D:
+            out = ops.conv2d(
+                x,
+                w["weight"],
+                w["bias"],
+                stride=layer.stride,
+                padding=layer.padding,
+                groups=layer.groups,
+            )
+            return ops.relu(out)
+        if layer.op is OpType.DWCONV2D:
+            out = ops.dwconv2d(
+                x, w["weight"], w["bias"], stride=layer.stride, padding=layer.padding
+            )
+            return ops.relu(out)
+        if layer.op is OpType.DECONV2D:
+            out = ops.deconv2d(x, w["weight"], w["bias"], stride=layer.stride)
+            return ops.relu(out)
+        if layer.op is OpType.FC:
+            return ops.fc(x, w["weight"], w["bias"]).reshape(layer.out_shape)
+        if layer.op is OpType.ATTENTION:
+            return ops.multihead_attention(
+                x, w["wq"], w["wk"], w["wv"], w["wo"], layer.heads
+            )
+        if layer.op is OpType.LAYERNORM:
+            return ops.layernorm(x, w["gamma"], w["beta"])
+        if layer.op is OpType.MAXPOOL:
+            return ops.maxpool2d(x, layer.kernel, layer.stride)
+        if layer.op is OpType.AVGPOOL:
+            return ops.avgpool2d(x, layer.kernel, layer.stride)
+        if layer.op is OpType.GLOBALPOOL:
+            return ops.global_avgpool(x)
+        if layer.op is OpType.UPSAMPLE:
+            return ops.upsample_nearest(x, layer.stride)
+        if layer.op is OpType.ADD:
+            if residual is None:
+                raise ValueError(f"ADD layer {layer.name!r} missing residual")
+            if residual.shape != x.shape:
+                raise ValueError(
+                    f"ADD layer {layer.name!r}: residual shape "
+                    f"{residual.shape} != input {x.shape}"
+                )
+            return x + residual
+        if layer.op is OpType.CONCAT:
+            if residual is None:
+                raise ValueError(f"CONCAT layer {layer.name!r} missing residual")
+            return np.concatenate([x, residual], axis=0)
+        if layer.op is OpType.RESHAPE:
+            return x.reshape(layer.out_shape)
+        if layer.op is OpType.ROIALIGN:
+            return ops.roialign_fold(
+                x, layer.extra["rois"], layer.out_shape[1]
+            )
+        raise NotImplementedError(f"op {layer.op} not executable")
+
+    def run(self, x: np.ndarray | None = None) -> np.ndarray:
+        """Forward pass; returns the final output tensor."""
+        if x is None:
+            x = random_input(self.graph, self.seed)
+        if tuple(x.shape) != self.graph.input_shape:
+            raise ValueError(
+                f"input shape {x.shape} != model input {self.graph.input_shape}"
+            )
+        # Keep only the activations that later layers reference.
+        needed: set[str] = {
+            layer.residual_from
+            for layer in self.graph.layers
+            if layer.residual_from is not None
+        }
+        stash: dict[str, np.ndarray] = {}
+        for layer in self.graph.layers:
+            residual = stash.get(layer.residual_from) if layer.residual_from else None
+            x = self._run_layer(layer, x, residual)
+            if tuple(x.shape) != layer.out_shape:
+                raise AssertionError(
+                    f"layer {layer.name!r} produced {x.shape}, spec says "
+                    f"{layer.out_shape}"
+                )
+            if layer.name in needed:
+                stash[layer.name] = x
+            if self.record_activations:
+                self.activations[layer.name] = x
+        return x

@@ -1,0 +1,276 @@
+"""Numpy forward kernels for every layer primitive.
+
+These are reference implementations in the spirit of the guide's advice:
+vectorised numpy, no Python-level loops over pixels.  Convolutions use
+im2col + matmul; depthwise convolutions use a batched einsum over the
+patch tensor.  They exist so the zoo models can actually be *executed*
+(examples, numerical tests, operator validation), not to win speed races —
+the analytical cost model is what the benchmark harness uses for timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "im2col",
+    "conv2d",
+    "dwconv2d",
+    "deconv2d",
+    "fc",
+    "maxpool2d",
+    "avgpool2d",
+    "global_avgpool",
+    "upsample_nearest",
+    "relu",
+    "softmax",
+    "layernorm",
+    "multihead_attention",
+    "roialign_fold",
+]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise ReLU."""
+    return np.maximum(x, 0.0)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``(C, H, W)`` into ``(C*k*k, OH*OW)`` patch columns.
+
+    Returns the column matrix plus the output spatial dims.
+    """
+    c, h, w = x.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    ph, pw = x.shape[1], x.shape[2]
+    oh = (ph - kernel) // stride + 1
+    ow = (pw - kernel) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"im2col produces empty output: input {(h, w)}, k={kernel}, "
+            f"s={stride}, p={padding}"
+        )
+    # Strided view: (C, OH, OW, k, k) without copying.
+    sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, oh, ow, kernel, kernel),
+        strides=(sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    cols = view.transpose(0, 3, 4, 1, 2).reshape(c * kernel * kernel, oh * ow)
+    return np.ascontiguousarray(cols), oh, ow
+
+
+def conv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> np.ndarray:
+    """2-D convolution.  ``x``: (C, H, W); ``weight``: (K, C/groups, k, k)."""
+    cin = x.shape[0]
+    k_out, c_per_group, kh, kw = weight.shape
+    if kh != kw:
+        raise ValueError(f"only square kernels supported, got {(kh, kw)}")
+    if cin != c_per_group * groups:
+        raise ValueError(
+            f"channel mismatch: input {cin}, weight expects "
+            f"{c_per_group * groups} (groups={groups})"
+        )
+    if groups == 1:
+        cols, oh, ow = im2col(x, kh, stride, padding)
+        out = weight.reshape(k_out, -1) @ cols
+    else:
+        k_per_group = k_out // groups
+        outs = []
+        for g in range(groups):
+            xg = x[g * c_per_group : (g + 1) * c_per_group]
+            wg = weight[g * k_per_group : (g + 1) * k_per_group]
+            cols, oh, ow = im2col(xg, kh, stride, padding)
+            outs.append(wg.reshape(k_per_group, -1) @ cols)
+        out = np.concatenate(outs, axis=0)
+    out = out.reshape(k_out, oh, ow)
+    if bias is not None:
+        out = out + bias[:, None, None]
+    return out
+
+
+def dwconv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Depthwise convolution.  ``weight``: (C, k, k)."""
+    c, h, w = x.shape
+    if weight.shape[0] != c:
+        raise ValueError(
+            f"depthwise weight channels {weight.shape[0]} != input {c}"
+        )
+    kernel = weight.shape[1]
+    if padding:
+        x = np.pad(x, ((0, 0), (padding, padding), (padding, padding)))
+    ph, pw = x.shape[1], x.shape[2]
+    oh = (ph - kernel) // stride + 1
+    ow = (pw - kernel) // stride + 1
+    sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, oh, ow, kernel, kernel),
+        strides=(sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    out = np.einsum("cyxrs,crs->cyx", view, weight, optimize=True)
+    if bias is not None:
+        out = out + bias[:, None, None]
+    return out
+
+
+def deconv2d(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    stride: int = 2,
+) -> np.ndarray:
+    """Transposed convolution producing an exactly ``stride``-x upsampled map.
+
+    Implemented as nearest-neighbour dilation followed by a same-padded
+    convolution — numerically a valid transposed-conv variant and
+    shape-exact for the graphs in the zoo.
+    """
+    upsampled = upsample_nearest(x, stride)
+    kernel = weight.shape[-1]
+    out = conv2d(upsampled, weight, bias, stride=1, padding=kernel // 2)
+    # Even kernels with same-padding overshoot by one pixel; crop to the
+    # exact stride-multiple output size.
+    target_h, target_w = x.shape[1] * stride, x.shape[2] * stride
+    return out[:, :target_h, :target_w]
+
+
+def fc(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Fully-connected layer over a flattened input."""
+    flat = x.reshape(-1)
+    if weight.shape[1] != flat.shape[0]:
+        raise ValueError(
+            f"fc weight expects {weight.shape[1]} inputs, got {flat.shape[0]}"
+        )
+    out = weight @ flat
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def _pool(x: np.ndarray, kernel: int, stride: int, reducer) -> np.ndarray:
+    c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    sc, sh, sw = x.strides
+    view = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, oh, ow, kernel, kernel),
+        strides=(sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    return reducer(view, axis=(3, 4))
+
+
+def maxpool2d(x: np.ndarray, kernel: int = 2, stride: int | None = None) -> np.ndarray:
+    """Max pooling."""
+    return _pool(x, kernel, stride or kernel, np.max)
+
+
+def avgpool2d(x: np.ndarray, kernel: int = 2, stride: int | None = None) -> np.ndarray:
+    """Average pooling."""
+    return _pool(x, kernel, stride or kernel, np.mean)
+
+
+def global_avgpool(x: np.ndarray) -> np.ndarray:
+    """Global average pooling to (C, 1, 1)."""
+    return x.mean(axis=(1, 2), keepdims=True)
+
+
+def upsample_nearest(x: np.ndarray, scale: int = 2) -> np.ndarray:
+    """Nearest-neighbour spatial upsampling."""
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    return np.repeat(np.repeat(x, scale, axis=1), scale, axis=2)
+
+
+def layernorm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5
+) -> np.ndarray:
+    """Layer normalisation over the channel axis of a (C, H, W) tensor."""
+    mean = x.mean(axis=0, keepdims=True)
+    var = x.var(axis=0, keepdims=True)
+    normed = (x - mean) / np.sqrt(var + eps)
+    return normed * gamma[:, None, None] + beta[:, None, None]
+
+
+def multihead_attention(
+    x: np.ndarray,
+    wq: np.ndarray,
+    wk: np.ndarray,
+    wv: np.ndarray,
+    wo: np.ndarray,
+    heads: int,
+) -> np.ndarray:
+    """Multi-head self-attention over a (dim, 1, L) tensor.
+
+    All projection matrices are (dim, dim).  Returns a tensor of the same
+    shape as the input.
+    """
+    dim, h, w = x.shape
+    if dim % heads:
+        raise ValueError(f"dim {dim} not divisible by heads {heads}")
+    seq = h * w
+    tokens = x.reshape(dim, seq).T  # (L, dim)
+    q = tokens @ wq.T
+    k = tokens @ wk.T
+    v = tokens @ wv.T
+    head_dim = dim // heads
+    # (heads, L, head_dim)
+    qh = q.reshape(seq, heads, head_dim).transpose(1, 0, 2)
+    kh = k.reshape(seq, heads, head_dim).transpose(1, 0, 2)
+    vh = v.reshape(seq, heads, head_dim).transpose(1, 0, 2)
+    scores = qh @ kh.transpose(0, 2, 1) / np.sqrt(head_dim)
+    attn = softmax(scores, axis=-1)
+    ctx = attn @ vh  # (heads, L, head_dim)
+    merged = ctx.transpose(1, 0, 2).reshape(seq, dim)
+    out = merged @ wo.T
+    return out.T.reshape(dim, h, w)
+
+
+def roialign_fold(x: np.ndarray, rois: int, out_size: int) -> np.ndarray:
+    """A deterministic stand-in for RoIAlign.
+
+    Crops ``rois`` evenly-spaced square regions and resizes each to
+    ``out_size`` via average pooling, folding the RoI batch into the width
+    axis — matching the shape contract of ``GraphBuilder.roialign``.
+    """
+    c, h, w = x.shape
+    out = np.empty((c, out_size, out_size * rois), dtype=x.dtype)
+    for i in range(rois):
+        # Evenly-spaced crop anchors across the feature map.
+        y0 = (i * max(1, h - out_size)) // max(1, rois)
+        x0 = (i * max(1, w - out_size)) // max(1, rois)
+        crop = x[:, y0 : y0 + out_size, x0 : x0 + out_size]
+        ch, cw = crop.shape[1], crop.shape[2]
+        if (ch, cw) != (out_size, out_size):
+            pad = ((0, 0), (0, out_size - ch), (0, out_size - cw))
+            crop = np.pad(crop, pad)
+        out[:, :, i * out_size : (i + 1) * out_size] = crop
+    return out

@@ -1,0 +1,39 @@
+"""Discrete-event benchmark runtime (Figure 2)."""
+
+from .events import Event, EventKind, EventQueue
+from .queues import ActiveInferenceTable, DependencyTracker, PendingQueue
+from .scheduler import (
+    SCHEDULERS,
+    EarliestDeadlineScheduler,
+    RateMonotonicScheduler,
+    LatencyGreedyScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    make_scheduler,
+)
+from .segmentation import SegmentedCostTable, segment_scenario, split_graph
+from .simulator import SimulationResult, Simulator
+from .timeline import Segment, extract_timeline, render_timeline
+
+__all__ = [
+    "ActiveInferenceTable",
+    "DependencyTracker",
+    "EarliestDeadlineScheduler",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "LatencyGreedyScheduler",
+    "PendingQueue",
+    "RateMonotonicScheduler",
+    "RoundRobinScheduler",
+    "SCHEDULERS",
+    "Scheduler",
+    "Segment",
+    "SegmentedCostTable",
+    "segment_scenario",
+    "split_graph",
+    "SimulationResult",
+    "Simulator",
+    "extract_timeline",
+    "render_timeline",
+]

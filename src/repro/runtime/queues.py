@@ -1,0 +1,97 @@
+"""Runtime data structures (Figure 2): request queues, the active
+inference table, and the dependency tracker.
+
+The pending queue implements the frame-freshness drop policy: at most one
+*waiting* request per model.  When a new frame arrives while the previous
+one is still waiting to start, the stale frame is dropped — processing it
+could no longer contribute to the target rate (its successor has already
+arrived), and real XR runtimes prefer the fresh frame.  Requests that have
+*started* are never aborted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workload import Dependency, InferenceRequest, UsageScenario
+
+__all__ = ["PendingQueue", "ActiveInferenceTable", "DependencyTracker"]
+
+
+@dataclass
+class PendingQueue:
+    """At-most-one waiting request per model; stale frames are dropped."""
+
+    _waiting: dict[str, InferenceRequest] = field(default_factory=dict)
+    dropped: list[InferenceRequest] = field(default_factory=list)
+
+    def offer(self, request: InferenceRequest) -> InferenceRequest | None:
+        """Add a request; returns the displaced stale request, if any."""
+        stale = self._waiting.get(request.model_code)
+        if stale is not None:
+            stale.dropped = True
+            self.dropped.append(stale)
+        self._waiting[request.model_code] = request
+        return stale
+
+    def take(self, request: InferenceRequest) -> None:
+        """Remove a request that is about to be dispatched."""
+        current = self._waiting.get(request.model_code)
+        if current is not request:
+            raise ValueError(
+                f"request {request!r} is not waiting (queue holds {current!r})"
+            )
+        del self._waiting[request.model_code]
+
+    def waiting(self) -> list[InferenceRequest]:
+        """All waiting requests, oldest data first."""
+        return sorted(
+            self._waiting.values(),
+            key=lambda r: (r.request_time_s, r.model_code),
+        )
+
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+
+@dataclass
+class ActiveInferenceTable:
+    """Which request is running on which engine."""
+
+    _active: dict[int, InferenceRequest] = field(default_factory=dict)
+
+    def start(self, sub_index: int, request: InferenceRequest) -> None:
+        if sub_index in self._active:
+            raise ValueError(
+                f"engine {sub_index} is already running "
+                f"{self._active[sub_index]!r} (hardware-occupancy condition)"
+            )
+        self._active[sub_index] = request
+
+    def finish(self, sub_index: int) -> InferenceRequest:
+        try:
+            return self._active.pop(sub_index)
+        except KeyError:
+            raise ValueError(f"engine {sub_index} is idle") from None
+
+    def idle_engines(self, num_subs: int) -> list[int]:
+        return [i for i in range(num_subs) if i not in self._active]
+
+    def running(self) -> dict[int, InferenceRequest]:
+        return dict(self._active)
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+
+@dataclass
+class DependencyTracker:
+    """Maps completed upstream inferences to downstream spawns."""
+
+    scenario: UsageScenario
+
+    def downstream_of(self, model_code: str) -> list[Dependency]:
+        """Dependencies that fire when ``model_code`` completes a frame."""
+        return [
+            d for d in self.scenario.dependencies if d.upstream == model_code
+        ]

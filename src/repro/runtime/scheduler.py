@@ -1,0 +1,186 @@
+"""Pluggable inference dispatchers/schedulers.
+
+The scheduler decides, whenever an engine is free and requests are
+waiting, which (request, engine) pair to dispatch next.  XRBench ships a
+latency-greedy scheduler (the paper's default for cost-model runs) and a
+round-robin scheduler (its default for real systems); an EDF scheduler is
+included as the kind of runtime optimisation the paper encourages users
+to plug in.
+
+Schedulers are deliberately simple objects with a single method so user
+code can swap in anything (the yellow "user-customisable" boxes of
+Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.costmodel import CostTable
+from repro.hardware import AcceleratorSystem
+from repro.workload import InferenceRequest
+
+__all__ = [
+    "Scheduler",
+    "LatencyGreedyScheduler",
+    "RoundRobinScheduler",
+    "EarliestDeadlineScheduler",
+    "RateMonotonicScheduler",
+    "make_scheduler",
+    "SCHEDULERS",
+]
+
+
+class Scheduler(Protocol):
+    """Dispatch decision interface."""
+
+    def pick(
+        self,
+        now_s: float,
+        waiting: list[InferenceRequest],
+        idle_engines: list[int],
+        system: AcceleratorSystem,
+        costs: CostTable,
+    ) -> tuple[InferenceRequest, int] | None:
+        """Choose the next dispatch, or ``None`` to leave engines idle."""
+        ...
+
+
+def _best_engine(
+    request: InferenceRequest,
+    idle_engines: list[int],
+    system: AcceleratorSystem,
+    costs: CostTable,
+) -> int:
+    """The idle engine with the lowest expected latency for this model."""
+    return min(
+        idle_engines,
+        key=lambda i: (
+            system.model_cost(costs, request.model_code, i).latency_s,
+            i,
+        ),
+    )
+
+
+@dataclass
+class LatencyGreedyScheduler:
+    """The paper's default: oldest request first, fastest idle engine.
+
+    "Dispatch an inference job to an idle accelerator with the minimal
+    expected latency" (artifact appendix D.2).
+    """
+
+    def pick(
+        self,
+        now_s: float,
+        waiting: list[InferenceRequest],
+        idle_engines: list[int],
+        system: AcceleratorSystem,
+        costs: CostTable,
+    ) -> tuple[InferenceRequest, int] | None:
+        if not waiting or not idle_engines:
+            return None
+        request = waiting[0]  # oldest data first
+        return request, _best_engine(request, idle_engines, system, costs)
+
+
+@dataclass
+class RoundRobinScheduler:
+    """Cycles engines regardless of fit (the paper's real-system default)."""
+
+    _next_engine: int = 0
+
+    def pick(
+        self,
+        now_s: float,
+        waiting: list[InferenceRequest],
+        idle_engines: list[int],
+        system: AcceleratorSystem,
+        costs: CostTable,
+    ) -> tuple[InferenceRequest, int] | None:
+        if not waiting or not idle_engines:
+            return None
+        request = waiting[0]
+        # Advance the rotor to the next idle engine.
+        for offset in range(system.num_subs):
+            candidate = (self._next_engine + offset) % system.num_subs
+            if candidate in idle_engines:
+                self._next_engine = (candidate + 1) % system.num_subs
+                return request, candidate
+        return None
+
+    def reset(self) -> None:
+        self._next_engine = 0
+
+
+@dataclass
+class EarliestDeadlineScheduler:
+    """EDF: most urgent request first, fastest idle engine."""
+
+    def pick(
+        self,
+        now_s: float,
+        waiting: list[InferenceRequest],
+        idle_engines: list[int],
+        system: AcceleratorSystem,
+        costs: CostTable,
+    ) -> tuple[InferenceRequest, int] | None:
+        if not waiting or not idle_engines:
+            return None
+        request = min(waiting, key=lambda r: (r.deadline_s, r.request_time_s))
+        return request, _best_engine(request, idle_engines, system, costs)
+
+
+@dataclass
+class RateMonotonicScheduler:
+    """Rate-monotonic priorities: highest-rate model first.
+
+    The classic real-time policy: shorter-period tasks preempt (here:
+    pre-empt the *queue*, not running inferences) longer-period ones.
+    Ties break on request age; the engine choice is latency-greedy.
+    """
+
+    #: model code -> target period in seconds, provided at construction or
+    #: inferred lazily from request deadlines.
+    periods: dict[str, float] = field(default_factory=dict)
+
+    def _period(self, request: InferenceRequest) -> float:
+        known = self.periods.get(request.model_code)
+        if known is not None:
+            return known
+        # Deadline - request time approximates the frame period.
+        return max(1e-6, request.deadline_s - request.request_time_s)
+
+    def pick(
+        self,
+        now_s: float,
+        waiting: list[InferenceRequest],
+        idle_engines: list[int],
+        system: AcceleratorSystem,
+        costs: CostTable,
+    ) -> tuple[InferenceRequest, int] | None:
+        if not waiting or not idle_engines:
+            return None
+        request = min(
+            waiting, key=lambda r: (self._period(r), r.request_time_s)
+        )
+        return request, _best_engine(request, idle_engines, system, costs)
+
+
+SCHEDULERS: dict[str, type] = {
+    "latency_greedy": LatencyGreedyScheduler,
+    "round_robin": RoundRobinScheduler,
+    "edf": EarliestDeadlineScheduler,
+    "rate_monotonic": RateMonotonicScheduler,
+}
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Instantiate a scheduler by registry name."""
+    try:
+        return SCHEDULERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {sorted(SCHEDULERS)}"
+        ) from None

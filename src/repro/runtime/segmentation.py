@@ -1,0 +1,196 @@
+"""Model segmentation: Herald-style sub-model scheduling.
+
+The paper attributes the "expanded computation scheduling spaces" of MTMM
+workloads to Kwon et al.'s Herald (HPCA 2021), where a model can be split
+at layer boundaries and its segments scheduled on different
+sub-accelerators.  This module brings that scheduling dimension into the
+harness without touching the simulator: a segmented model becomes a chain
+of virtual unit models connected by always-firing data dependencies, so a
+two-segment plane detector can have segment 0 of frame N+1 running on one
+engine while segment 1 of frame N finishes on another — software
+pipelining across engines.
+
+Usage::
+
+    from repro.runtime.segmentation import segment_scenario, SegmentedCostTable
+
+    scenario, table = segment_scenario(get_scenario("ar_gaming"), "PD", 2)
+    sim = Simulator(scenario=scenario, system=system,
+                    scheduler=LatencyGreedyScheduler(), costs=table)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.costmodel import CostTable, Dataflow
+from repro.costmodel.analysis import CostModel, ModelCost
+from repro.nn import ModelGraph
+from repro.workload import (
+    Dependency,
+    DependencyKind,
+    ScenarioModel,
+    UsageScenario,
+)
+__all__ = ["split_graph", "SegmentedCostTable", "segment_scenario",
+           "segment_code"]
+
+
+def segment_code(code: str, index: int) -> str:
+    """The virtual task code of one segment, e.g. ``PD.0``."""
+    return f"{code}.{index}"
+
+
+def split_graph(graph: ModelGraph, segments: int) -> list[ModelGraph]:
+    """Split a graph into MAC-balanced contiguous layer segments.
+
+    Split points only fall on layer boundaries where no later layer
+    reaches back across the cut via a residual connection — cutting
+    through a skip would require shipping two tensors between engines,
+    which the virtual-model chain cannot express.
+    """
+    if segments < 1:
+        raise ValueError(f"segments must be >= 1, got {segments}")
+    if segments == 1:
+        return [graph]
+    n = len(graph.layers)
+    if segments > n:
+        raise ValueError(
+            f"cannot split {graph.name!r} ({n} layers) into {segments}"
+        )
+    # Valid cut after layer i: no layer j > i references a residual
+    # source at index <= i.
+    index_of = {layer.name: i for i, layer in enumerate(graph.layers)}
+    valid_after = [True] * n
+    for j, layer in enumerate(graph.layers):
+        if layer.residual_from is None:
+            continue
+        src = index_of[layer.residual_from]
+        for cut in range(src, j):
+            valid_after[cut] = False
+    valid_cuts = [i for i in range(n - 1) if valid_after[i]]
+    if len(valid_cuts) < segments - 1:
+        raise ValueError(
+            f"{graph.name!r} has only {len(valid_cuts)} residual-safe cut "
+            f"points; cannot make {segments} segments"
+        )
+
+    # Greedy MAC-balanced selection: walk the prefix-MAC curve and cut at
+    # the valid point closest to each ideal quantile.
+    prefix = []
+    total = 0
+    for layer in graph.layers:
+        total += layer.macs
+        prefix.append(total)
+    cuts: list[int] = []
+    for k in range(1, segments):
+        target = total * k / segments
+        candidates = [c for c in valid_cuts if c not in cuts]
+        best = min(candidates, key=lambda c: abs(prefix[c] - target))
+        cuts.append(best)
+    cuts.sort()
+    if len(set(cuts)) != len(cuts):
+        raise ValueError(
+            f"could not find {segments} distinct balanced cuts in "
+            f"{graph.name!r}"
+        )
+
+    pieces: list[ModelGraph] = []
+    start = 0
+    boundaries = cuts + [n - 1]
+    for idx, end in enumerate(boundaries):
+        layers = graph.layers[start : end + 1]
+        pieces.append(
+            ModelGraph(
+                name=f"{graph.name}.{idx}",
+                input_shape=layers[0].in_shape,
+                layers=layers,
+            )
+        )
+        start = end + 1
+    return pieces
+
+
+class SegmentedCostTable(CostTable):
+    """A cost table that also knows the virtual segment graphs."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._graphs: dict[str, ModelGraph] = {}
+
+    def register_graph(self, code: str, graph: ModelGraph) -> None:
+        if code in self._graphs:
+            raise ValueError(f"segment code {code!r} already registered")
+        self._graphs[code] = graph
+
+    def cost(
+        self, task_code: str, dataflow: Dataflow, num_pes: int
+    ) -> ModelCost:
+        key = (task_code, dataflow, num_pes)
+        if key in self._cache:
+            return self._cache[key]
+        graph = self._graphs.get(task_code)
+        if graph is None:
+            return super().cost(task_code, dataflow, num_pes)
+        engine = CostModel(dataflow=dataflow, num_pes=num_pes)
+        self._cache[key] = engine.model_cost(graph)
+        return self._cache[key]
+
+
+def segment_scenario(
+    scenario: UsageScenario,
+    code: str,
+    segments: int,
+    table: SegmentedCostTable | None = None,
+) -> tuple[UsageScenario, SegmentedCostTable]:
+    """Replace one model with a chain of pipelined segments.
+
+    Returns the variant scenario and a cost table that can price the
+    virtual segment models.  The original model's sensors, rate and
+    quality goal are inherited by every segment; segments are chained with
+    always-firing data dependencies so the runtime executes them in
+    order (possibly on different engines, possibly overlapped across
+    frames).
+    """
+    base_sm = scenario.get(code)  # raises KeyError when inactive
+    if segments < 2:
+        raise ValueError(
+            f"segments must be >= 2 to change anything, got {segments}"
+        )
+    for dep in scenario.dependencies:
+        if code in (dep.upstream, dep.downstream):
+            raise ValueError(
+                f"cannot segment {code!r}: it participates in the "
+                f"dependency {dep.upstream}->{dep.downstream}"
+            )
+    table = table or SegmentedCostTable()
+    pieces = split_graph(base_sm.model.graph, segments)
+
+    seg_models: list[ScenarioModel] = []
+    deps: list[Dependency] = list(scenario.dependencies)
+    prev_code: str | None = None
+    for idx, piece in enumerate(pieces):
+        vcode = segment_code(code, idx)
+        table.register_graph(vcode, piece)
+        unit = replace(base_sm.model, code=vcode, graph_override=piece)
+        seg_models.append(
+            ScenarioModel(
+                unit, base_sm.target_fps, aux=idx < len(pieces) - 1
+            )
+        )
+        if prev_code is not None:
+            deps.append(
+                Dependency(prev_code, vcode, DependencyKind.DATA, 1.0)
+            )
+        prev_code = vcode
+
+    models = tuple(
+        sm for sm in scenario.models if sm.code != code
+    ) + tuple(seg_models)
+    variant = replace(
+        scenario,
+        name=f"{scenario.name}_{code.lower()}x{segments}",
+        models=models,
+        dependencies=tuple(deps),
+    )
+    return variant, table

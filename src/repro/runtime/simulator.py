@@ -1,0 +1,190 @@
+"""The discrete-event simulator at the heart of the benchmark runtime.
+
+Drives one usage scenario against one accelerator system:
+
+1. The load generator schedules every sensor-driven inference request
+   (with jittered arrival times) as ARRIVAL events.
+2. On arrival, a request enters the pending queue; a stale waiting frame
+   of the same model is dropped (frame-freshness policy, see
+   :mod:`repro.runtime.queues`).
+3. Whenever an engine is idle and requests wait, the scheduler picks a
+   (request, engine) pair; the analytical cost model supplies the
+   inference latency and energy; a COMPLETION event is scheduled.
+4. On completion, downstream dependencies may spawn new requests (data
+   deps always, control deps with the scenario's trigger probability),
+   arriving at the upstream's completion time.
+
+The run ends when all events have drained — input streams stop at
+``duration_s`` but in-flight work is allowed to finish, matching how the
+paper counts deadline violations for late frames rather than truncating
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel import CostTable
+from repro.hardware import AcceleratorSystem
+from repro.workload import InferenceRequest, LoadGenerator, UsageScenario
+
+from .events import EventKind, EventQueue
+from .queues import ActiveInferenceTable, DependencyTracker, PendingQueue
+from .scheduler import Scheduler
+
+__all__ = ["SimulationResult", "Simulator"]
+
+
+@dataclass
+class SimulationResult:
+    """Raw outcome of one scenario x system simulation."""
+
+    scenario: UsageScenario
+    system: AcceleratorSystem
+    duration_s: float
+    requests: list[InferenceRequest]
+    busy_time_s: dict[int, float]
+    spawned_frames: dict[str, int]
+
+    # -- derived statistics --------------------------------------------------
+
+    def completed(self, model_code: str | None = None) -> list[InferenceRequest]:
+        return [
+            r
+            for r in self.requests
+            if r.completed and (model_code is None or r.model_code == model_code)
+        ]
+
+    def dropped(self, model_code: str | None = None) -> list[InferenceRequest]:
+        return [
+            r
+            for r in self.requests
+            if r.dropped and (model_code is None or r.model_code == model_code)
+        ]
+
+    def num_frames(self, model_code: str) -> int:
+        """QoE denominator: frames streamed/triggered for the model."""
+        return self.spawned_frames.get(model_code, 0)
+
+    def frame_drop_rate(self) -> float:
+        total = len(self.requests)
+        if total == 0:
+            return 0.0
+        return len([r for r in self.requests if r.dropped]) / total
+
+    def missed_deadlines(self, model_code: str | None = None) -> int:
+        return sum(
+            1
+            for r in self.completed(model_code)
+            if r.missed_deadline
+        )
+
+    def utilization(self, sub_index: int) -> float:
+        """Busy fraction of one engine over the streamed duration."""
+        return min(1.0, self.busy_time_s.get(sub_index, 0.0) / self.duration_s)
+
+    def mean_utilization(self) -> float:
+        subs = self.system.num_subs
+        return sum(self.utilization(i) for i in range(subs)) / subs
+
+
+@dataclass
+class Simulator:
+    """Runs one scenario on one accelerator system."""
+
+    scenario: UsageScenario
+    system: AcceleratorSystem
+    scheduler: Scheduler
+    duration_s: float = 1.0
+    seed: int = 0
+    costs: CostTable = field(default_factory=CostTable)
+    #: Failure injection: sensor-frame loss probability (see LoadGenerator).
+    frame_loss_probability: float = 0.0
+
+    def run(self) -> SimulationResult:
+        loadgen = LoadGenerator(
+            self.scenario,
+            self.duration_s,
+            self.seed,
+            frame_loss_probability=self.frame_loss_probability,
+        )
+        deps = DependencyTracker(self.scenario)
+        events = EventQueue()
+        pending = PendingQueue()
+        active = ActiveInferenceTable()
+        busy_time: dict[int, float] = {i: 0.0 for i in range(self.system.num_subs)}
+        all_requests: list[InferenceRequest] = []
+        # QoE denominators: root models are charged for every streamed
+        # frame (including sensor-lost ones); dependent models only for
+        # the requests their triggers actually spawn.
+        spawned: dict[str, int] = {sm.code: 0 for sm in self.scenario.models}
+        spawned.update(loadgen.expected_frames())
+        root_codes = set(loadgen.expected_frames())
+
+        for request in loadgen.root_requests():
+            events.push(request.request_time_s, EventKind.ARRIVAL, request)
+
+        def dispatch(now_s: float) -> None:
+            """Let the scheduler fill idle engines."""
+            while True:
+                idle = active.idle_engines(self.system.num_subs)
+                waiting = pending.waiting()
+                choice = self.scheduler.pick(
+                    now_s, waiting, idle, self.system, self.costs
+                )
+                if choice is None:
+                    return
+                request, sub_index = choice
+                if sub_index not in idle:
+                    raise ValueError(
+                        f"scheduler chose busy engine {sub_index} "
+                        f"(idle: {idle})"
+                    )
+                pending.take(request)
+                cost = self.system.model_cost(
+                    self.costs, request.model_code, sub_index
+                )
+                request.start_time_s = now_s
+                request.end_time_s = now_s + cost.latency_s
+                request.accelerator_id = sub_index
+                request.energy_mj = cost.energy_mj
+                active.start(sub_index, request)
+                busy_time[sub_index] += cost.latency_s
+                events.push(
+                    request.end_time_s,
+                    EventKind.COMPLETION,
+                    request,
+                    sub_index,
+                )
+
+        while events:
+            event = events.pop()
+            now_s = event.time_s
+            if event.kind is EventKind.ARRIVAL:
+                request = event.request
+                all_requests.append(request)
+                if request.model_code not in root_codes:
+                    spawned[request.model_code] += 1
+                pending.offer(request)
+            else:  # COMPLETION
+                finished = active.finish(event.sub_index)
+                if finished is not event.request:
+                    raise AssertionError(
+                        "completion event does not match active inference"
+                    )
+                for dep in deps.downstream_of(finished.model_code):
+                    child = loadgen.spawn_dependent(
+                        dep, finished.model_frame, now_s
+                    )
+                    if child is not None:
+                        events.push(now_s, EventKind.ARRIVAL, child)
+            dispatch(now_s)
+
+        return SimulationResult(
+            scenario=self.scenario,
+            system=self.system,
+            duration_s=self.duration_s,
+            requests=all_requests,
+            busy_time_s=busy_time,
+            spawned_frames=spawned,
+        )

@@ -1,0 +1,84 @@
+"""Execution-timeline extraction (Figure 6).
+
+Turns a :class:`SimulationResult` into per-engine lists of execution
+segments, plus an ASCII rendering used by the Figure 6 bench and the
+timeline example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .simulator import SimulationResult
+
+__all__ = ["Segment", "extract_timeline", "render_timeline"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One inference execution on one engine."""
+
+    sub_index: int
+    model_code: str
+    model_frame: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def extract_timeline(result: SimulationResult) -> dict[int, list[Segment]]:
+    """Per-engine execution segments, sorted by start time."""
+    lanes: dict[int, list[Segment]] = {
+        i: [] for i in range(result.system.num_subs)
+    }
+    for request in result.completed():
+        assert request.accelerator_id is not None
+        assert request.start_time_s is not None and request.end_time_s is not None
+        lanes[request.accelerator_id].append(
+            Segment(
+                sub_index=request.accelerator_id,
+                model_code=request.model_code,
+                model_frame=request.model_frame,
+                start_s=request.start_time_s,
+                end_s=request.end_time_s,
+            )
+        )
+    for segments in lanes.values():
+        segments.sort(key=lambda s: s.start_s)
+    return lanes
+
+
+def render_timeline(
+    result: SimulationResult,
+    width: int = 100,
+    until_s: float | None = None,
+) -> str:
+    """ASCII Gantt chart: one row per engine, one column per time bucket.
+
+    Each bucket shows the first letter of the model that occupies most of
+    it, or '.' when the engine is idle — a textual Figure 6.
+    """
+    until = until_s if until_s is not None else result.duration_s
+    if until <= 0:
+        raise ValueError(f"until_s must be > 0, got {until}")
+    bucket = until / width
+    lanes = extract_timeline(result)
+    lines = []
+    header = f"time 0 .. {until * 1e3:.0f} ms ({bucket * 1e3:.1f} ms/char)"
+    lines.append(header)
+    for sub_index in range(result.system.num_subs):
+        sub = result.system.subs[sub_index]
+        row = []
+        for b in range(width):
+            t0, t1 = b * bucket, (b + 1) * bucket
+            best, best_overlap = ".", 0.0
+            for seg in lanes[sub_index]:
+                overlap = min(seg.end_s, t1) - max(seg.start_s, t0)
+                if overlap > best_overlap:
+                    best, best_overlap = seg.model_code[0], overlap
+            row.append(best)
+        lines.append(f"{sub.describe():<14s} |{''.join(row)}|")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Workload descriptions: sensors, models, scenarios, requests, load."""
+
+from .loadgen import LoadGenerator
+from .models import UNIT_MODELS, TaskCategory, UnitModel, get_model
+from .quality import MetricType, QualityGoal
+from .requests import FramePlan, InferenceRequest
+from .scenarios import (
+    SCENARIO_ORDER,
+    SCENARIOS,
+    Dependency,
+    DependencyKind,
+    ScenarioModel,
+    UsageScenario,
+    benchmark_suite,
+    get_scenario,
+)
+from .sensors import CAMERA, LIDAR, MICROPHONE, SENSORS, InputSource, get_sensor
+from .taxonomy import MtmmClass, classify, is_dynamic, pipelines
+from .variants import activate, deactivate, retarget, scale_rates
+
+__all__ = [
+    "MtmmClass",
+    "activate",
+    "classify",
+    "is_dynamic",
+    "pipelines",
+    "deactivate",
+    "retarget",
+    "scale_rates",
+    "CAMERA",
+    "Dependency",
+    "DependencyKind",
+    "FramePlan",
+    "InferenceRequest",
+    "InputSource",
+    "LIDAR",
+    "LoadGenerator",
+    "MICROPHONE",
+    "MetricType",
+    "QualityGoal",
+    "SCENARIOS",
+    "SCENARIO_ORDER",
+    "SENSORS",
+    "ScenarioModel",
+    "TaskCategory",
+    "UNIT_MODELS",
+    "UnitModel",
+    "UsageScenario",
+    "benchmark_suite",
+    "get_model",
+    "get_scenario",
+    "get_sensor",
+]

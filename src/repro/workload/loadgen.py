@@ -1,0 +1,145 @@
+"""Load generator: turns a usage scenario into timed inference requests.
+
+Root models (those driven directly by sensors) get their full request
+schedule generated up front from the jittered sensor streams.  Dependent
+models (downstream of a data or control dependency) are *not* scheduled
+here — the runtime spawns their requests when the upstream inference
+completes, rolling the dependency's trigger probability with a
+deterministic per-frame RNG so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from .requests import FramePlan, InferenceRequest
+from .scenarios import Dependency, UsageScenario
+
+__all__ = ["LoadGenerator"]
+
+
+@dataclass
+class LoadGenerator:
+    """Generates the request stream for one scenario run.
+
+    Attributes:
+        scenario: the usage scenario to drive.
+        duration_s: how long the input streams run.
+        seed: seed for jitter and dependency-trigger randomness.
+        frame_loss_probability: failure-injection knob — probability that a
+            sensor frame is lost before reaching the device (bus errors,
+            sensor glitches).  Lost frames never become requests; the QoE
+            denominator still counts them, so sensor flakiness degrades
+            QoE exactly like runtime drops do.
+    """
+
+    scenario: UsageScenario
+    duration_s: float
+    seed: int = 0
+    frame_loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration_s}")
+        if not 0.0 <= self.frame_loss_probability < 1.0:
+            raise ValueError(
+                f"frame_loss_probability must be in [0, 1), got "
+                f"{self.frame_loss_probability}"
+            )
+        self._plans = {
+            sm.code: FramePlan(sm) for sm in self.scenario.models
+        }
+
+    def frame_lost(self, code: str, model_frame: int) -> bool:
+        """Deterministically roll whether a sensor frame was lost."""
+        if self.frame_loss_probability <= 0.0:
+            return False
+        digest = hashlib.sha256(
+            f"loss:{code}:{model_frame}:{self.seed}".encode()
+        ).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        return bool(rng.random() < self.frame_loss_probability)
+
+    def plan_for(self, code: str) -> FramePlan:
+        return self._plans[code]
+
+    def root_requests(self) -> list[InferenceRequest]:
+        """All requests for sensor-driven models, sorted by request time."""
+        requests: list[InferenceRequest] = []
+        for sm in self.scenario.root_models():
+            plan = self._plans[sm.code]
+            for frame in range(plan.num_frames(self.duration_s)):
+                if self.frame_lost(sm.code, frame):
+                    continue
+                requests.append(
+                    InferenceRequest(
+                        model_code=sm.code,
+                        model_frame=frame,
+                        request_time_s=plan.request_time_s(frame, self.seed),
+                        deadline_s=plan.deadline_s(frame),
+                    )
+                )
+        requests.sort(key=lambda r: (r.request_time_s, r.model_code))
+        return requests
+
+    def dependency_triggers(
+        self, dep: Dependency, model_frame: int
+    ) -> bool:
+        """Deterministically roll whether ``dep`` fires for a frame."""
+        if dep.probability >= 1.0:
+            return True
+        if dep.probability <= 0.0:
+            return False
+        digest = hashlib.sha256(
+            f"{dep.upstream}->{dep.downstream}:{model_frame}:{self.seed}".encode()
+        ).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        return bool(rng.random() < dep.probability)
+
+    def spawn_dependent(
+        self, dep: Dependency, upstream_frame: int, ready_time_s: float
+    ) -> InferenceRequest | None:
+        """Create the downstream request triggered by an upstream completion.
+
+        Returns ``None`` when the trigger roll fails (dynamic cascading) or
+        when the downstream frame falls outside the run duration.  The
+        downstream inherits the upstream's frame index mapped onto its own
+        frame plan; its request time is when the upstream's output became
+        available.
+        """
+        if not self.dependency_triggers(dep, upstream_frame):
+            return None
+        down_plan = self._plans[dep.downstream]
+        up_plan = self._plans[dep.upstream]
+        # Map the upstream model-frame to the downstream frame covering the
+        # same instant of the sensor stream.
+        ratio = down_plan.effective_fps / up_plan.effective_fps
+        down_frame = int(upstream_frame * ratio)
+        sensor = down_plan.scenario_model.model.primary_sensor
+        nominal = sensor.nominal_arrival_s(
+            down_plan.sensor_frame_for(down_frame)
+        )
+        if nominal >= self.duration_s:
+            return None
+        return InferenceRequest(
+            model_code=dep.downstream,
+            model_frame=down_frame,
+            request_time_s=ready_time_s,
+            deadline_s=down_plan.deadline_s(down_frame),
+        )
+
+    def expected_frames(self) -> dict[str, int]:
+        """Streamed frame counts per root model (QoE denominators).
+
+        Dependent models' denominators are counted at runtime, since only
+        triggered requests are "streamed" work for them.
+        """
+        downstream = {d.downstream for d in self.scenario.dependencies}
+        return {
+            sm.code: self._plans[sm.code].num_frames(self.duration_s)
+            for sm in self.scenario.models
+            if sm.code not in downstream
+        }

@@ -1,0 +1,147 @@
+"""Unit-model descriptors (Table 1 / Definition 3).
+
+A :class:`UnitModel` is the workload-side view of one unit task: the task
+code and name, the sensor stream(s) it consumes, the dataset it was
+validated on, its quality goal, and the task category (interaction /
+context understanding / world locking).  The actual DNN architecture lives
+in :mod:`repro.zoo` and is reachable via :meth:`UnitModel.graph`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.nn import ModelGraph
+from repro.zoo import build_model
+
+from .quality import MetricType, QualityGoal
+from .sensors import CAMERA, LIDAR, MICROPHONE, InputSource
+
+__all__ = ["TaskCategory", "UnitModel", "UNIT_MODELS", "get_model"]
+
+
+class TaskCategory(enum.Enum):
+    """The three task categories of Table 1."""
+
+    INTERACTION = "Interaction"
+    CONTEXT = "Context Understanding"
+    WORLD_LOCKING = "World Locking"
+
+
+@dataclass(frozen=True)
+class UnitModel:
+    """One row of Table 1, bound to its zoo graph and sensors."""
+
+    code: str                      # task code, e.g. "HT"
+    task: str                      # human-readable task name
+    model_name: str                # reference model (Table 1)
+    instance_name: str             # concrete instance (Table 7)
+    dataset: str                   # DSID
+    category: TaskCategory
+    sensors: tuple[InputSource, ...]
+    quality: QualityGoal
+    #: Derived models (e.g. Herald-style segments) carry their own graph;
+    #: ``None`` means "look the code up in the zoo registry".
+    graph_override: ModelGraph | None = None
+
+    def __post_init__(self) -> None:
+        if not self.sensors:
+            raise ValueError(f"model {self.code} must have >= 1 sensor")
+
+    @property
+    def graph(self) -> ModelGraph:
+        """The layer graph implementing this task."""
+        if self.graph_override is not None:
+            return self.graph_override
+        return build_model(self.code)
+
+    @property
+    def is_multimodal(self) -> bool:
+        return len(self.sensors) > 1
+
+    @property
+    def primary_sensor(self) -> InputSource:
+        """The sensor whose frame ids drive this model's inference requests."""
+        return self.sensors[0]
+
+
+def _m(
+    code: str,
+    task: str,
+    model_name: str,
+    instance: str,
+    dataset: str,
+    category: TaskCategory,
+    sensors: tuple[InputSource, ...],
+    metric: str,
+    target: float,
+    metric_type: MetricType,
+) -> UnitModel:
+    return UnitModel(
+        code=code,
+        task=task,
+        model_name=model_name,
+        instance_name=instance,
+        dataset=dataset,
+        category=category,
+        sensors=sensors,
+        quality=QualityGoal(metric, target, metric_type),
+    )
+
+
+_HIB = MetricType.HIGHER_IS_BETTER
+_LIB = MetricType.LOWER_IS_BETTER
+
+#: Table 1, bound to Table 7 instances.  KD and SR serve both the
+#: interaction and context-understanding categories; they appear once here
+#: (the category field records their primary category) and scenarios may
+#: use them for either purpose.
+UNIT_MODELS: dict[str, UnitModel] = {
+    m.code: m
+    for m in (
+        _m("HT", "Hand Tracking", "Hand Shape/Pose", "Hand Shape/Pose",
+           "Stereo Hand Pose (1/2 scale)", TaskCategory.INTERACTION,
+           (CAMERA,), "AUC PCK", 0.948, _HIB),
+        _m("ES", "Eye Segmentation", "RITNet", "RITNet",
+           "OpenEDS 2019 (1/4 scale)", TaskCategory.INTERACTION,
+           (CAMERA,), "mIoU", 90.54, _HIB),
+        _m("GE", "Gaze Estimation", "EyeCoD", "FBNet-C",
+           "OpenEDS 2020 (1/4 scale)", TaskCategory.INTERACTION,
+           (CAMERA,), "Angular Error", 3.39, _LIB),
+        _m("KD", "Keyword Detection", "Key-Res-15", "res8-narrow",
+           "Google Speech Commands", TaskCategory.INTERACTION,
+           (MICROPHONE,), "Accuracy", 85.60, _HIB),
+        _m("SR", "Speech Recognition", "Emformer", "EM-24L",
+           "LibriSpeech", TaskCategory.INTERACTION,
+           (MICROPHONE,), "WER (others)", 8.79, _LIB),
+        _m("SS", "Semantic Segmentation", "HRViT", "HRViT-b1",
+           "Cityscapes", TaskCategory.CONTEXT,
+           (CAMERA,), "mIoU", 77.54, _HIB),
+        _m("OD", "Object Detection", "D2Go", "Faster-RCNN-FBNetV3A",
+           "COCO", TaskCategory.CONTEXT,
+           (CAMERA,), "boxAP", 21.84, _HIB),
+        _m("AS", "Action Segmentation", "TCN", "ED-TCN",
+           "GTEA", TaskCategory.CONTEXT,
+           (CAMERA,), "Accuracy", 60.8, _HIB),
+        _m("DE", "Depth Estimation", "MiDaS", "midas_v21_small",
+           "KITTI", TaskCategory.WORLD_LOCKING,
+           (CAMERA,), "delta>1.25", 22.9, _LIB),
+        _m("DR", "Depth Refinement", "Sparse-to-Dense", "RGBd-200",
+           "KITTI", TaskCategory.WORLD_LOCKING,
+           (CAMERA, LIDAR), "delta1 (100 samples)", 85.5, _HIB),
+        _m("PD", "Plane Detection", "PlaneRCNN", "PlaneRCNN",
+           "KITTI (1/4 scale)", TaskCategory.WORLD_LOCKING,
+           (CAMERA,), "AP 0.6m", 0.37, _HIB),
+    )
+}
+
+
+def get_model(code: str) -> UnitModel:
+    """Look up a unit model by task code."""
+    try:
+        return UNIT_MODELS[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown model code {code!r}; available: {sorted(UNIT_MODELS)}"
+        ) from None

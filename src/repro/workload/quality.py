@@ -1,0 +1,49 @@
+"""Model quality goals (``Q`` in Definition 2).
+
+Each unit model carries a quality goal: the metric name (``QMID``), the
+target value (``QMtarg``) and whether the metric is higher-is-better or
+lower-is-better (``QMType``).  The targets in Table 1 are set at 95% of the
+model performance reported in the original papers (or 105% of error for
+lower-is-better metrics), leaving headroom for optimisations such as
+quantisation while guaranteeing reasonable prediction quality.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["MetricType", "QualityGoal"]
+
+
+class MetricType(enum.Enum):
+    """Direction of a model quality metric."""
+
+    HIGHER_IS_BETTER = "HiB"
+    LOWER_IS_BETTER = "LiB"
+
+
+@dataclass(frozen=True)
+class QualityGoal:
+    """A (metric, target, direction) triple for one unit model."""
+
+    metric: str
+    target: float
+    metric_type: MetricType
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise ValueError("metric name must be non-empty")
+        if self.target <= 0:
+            raise ValueError(f"target must be > 0, got {self.target}")
+
+    def is_met(self, measured: float) -> bool:
+        """Whether a measured value satisfies the goal."""
+        if self.metric_type is MetricType.HIGHER_IS_BETTER:
+            return measured >= self.target
+        return measured <= self.target
+
+    def describe(self) -> str:
+        """Human-readable requirement string, e.g. ``mIoU, GT 90.54``."""
+        op = "GT" if self.metric_type is MetricType.HIGHER_IS_BETTER else "LT"
+        return f"{self.metric}, {op} {self.target:g}"

@@ -1,0 +1,146 @@
+"""Inference requests and their timing (Definitions 6-9).
+
+An :class:`InferenceRequest` is one (model, frame) inference to be
+dispatched by the runtime.  Its timing fields:
+
+* ``request_time_s`` (``Treq``) — when the input data becomes available:
+  the jittered sensor-frame arrival for sensor-driven models, or the
+  upstream completion time for dependent models.
+* ``deadline_s`` (``Tdl``) — the arrival of the model's *next* input
+  frame (Definition 8): finishing later than this cannot contribute to
+  the target processing rate.
+* ``slack_s`` (``Tsl``) — ``Tdl - Treq``, the window the system has to run
+  the inference (Definition 9).
+
+Model frames are derived from sensor frames.  A model targeting
+``FPS_model`` on a sensor streaming at ``FPS_sensor >= FPS_model``
+consumes every ``FPS_sensor / FPS_model``-th frame (Figure 3: a 30 FPS
+model on the 60 FPS camera skips every other frame).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from .scenarios import ScenarioModel
+
+__all__ = ["FramePlan", "InferenceRequest"]
+
+_request_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class FramePlan:
+    """Maps a model's frame index onto sensor frames and deadlines."""
+
+    scenario_model: ScenarioModel
+
+    @property
+    def effective_fps(self) -> float:
+        """Achievable processing rate: the target, capped by the sensor.
+
+        Even zero-latency inference cannot exceed the input streaming rate
+        (Section 3.6), so a target above the sensor rate clips to it.
+        """
+        sensor_fps = self.scenario_model.model.primary_sensor.fps
+        return min(self.scenario_model.target_fps, sensor_fps)
+
+    @property
+    def stride(self) -> float:
+        """Sensor frames consumed per model frame (>= 1)."""
+        sensor_fps = self.scenario_model.model.primary_sensor.fps
+        return sensor_fps / self.effective_fps
+
+    def sensor_frame_for(self, model_frame: int) -> int:
+        """The sensor frame id consumed by ``model_frame``."""
+        if model_frame < 0:
+            raise ValueError(f"model_frame must be >= 0, got {model_frame}")
+        return int(model_frame * self.stride)
+
+    def request_time_s(self, model_frame: int, seed: int = 0) -> float:
+        """Jittered availability time of the model frame's input data.
+
+        Multi-modal models (DR) wait for *all* their sensors to deliver the
+        frame, so the request time is the max across sensors.
+        """
+        sensor_frame = self.sensor_frame_for(model_frame)
+        times = []
+        for sensor in self.scenario_model.model.sensors:
+            # Sensors stream at aligned rates in XRBench (Table 3 aligns
+            # camera and lidar at 60 FPS); re-derive the frame id for
+            # sensors whose rate differs from the primary.
+            primary_fps = self.scenario_model.model.primary_sensor.fps
+            frame = int(round(sensor_frame * sensor.fps / primary_fps))
+            times.append(sensor.arrival_s(frame, seed))
+        return max(times)
+
+    def deadline_s(self, model_frame: int) -> float:
+        """Nominal arrival of the next consumed frame (Definition 8)."""
+        sensor = self.scenario_model.model.primary_sensor
+        next_sensor_frame = self.sensor_frame_for(model_frame + 1)
+        return sensor.nominal_arrival_s(next_sensor_frame)
+
+    def num_frames(self, duration_s: float) -> int:
+        """How many model frames stream within ``duration_s``."""
+        if duration_s <= 0:
+            raise ValueError(f"duration must be > 0, got {duration_s}")
+        count = 0
+        while True:
+            sensor_frame = self.sensor_frame_for(count)
+            sensor = self.scenario_model.model.primary_sensor
+            if sensor.nominal_arrival_s(sensor_frame) >= duration_s:
+                return count
+            count += 1
+
+
+@dataclass
+class InferenceRequest:
+    """One dispatched inference (``IR = (mu, InFrameID)``)."""
+
+    model_code: str
+    model_frame: int
+    request_time_s: float
+    deadline_s: float
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+    #: Filled in by the runtime.
+    start_time_s: float | None = None
+    end_time_s: float | None = None
+    accelerator_id: int | None = None
+    energy_mj: float | None = None
+    dropped: bool = False
+
+    @property
+    def slack_s(self) -> float:
+        """``Tsl = Tdl - Treq`` (Definition 9)."""
+        return self.deadline_s - self.request_time_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency from data availability to completion."""
+        if self.end_time_s is None:
+            raise ValueError(
+                f"request {self.request_id} ({self.model_code} frame "
+                f"{self.model_frame}) has not completed"
+            )
+        return self.end_time_s - self.request_time_s
+
+    @property
+    def completed(self) -> bool:
+        return self.end_time_s is not None and not self.dropped
+
+    @property
+    def missed_deadline(self) -> bool:
+        """Whether the inference finished after its deadline."""
+        return self.completed and self.end_time_s > self.deadline_s
+
+    def __repr__(self) -> str:  # keep logs compact
+        state = (
+            "dropped"
+            if self.dropped
+            else ("done" if self.completed else "pending")
+        )
+        return (
+            f"IR({self.model_code}#{self.model_frame}, t={self.request_time_s:.4f}, "
+            f"dl={self.deadline_s:.4f}, {state})"
+        )

@@ -1,0 +1,108 @@
+"""Input sources of a metaverse device (paper Table 3).
+
+Three sensors feed the unit models: a camera (images, 60 FPS), a lidar
+(sparse depth points, 60 FPS) and a microphone (audio segments, 3 FPS).
+Each data frame arrives with a small jitter around its nominal streaming
+time; Definition 7 formalises the jittered request time as
+
+    Treq = Linit + frame_id / FPS + 2*Jt*(Dist(rand(...)) - 0.5)
+
+with ``Dist`` a distribution over [0, 1] (Gaussian by default in the paper;
+we use a clipped Gaussian) and ``rand`` a deterministic function of the
+sensor and frame id, so a run is reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InputSource", "CAMERA", "LIDAR", "MICROPHONE", "SENSORS", "get_sensor"]
+
+
+@dataclass(frozen=True)
+class InputSource:
+    """A sensor stream (``sigma`` in Definition 1).
+
+    Attributes:
+        name: ``inSrcID`` — the sensor identifier.
+        input_type: human-readable payload description (Table 3).
+        fps: nominal streaming rate in frames per second.
+        jitter_ms: maximum absolute jitter ``Jt`` in milliseconds.
+        init_latency_ms: ``Linit``, the stream's setup latency.
+    """
+
+    name: str
+    input_type: str
+    fps: float
+    jitter_ms: float
+    init_latency_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise ValueError(f"sensor fps must be > 0, got {self.fps}")
+        if self.jitter_ms < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter_ms}")
+        if self.init_latency_ms < 0:
+            raise ValueError(
+                f"init latency must be >= 0, got {self.init_latency_ms}"
+            )
+
+    @property
+    def period_s(self) -> float:
+        """Nominal seconds between consecutive frames."""
+        return 1.0 / self.fps
+
+    def nominal_arrival_s(self, frame_id: int) -> float:
+        """Unjittered arrival time of ``frame_id`` (seconds)."""
+        if frame_id < 0:
+            raise ValueError(f"frame_id must be >= 0, got {frame_id}")
+        return self.init_latency_ms / 1e3 + frame_id / self.fps
+
+    def jitter_s(self, frame_id: int, seed: int = 0) -> float:
+        """Deterministic jitter for ``frame_id`` in seconds.
+
+        The jitter is ``2*Jt*(u - 0.5)`` where ``u`` is drawn from a
+        Gaussian centred at 0.5 (sigma 1/6) clipped to [0, 1], seeded by a
+        stable hash of (sensor, frame, seed) so every harness component
+        observing this frame sees the same arrival time.
+        """
+        if self.jitter_ms == 0.0:
+            return 0.0
+        digest = hashlib.sha256(
+            f"{self.name}:{frame_id}:{seed}".encode()
+        ).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        u = float(np.clip(rng.normal(0.5, 1.0 / 6.0), 0.0, 1.0))
+        return 2.0 * (self.jitter_ms / 1e3) * (u - 0.5)
+
+    def arrival_s(self, frame_id: int, seed: int = 0) -> float:
+        """Jittered arrival time of ``frame_id`` (Definition 7), seconds.
+
+        Clamped at zero: a frame cannot arrive before the stream starts.
+        """
+        return max(
+            0.0,
+            self.nominal_arrival_s(frame_id) + self.jitter_s(frame_id, seed),
+        )
+
+
+CAMERA = InputSource("camera", "Images", fps=60.0, jitter_ms=0.05)
+LIDAR = InputSource("lidar", "Sparse Depth Points", fps=60.0, jitter_ms=0.05)
+MICROPHONE = InputSource("microphone", "Audio", fps=3.0, jitter_ms=0.1)
+
+SENSORS: dict[str, InputSource] = {
+    s.name: s for s in (CAMERA, LIDAR, MICROPHONE)
+}
+
+
+def get_sensor(name: str) -> InputSource:
+    """Look up a sensor by ``inSrcID``; raises ``KeyError`` with options."""
+    try:
+        return SENSORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sensor {name!r}; available: {sorted(SENSORS)}"
+        ) from None

@@ -1,0 +1,84 @@
+"""The MTMM workload taxonomy (Section 2.1).
+
+The paper's first contribution is a classification of multi-task
+multi-model workloads:
+
+* **cas-MTMM** — cascaded: models chained back-to-back into one pipeline.
+* **con-MTMM** — concurrent: independent models running side by side.
+* **cascon-MTMM** — both: pipelines deployed alongside independent models
+  (every realistic XR scenario).
+
+Orthogonally, a workload is **dynamic** when control dependencies can
+deactivate downstream models at runtime (probability < 1 triggers), and
+**static** otherwise.  These functions classify any
+:class:`~repro.workload.scenarios.UsageScenario` and verify that the
+shipped suite is, as the paper claims, dominated by dynamic cascon-MTMM
+workloads.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .scenarios import UsageScenario
+
+__all__ = ["MtmmClass", "classify", "is_dynamic", "pipelines"]
+
+
+class MtmmClass(enum.Enum):
+    """Section 2.1's workload classes (plus the degenerate single-model)."""
+
+    STSM = "STSM"                # single-task single-model
+    CASCADED = "cas-MTMM"
+    CONCURRENT = "con-MTMM"
+    CASCADED_CONCURRENT = "cascon-MTMM"
+
+
+def pipelines(scenario: UsageScenario) -> list[list[str]]:
+    """The cascaded pipelines of a scenario, as chains of task codes.
+
+    Every connected dependency chain is one pipeline; standalone models
+    are returned as single-element chains.
+    """
+    upstream_of = {d.downstream: d.upstream for d in scenario.dependencies}
+    downstream_of = {d.upstream: d.downstream for d in scenario.dependencies}
+    chains: list[list[str]] = []
+    for sm in scenario.models:
+        if sm.code in upstream_of:
+            continue  # not a chain head
+        chain = [sm.code]
+        cursor = sm.code
+        while cursor in downstream_of:
+            cursor = downstream_of[cursor]
+            chain.append(cursor)
+        chains.append(chain)
+    return chains
+
+
+def classify(scenario: UsageScenario) -> MtmmClass:
+    """Classify a scenario into the Section 2.1 taxonomy."""
+    chains = pipelines(scenario)
+    has_cascade = any(len(c) > 1 for c in chains)
+    multiple_units = len(chains) > 1
+    if has_cascade and multiple_units:
+        return MtmmClass.CASCADED_CONCURRENT
+    if has_cascade:
+        return MtmmClass.CASCADED
+    if multiple_units:
+        return MtmmClass.CONCURRENT
+    return MtmmClass.STSM
+
+
+def is_dynamic(scenario: UsageScenario) -> bool:
+    """Whether any dependency can deactivate its downstream at runtime.
+
+    Control dependencies are dynamic by nature (the upstream's *result*
+    decides); data dependencies are dynamic when their trigger probability
+    is below 1 (the Figure 7 sweep).
+    """
+    from .scenarios import DependencyKind
+
+    return any(
+        d.kind is DependencyKind.CONTROL or d.probability < 1.0
+        for d in scenario.dependencies
+    )

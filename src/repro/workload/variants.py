@@ -1,0 +1,126 @@
+"""Scenario-variant construction utilities.
+
+One of the paper's benchmark principles is "Variants of a Usage Scenario":
+the dynamic nature of XR workloads means the same base scenario should be
+studied with different active-model sets and rates (Social Interaction A/B
+and Outdoor Activity A/B are the shipped examples).  These helpers let
+users derive further variants without hand-building scenarios:
+
+* :func:`deactivate` — drop a model (the paper's 0-FPS deactivation).
+* :func:`retarget` — change one model's target rate.
+* :func:`scale_rates` — stress-scale every rate (load scaling studies).
+* :func:`activate` — add a unit model at a rate, with optional dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .models import UNIT_MODELS
+from .scenarios import (
+    Dependency,
+    DependencyKind,
+    ScenarioModel,
+    UsageScenario,
+)
+
+__all__ = ["deactivate", "retarget", "scale_rates", "activate"]
+
+
+def deactivate(scenario: UsageScenario, code: str) -> UsageScenario:
+    """A variant with ``code`` deactivated (0 FPS == omitted).
+
+    Dependencies touching the model are removed with it; deactivating the
+    upstream of a pipeline deactivates the downstream trigger path, so the
+    downstream must be deactivated too (mirroring how a real runtime would
+    never spawn it).
+    """
+    scenario.get(code)  # raises KeyError if not active
+    downstream_of_code = {
+        d.downstream for d in scenario.dependencies if d.upstream == code
+    }
+    if downstream_of_code:
+        raise ValueError(
+            f"cannot deactivate {code!r}: downstream models "
+            f"{sorted(downstream_of_code)} depend on it; deactivate them "
+            f"first"
+        )
+    models = tuple(sm for sm in scenario.models if sm.code != code)
+    if not models:
+        raise ValueError(f"deactivating {code!r} would empty the scenario")
+    deps = tuple(
+        d for d in scenario.dependencies
+        if code not in (d.upstream, d.downstream)
+    )
+    return replace(
+        scenario,
+        name=f"{scenario.name}_no_{code.lower()}",
+        models=models,
+        dependencies=deps,
+    )
+
+
+def retarget(
+    scenario: UsageScenario, code: str, target_fps: float
+) -> UsageScenario:
+    """A variant with one model's target processing rate changed."""
+    scenario.get(code)
+    models = tuple(
+        replace(sm, target_fps=target_fps) if sm.code == code else sm
+        for sm in scenario.models
+    )
+    return replace(
+        scenario,
+        name=f"{scenario.name}_{code.lower()}{target_fps:g}fps",
+        models=models,
+    )
+
+
+def scale_rates(scenario: UsageScenario, factor: float) -> UsageScenario:
+    """A variant with every target rate multiplied by ``factor``.
+
+    Rates are capped at each model's sensor streaming rate — the paper is
+    explicit that processing cannot outrun the input stream.
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be > 0, got {factor}")
+    models = tuple(
+        replace(
+            sm,
+            target_fps=min(
+                sm.target_fps * factor, sm.model.primary_sensor.fps
+            ),
+        )
+        for sm in scenario.models
+    )
+    return replace(
+        scenario, name=f"{scenario.name}_x{factor:g}", models=models
+    )
+
+
+def activate(
+    scenario: UsageScenario,
+    code: str,
+    target_fps: float,
+    depends_on: str | None = None,
+    kind: DependencyKind = DependencyKind.DATA,
+    probability: float = 1.0,
+) -> UsageScenario:
+    """A variant with an additional unit model activated."""
+    if code in scenario.codes:
+        raise ValueError(f"model {code!r} is already active")
+    model = UNIT_MODELS.get(code)
+    if model is None:
+        raise KeyError(
+            f"unknown model code {code!r}; available: {sorted(UNIT_MODELS)}"
+        )
+    models = scenario.models + (ScenarioModel(model, target_fps),)
+    deps = scenario.dependencies
+    if depends_on is not None:
+        deps = deps + (Dependency(depends_on, code, kind, probability),)
+    return replace(
+        scenario,
+        name=f"{scenario.name}_plus_{code.lower()}",
+        models=models,
+        dependencies=deps,
+    )

@@ -1,0 +1,5 @@
+"""The XRBench model zoo: reference graphs for the 11 unit models."""
+
+from .registry import MODEL_BUILDERS, TASK_CODES, all_models, build_model
+
+__all__ = ["MODEL_BUILDERS", "TASK_CODES", "all_models", "build_model"]

@@ -1,0 +1,39 @@
+"""Action Segmentation (AS): ED-TCN (Lea et al., CVPR 2017).
+
+An encoder-decoder temporal convolutional network over per-frame visual
+features (GTEA).  The 128-step temporal window is folded into an 8x16
+grid so the long 1-D convolutions of ED-TCN map onto the 2-D conv
+primitive (a 3x3 conv over the folded grid covers the same neighbourhood
+as a k=25 temporal conv at the original frame rate); the encoder pools
+and the decoder upsamples exactly as ED-TCN does along time.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, ModelGraph
+
+WIDTH = 1.0
+TIME_GRID = (8, 16)  # 128 temporal steps folded into 2-D
+FEATURE_DIM = 2048
+
+
+def build(width: float = WIDTH) -> ModelGraph:
+    """Build the AS model graph."""
+
+    def ch(base: int) -> int:
+        return max(8, int(base * width))
+
+    h, w = TIME_GRID
+    b = GraphBuilder("action_segmentation", (FEATURE_DIM, h, w))
+    b.conv(ch(96), 1, name="enc1_proj")
+    b.conv(ch(96), 3, name="enc1_temporal")
+    b.pool(2, kind="max", name="enc1_pool")
+    b.conv(ch(160), 3, name="enc2_temporal")
+    b.pool(2, kind="max", name="enc2_pool")
+    b.conv(ch(160), 3, name="mid_temporal")
+    b.upsample(2, name="dec1_up")
+    b.conv(ch(96), 3, name="dec1_temporal")
+    b.upsample(2, name="dec2_up")
+    b.conv(ch(64), 3, name="dec2_temporal")
+    b.conv(11, 1, name="action_logits")  # 11 GTEA action classes
+    return b.build()

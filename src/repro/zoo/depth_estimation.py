@@ -1,0 +1,50 @@
+"""Depth Estimation (DE): MiDaS v21-small (Ranftl et al., TPAMI 2020).
+
+Monocular relative-depth estimation with an EfficientNet-lite-style
+encoder (depthwise-separable inverted residuals) and a lightweight
+refinement decoder with skip connections, evaluated on KITTI frames
+resized to 256x256.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, ModelGraph
+
+WIDTH = 3.0
+
+
+def build(width: float = WIDTH) -> ModelGraph:
+    """Build the DE model graph."""
+
+    def ch(base: int) -> int:
+        return max(8, int(base * width))
+
+    b = GraphBuilder("depth_estimation", (3, 256, 256))
+    # EfficientNet-lite-ish encoder.
+    b.conv(ch(32), 3, 2)                                   # /2
+    b.inverted_residual(ch(16), expand=1)
+    b.inverted_residual(ch(24), expand=6, stride=2)        # /4
+    b.inverted_residual(ch(24), expand=6)
+    skip4 = b.last_name
+    b.inverted_residual(ch(40), expand=6, stride=2, kernel=5)  # /8
+    b.inverted_residual(ch(40), expand=6, kernel=5)
+    skip8 = b.last_name
+    b.inverted_residual(ch(80), expand=6, stride=2)        # /16
+    b.inverted_residual(ch(80), expand=6)
+    b.inverted_residual(ch(112), expand=6, kernel=5)
+    b.inverted_residual(ch(192), expand=6, stride=2, kernel=5)  # /32
+    b.inverted_residual(ch(320), expand=6)
+    # Decoder with skip fusion.
+    b.conv(ch(128), 1)
+    b.upsample(2)   # /16
+    b.conv(ch(128), 3)
+    b.upsample(2)   # /8
+    b.concat(skip8, ch(40))
+    b.conv(ch(64), 3)
+    b.upsample(2)   # /4
+    b.concat(skip4, ch(24))
+    b.conv(ch(64), 3)
+    b.upsample(2)   # /2
+    b.conv(ch(32), 3)
+    b.conv(1, 1, name="depth_head")
+    return b.build()

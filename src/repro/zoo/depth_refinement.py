@@ -1,0 +1,41 @@
+"""Depth Refinement (DR): Sparse-to-Dense RGBd-200 (Ma & Karaman, ICRA 2018).
+
+Densifies a sparse lidar depth map (200 samples) guided by the RGB frame:
+a ResNet-18-style encoder over the 4-channel RGB-D input followed by a
+deconvolutional decoder, on KITTI-sized 228x304 crops.  The only
+multi-modal model in the suite — the harness must join the camera and
+lidar streams before dispatching it.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, ModelGraph
+
+WIDTH = 1.5
+
+
+def build(width: float = WIDTH) -> ModelGraph:
+    """Build the DR model graph."""
+
+    def ch(base: int) -> int:
+        return max(8, int(base * width))
+
+    b = GraphBuilder("depth_refinement", (4, 228, 304))
+    # ResNet-18-style encoder.
+    b.conv(ch(64), 7, 2)          # /2
+    b.pool(2, kind="max")          # /4
+    b.residual_block(ch(64))
+    b.residual_block(ch(64))
+    b.residual_block(ch(128), stride=2)   # /8
+    b.residual_block(ch(128))
+    b.residual_block(ch(256), stride=2)   # /16
+    b.residual_block(ch(256))
+    b.residual_block(ch(512), stride=2)   # /32
+    # Deconvolutional decoder back to /2.
+    b.conv(ch(256), 1)
+    b.deconv(ch(128), 4, 2)   # /16
+    b.deconv(ch(64), 4, 2)    # /8
+    b.deconv(ch(32), 4, 2)    # /4
+    b.deconv(ch(16), 4, 2)    # /2
+    b.conv(1, 3, name="dense_depth")
+    return b.build()

@@ -1,0 +1,46 @@
+"""Eye Segmentation (ES): RITNet (Chaudhary et al., ICCVW 2019).
+
+RITNet is a compact U-Net-style encoder/decoder that segments eye images
+into sclera/iris/pupil/background.  XRBench uses OpenEDS 2019 down-scaled
+by 1/4 (appendix A): 160x100 grayscale input.  Skip connections feed each
+decoder stage from the matching encoder stage.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, ModelGraph
+
+WIDTH = 2.0
+
+
+def build(width: float = WIDTH) -> ModelGraph:
+    """Build the ES model graph."""
+
+    def ch(base: int) -> int:
+        return max(8, int(base * width))
+
+    b = GraphBuilder("eye_segmentation", (1, 100, 160))
+    # Encoder (down blocks, average-pool downsampling like RITNet).
+    b.conv(ch(32), 3, name="enc1a")
+    b.conv(ch(32), 3, name="enc1b")
+    b.pool(2, kind="avg")
+    b.conv(ch(64), 3, name="enc2a")
+    b.conv(ch(64), 3, name="enc2b")
+    b.pool(2, kind="avg")
+    b.conv(ch(128), 3, name="enc3a")
+    b.conv(ch(128), 3, name="enc3b")
+    # Bottleneck.
+    b.conv(ch(128), 3, name="bottleneck")
+    b.add("enc3b")
+    # Decoder with skip connections.
+    b.upsample(2)
+    b.concat("enc2b", ch(64))
+    b.conv(ch(64), 3, name="dec2a")
+    b.conv(ch(64), 3, name="dec2b")
+    b.upsample(2)
+    b.concat("enc1b", ch(32))
+    b.conv(ch(32), 3, name="dec1a")
+    b.conv(ch(32), 3, name="dec1b")
+    # 4-class per-pixel head.
+    b.conv(4, 1, name="seg_head")
+    return b.build()

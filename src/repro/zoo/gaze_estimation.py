@@ -1,0 +1,39 @@
+"""Gaze Estimation (GE): EyeCoD's FBNet-C backbone (You et al., 2022).
+
+The model instance in Table 7 is FBNet-C, a NAS-found mobile network built
+from inverted-residual blocks (pointwise expand, depthwise, pointwise
+project).  Input is OpenEDS 2020 down-scaled by 1/4 (appendix A); the head
+regresses a 3-D gaze vector.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, ModelGraph
+
+WIDTH = 3.0
+
+
+def build(width: float = WIDTH) -> ModelGraph:
+    """Build the GE model graph."""
+
+    def ch(base: int) -> int:
+        return max(8, int(base * width))
+
+    b = GraphBuilder("gaze_estimation", (1, 128, 128))
+    b.conv(ch(16), 3, 2)  # stem /2
+    # FBNet-C-style inverted-residual stages.
+    b.inverted_residual(ch(16), expand=1, stride=1)
+    b.inverted_residual(ch(24), expand=6, stride=2)   # /4
+    b.inverted_residual(ch(24), expand=3, stride=1)
+    b.inverted_residual(ch(32), expand=6, stride=2, kernel=5)  # /8
+    b.inverted_residual(ch(32), expand=3, stride=1)
+    b.inverted_residual(ch(64), expand=6, stride=2, kernel=5)  # /16
+    b.inverted_residual(ch(64), expand=3, stride=1)
+    b.inverted_residual(ch(112), expand=6, stride=1)
+    b.inverted_residual(ch(184), expand=6, stride=2, kernel=5)  # /32
+    b.inverted_residual(ch(184), expand=3, stride=1)
+    b.conv(ch(352), 1)
+    b.global_pool()
+    b.fc(512, name="gaze_feat")
+    b.fc(3, name="gaze_vector")
+    return b.build()

@@ -1,0 +1,30 @@
+"""Keyword Detection (KD): res8-narrow (Tang & Lin, ICASSP 2018).
+
+A tiny residual CNN over MFCC features of one-second audio clips (Google
+Speech Commands).  res8-narrow has ~20 K parameters and a handful of
+MMACs — it is the smallest model in the suite and is always the upstream
+trigger of the speech pipeline's control dependency (KD -> SR).
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, ModelGraph
+
+#: res8-narrow is kept at its published size; it is negligible either way.
+WIDTH = 1.0
+
+
+def build(width: float = WIDTH) -> ModelGraph:
+    """Build the KD model graph."""
+    ch = max(8, int(19 * width))
+    b = GraphBuilder("keyword_detection", (1, 40, 101))
+    b.conv(ch, 3, name="stem")
+    b.pool(2, kind="avg")
+    for i in range(3):
+        b.conv(ch, 3, name=f"res{i}a")
+        first = b.last_name
+        b.conv(ch, 3, name=f"res{i}b")
+        b.add(first, name=f"res{i}add")
+    b.global_pool()
+    b.fc(12, name="keyword_logits")
+    return b.build()

@@ -1,0 +1,44 @@
+"""Object Detection (OD): D2Go Faster-RCNN-FBNetV3A (Meta, 2022).
+
+A two-stage detector with a mobile FBNetV3A backbone (inverted residuals),
+a region-proposal network, RoIAlign over the proposals and a box head —
+the C4-style config referenced by the paper.  Input is a 320x320 COCO
+frame sized for on-device detection.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, ModelGraph
+
+WIDTH = 2.0
+ROIS = 64
+
+
+def build(width: float = WIDTH) -> ModelGraph:
+    """Build the OD model graph."""
+
+    def ch(base: int) -> int:
+        return max(8, int(base * width))
+
+    b = GraphBuilder("object_detection", (3, 320, 320))
+    # FBNetV3A-style backbone.
+    b.conv(ch(16), 3, 2)      # /2
+    b.inverted_residual(ch(16), expand=1)
+    b.inverted_residual(ch(24), expand=4, stride=2)   # /4
+    b.inverted_residual(ch(24), expand=2)
+    b.inverted_residual(ch(40), expand=4, stride=2, kernel=5)  # /8
+    b.inverted_residual(ch(40), expand=3)
+    b.inverted_residual(ch(80), expand=4, stride=2)   # /16
+    b.inverted_residual(ch(80), expand=3)
+    b.inverted_residual(ch(112), expand=4)
+    b.conv(ch(184), 1, name="c4_out")
+    # Region proposal network on the /16 feature map.
+    b.conv(ch(184), 3, name="rpn_conv")
+    b.conv(ch(184), 1, name="rpn_head")
+    # RoIAlign the top proposals and run the box head.
+    b.roialign(ROIS, 7, name="roialign")
+    b.conv(ch(256), 3, name="box_conv")
+    b.global_pool()
+    b.fc(1024, name="box_feat")
+    b.fc(81 * 5, name="box_outputs")  # 80 COCO classes + bg, 4 deltas + score
+    return b.build()

@@ -1,0 +1,64 @@
+"""Plane Detection (PD): PlaneRCNN (Liu et al., CVPR 2019).
+
+Detects piece-wise planar surfaces with a Mask-RCNN-style architecture:
+ResNet-FPN backbone, RPN, RoIAlign and per-RoI mask/plane-parameter heads,
+plus a segmentation-refinement pass.  XRBench runs it on KITTI frames
+down-scaled by 1/4 (appendix A) — 96x320 here (rounded so the FPN scales
+align).  PD is by far the heaviest
+model in the suite and is what saturates 4K-PE systems on the AR-gaming
+scenario (Figure 6).
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, ModelGraph
+
+WIDTH = 1.35
+ROIS = 64
+
+
+def build(width: float = WIDTH) -> ModelGraph:
+    """Build the PD model graph."""
+
+    def ch(base: int) -> int:
+        return max(8, int(base * width))
+
+    b = GraphBuilder("plane_detection", (3, 96, 320))
+    # ResNet-50-style bottleneck backbone (modelled with basic blocks of
+    # equivalent width).
+    b.conv(ch(64), 7, 2)          # /2
+    b.residual_block(ch(64))
+    b.residual_block(ch(64))
+    b.residual_block(ch(128), stride=2)   # /4
+    b.residual_block(ch(128))
+    b.residual_block(ch(128))
+    c2 = b.last_name
+    b.residual_block(ch(256), stride=2)   # /8
+    b.residual_block(ch(256))
+    b.residual_block(ch(256))
+    c3 = b.last_name
+    b.residual_block(ch(512), stride=2)   # /16
+    b.residual_block(ch(512))
+    c4 = b.last_name
+    # FPN lateral/merge convs.
+    b.conv(ch(256), 1, name="fpn_lateral4")
+    b.conv(ch(256), 3, name="fpn_merge4")
+    b.upsample(2)
+    b.concat(c3, ch(256), name="fpn_fuse3")
+    b.conv(ch(256), 3, name="fpn_merge3")
+    b.upsample(2)
+    b.concat(c2, ch(128), name="fpn_fuse2")
+    b.conv(ch(256), 3, name="fpn_merge2")
+    # RPN over the finest merged level.
+    b.conv(ch(256), 3, name="rpn_conv")
+    b.conv(ch(256), 1, name="rpn_head")
+    # Per-RoI heads: mask + plane parameters over 100 proposals.
+    b.roialign(ROIS, 7, name="roialign")
+    b.conv(ch(256), 3, name="head_conv1")
+    b.conv(ch(256), 3, name="head_conv2")
+    b.conv(ch(256), 3, name="head_conv3")
+    b.conv(ch(256), 3, name="head_conv4")
+    b.deconv(ch(128), 4, 2, name="mask_deconv")
+    b.conv(ch(64), 3, name="mask_conv")
+    b.conv(4, 1, name="plane_params")  # plane normal + offset per pixel
+    return b.build()

@@ -1,0 +1,64 @@
+"""Registry of the eleven XRBench unit-model graphs.
+
+Graphs are built lazily and cached: constructing all eleven takes a moment
+and most callers only need a subset.  ``build_model`` is the single public
+entry point; ``MODEL_BUILDERS`` maps the canonical task codes from Table 1
+to builder callables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from functools import lru_cache
+
+from repro.nn import ModelGraph
+
+from . import (
+    action_segmentation,
+    depth_estimation,
+    depth_refinement,
+    eye_segmentation,
+    gaze_estimation,
+    hand_tracking,
+    keyword_detection,
+    object_detection,
+    plane_detection,
+    semantic_segmentation,
+    speech_recognition,
+)
+
+__all__ = ["MODEL_BUILDERS", "TASK_CODES", "build_model", "all_models"]
+
+#: Task code (Table 1) -> builder module.
+MODEL_BUILDERS: dict[str, Callable[[], ModelGraph]] = {
+    "HT": hand_tracking.build,
+    "ES": eye_segmentation.build,
+    "GE": gaze_estimation.build,
+    "KD": keyword_detection.build,
+    "SR": speech_recognition.build,
+    "SS": semantic_segmentation.build,
+    "OD": object_detection.build,
+    "AS": action_segmentation.build,
+    "DE": depth_estimation.build,
+    "DR": depth_refinement.build,
+    "PD": plane_detection.build,
+}
+
+TASK_CODES: tuple[str, ...] = tuple(MODEL_BUILDERS)
+
+
+@lru_cache(maxsize=None)
+def build_model(task_code: str) -> ModelGraph:
+    """Build (or fetch the cached) model graph for a task code."""
+    try:
+        builder = MODEL_BUILDERS[task_code]
+    except KeyError:
+        raise KeyError(
+            f"unknown task code {task_code!r}; available: {TASK_CODES}"
+        ) from None
+    return builder()
+
+
+def all_models() -> dict[str, ModelGraph]:
+    """All eleven graphs, keyed by task code."""
+    return {code: build_model(code) for code in TASK_CODES}

@@ -1,0 +1,60 @@
+"""Semantic Segmentation (SS): HRViT-b1 (Gu et al., CVPR 2022).
+
+HRViT keeps a high-resolution convolutional branch alive alongside
+transformer stages at coarser resolutions.  We model the b1 variant on a
+512x1024 Cityscapes crop: a convolutional stem and high-res trunk
+(CONV2D + DWCONV), transformer blocks applied at the /32 scale where the
+token count is tractable (Self-attention + Layernorm + DWCONV, matching
+Table 7's operator mix for this model), and an upsampling segmentation
+head back to /4 resolution.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, ModelGraph
+
+WIDTH = 1.5
+
+
+def build(width: float = WIDTH) -> ModelGraph:
+    """Build the SS model graph."""
+
+    def ch(base: int) -> int:
+        return max(8, int(base * width))
+
+    b = GraphBuilder("semantic_segmentation", (3, 512, 1024))
+    # Convolutional stem: /4.
+    b.conv(ch(32), 3, 2)
+    b.conv(ch(64), 3, 2)
+    # High-resolution trunk at /4 with depthwise-separable mixing.
+    for i in range(3):
+        b.dwconv(3, name=f"hr_dw{i}")
+        b.conv(ch(64), 1, name=f"hr_pw{i}")
+    hr_exit = b.last_name
+    # Mid stage at /8.
+    b.conv(ch(128), 3, 2)
+    for i in range(3):
+        b.dwconv(3, name=f"mid_dw{i}")
+        b.conv(ch(128), 1, name=f"mid_pw{i}")
+    # /16 conv stage.
+    b.conv(ch(192), 3, 2)
+    for i in range(2):
+        b.dwconv(3, name=f"s16_dw{i}")
+        b.conv(ch(192), 1, name=f"s16_pw{i}")
+    # Transformer stage at /32: (C, 16, 32) -> 512 tokens.
+    b.conv(ch(256), 3, 2)
+    c32, h32, w32 = b.shape
+    b.reshape((c32, 1, h32 * w32), name="tokenise")
+    for _ in range(4):
+        b.transformer_block(heads=8, ffn_mult=4)
+    b.reshape((c32, h32, w32), name="detokenise")
+    # Decoder: fuse back to /4 and predict 19 Cityscapes classes.
+    b.upsample(2)
+    b.conv(ch(128), 3)
+    b.upsample(2)
+    b.conv(ch(64), 3)
+    b.upsample(2)
+    b.concat(hr_exit, ch(64), name="hr_fuse")
+    b.conv(ch(64), 3)
+    b.conv(19, 1, name="seg_head")
+    return b.build()

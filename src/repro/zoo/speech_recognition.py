@@ -1,0 +1,31 @@
+"""Speech Recognition (SR): Emformer EM-24L (Shi et al., ICASSP 2021).
+
+A streaming transformer acoustic model.  Each inference processes one audio
+segment plus its left context (the paper's 3 Hz target rate models the
+320 ms left-context window), so the sequence here is segment + context
+tokens of the 512-dim acoustic embedding, run through 24 pre-norm
+transformer blocks and a vocabulary projection.
+"""
+
+from __future__ import annotations
+
+from repro.nn import GraphBuilder, ModelGraph
+
+DIM = 512
+BLOCKS = 24
+SEQ = 144  # 128 segment frames + 16 summarised left-context tokens.
+HEADS = 8
+
+
+def build(width: float = 1.0) -> ModelGraph:
+    """Build the SR model graph."""
+    dim = max(64, int(DIM * width))
+    b = GraphBuilder("speech_recognition", (80, 1, SEQ))
+    # Acoustic front-end: project 80-dim log-mel features to model dim.
+    b.conv(dim, 1, name="frontend")
+    for _ in range(BLOCKS):
+        b.transformer_block(heads=HEADS, ffn_mult=4)
+    b.layernorm(name="final_ln")
+    # Vocabulary projection (4k word pieces) as a 1x1 conv over time.
+    b.conv(4096, 1, name="vocab_proj")
+    return b.build()

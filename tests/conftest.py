@@ -1,0 +1,44 @@
+"""Shared fixtures for the XRBench reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Harness, HarnessConfig
+from repro.costmodel import CostTable
+from repro.hardware import build_accelerator
+
+
+@pytest.fixture(scope="session")
+def cost_table() -> CostTable:
+    """One shared cost table so model analysis runs once per session."""
+    return CostTable()
+
+
+@pytest.fixture(scope="session")
+def shared_harness(cost_table: CostTable) -> Harness:
+    """A default harness sharing the session cost table."""
+    return Harness(costs=cost_table)
+
+
+@pytest.fixture(scope="session")
+def short_harness(cost_table: CostTable) -> Harness:
+    """A harness with a short duration for fast runtime tests."""
+    return Harness(
+        config=HarnessConfig(duration_s=0.5), costs=cost_table
+    )
+
+
+@pytest.fixture(scope="session")
+def fda_ws_4k():
+    return build_accelerator("A", 4096)
+
+
+@pytest.fixture(scope="session")
+def hda_j_4k():
+    return build_accelerator("J", 4096)
+
+
+@pytest.fixture(scope="session")
+def quad_h_4k():
+    return build_accelerator("H", 4096)

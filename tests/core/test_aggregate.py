@@ -1,0 +1,174 @@
+"""Tests for hierarchical score aggregation (Figure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ScoreConfig, benchmark_score, score_simulation
+from repro.core.aggregate import InferenceScore, ModelScore, ScenarioScore
+from repro.workload import InferenceRequest
+
+
+def make_request(code="HT", frame=0, latency=0.005, energy=100.0,
+                 slack=0.033) -> InferenceRequest:
+    r = InferenceRequest(code, frame, 0.0, slack)
+    r.start_time_s = 0.0
+    r.end_time_s = latency
+    r.energy_mj = energy
+    r.accelerator_id = 0
+    return r
+
+
+def make_inf(code="HT", rt=1.0, en=0.9, acc=1.0) -> InferenceScore:
+    return InferenceScore(make_request(code), rt=rt, energy=en, accuracy=acc)
+
+
+def make_model(code="HT", scores=(), streamed=10, executed=None,
+               dropped=0, missed=0) -> ModelScore:
+    executed = len(scores) if executed is None else executed
+    return ModelScore(
+        model_code=code, inference_scores=tuple(scores),
+        frames_streamed=streamed, frames_executed=executed,
+        frames_dropped=dropped, missed_deadlines=missed,
+    )
+
+
+class TestInferenceScore:
+    def test_overall_is_product(self):
+        s = make_inf(rt=0.5, en=0.8, acc=1.0)
+        assert s.overall == pytest.approx(0.4)
+
+
+class TestModelScore:
+    def test_per_model_is_mean(self):
+        m = make_model(scores=[make_inf(rt=1.0), make_inf(rt=0.0)])
+        expected = (1.0 * 0.9 + 0.0) / 2
+        assert m.per_model == pytest.approx(expected)
+
+    def test_all_dropped_scores_zero(self):
+        # Figure 4 note: if all the frames are dropped, the score is zero.
+        m = make_model(scores=[], streamed=10, executed=0, dropped=10)
+        assert m.per_model == 0.0
+        assert m.contribution == 0.0
+
+    def test_qoe_reflects_drops(self):
+        m = make_model(scores=[make_inf()] * 6, streamed=10, executed=6,
+                       dropped=4)
+        assert m.qoe == pytest.approx(0.6)
+
+    def test_contribution_multiplies_qoe(self):
+        m = make_model(scores=[make_inf(rt=1.0, en=1.0)], streamed=2,
+                       executed=1, dropped=1)
+        assert m.contribution == pytest.approx(0.5)
+
+    def test_mean_unit(self):
+        m = make_model(scores=[make_inf(rt=0.2), make_inf(rt=0.8)])
+        assert m.mean_unit("rt") == pytest.approx(0.5)
+        assert m.mean_unit("energy") == pytest.approx(0.9)
+
+
+class TestScenarioScore:
+    def test_overall_averages_models(self):
+        s = ScenarioScore("x", (
+            make_model("HT", [make_inf(rt=1.0, en=1.0)], streamed=1),
+            make_model("ES", [make_inf(rt=0.0, en=1.0)], streamed=1),
+        ))
+        assert s.overall == pytest.approx(0.5)
+
+    def test_never_offered_model_excluded(self):
+        s = ScenarioScore("x", (
+            make_model("HT", [make_inf(rt=1.0, en=1.0)], streamed=1),
+            make_model("SR", [], streamed=0, executed=0),
+        ))
+        # SR never streamed a frame -> neutral, not zero.
+        assert s.overall == pytest.approx(1.0)
+        assert len(s.scored_models) == 1
+
+    def test_offered_but_all_dropped_counts_as_zero(self):
+        s = ScenarioScore("x", (
+            make_model("HT", [make_inf(rt=1.0, en=1.0)], streamed=1),
+            make_model("PD", [], streamed=10, executed=0, dropped=10),
+        ))
+        assert s.overall == pytest.approx(0.5)
+
+    def test_unit_breakdowns(self):
+        s = ScenarioScore("x", (
+            make_model("HT", [make_inf(rt=0.4, en=0.6)], streamed=1),
+            make_model("ES", [make_inf(rt=0.8, en=1.0)], streamed=1),
+        ))
+        assert s.rt == pytest.approx(0.6)
+        assert s.energy == pytest.approx(0.8)
+
+    def test_totals(self):
+        s = ScenarioScore("x", (
+            make_model("HT", [make_inf()], streamed=5, executed=1,
+                       dropped=4, missed=1),
+            make_model("ES", [make_inf()], streamed=5, executed=1,
+                       dropped=2, missed=3),
+        ))
+        assert s.total_dropped == 6
+        assert s.total_missed_deadlines == 4
+
+    def test_model_lookup(self):
+        s = ScenarioScore("x", (make_model("HT", [make_inf()]),))
+        assert s.model("HT").model_code == "HT"
+        with pytest.raises(KeyError):
+            s.model("ES")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no models"):
+            ScenarioScore("x", ())
+
+
+class TestBenchmarkScore:
+    def test_mean_over_scenarios(self):
+        s1 = ScenarioScore("a", (make_model("HT", [make_inf(rt=1.0, en=1.0)],
+                                            streamed=1),))
+        s2 = ScenarioScore("b", (make_model("HT", [make_inf(rt=0.0, en=1.0)],
+                                            streamed=1),))
+        assert benchmark_score([s1, s2]) == pytest.approx(0.5)
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            benchmark_score([])
+
+
+class TestScoreSimulation:
+    def test_end_to_end(self, short_harness, fda_ws_4k):
+        report = short_harness.run_scenario("vr_gaming", fda_ws_4k)
+        score = report.score
+        assert 0.0 <= score.overall <= 1.0
+        assert {m.model_code for m in score.model_scores} == {
+            "HT", "ES", "GE",
+        }
+
+    def test_measured_quality_lowers_accuracy(self, short_harness, fda_ws_4k):
+        good = short_harness.run_scenario("vr_gaming", fda_ws_4k)
+        degraded = short_harness.run_scenario(
+            "vr_gaming", fda_ws_4k,
+            measured_quality={"ES": 45.0},  # target is 90.54 mIoU
+        )
+        assert degraded.score.model("ES").mean_unit("accuracy") == (
+            pytest.approx(45.0 / 90.54)
+        )
+        assert degraded.score.overall < good.score.overall
+
+    def test_default_accuracy_is_one(self, short_harness, fda_ws_4k):
+        report = short_harness.run_scenario("vr_gaming", fda_ws_4k)
+        assert report.score.accuracy == pytest.approx(1.0)
+
+    def test_custom_config_enmax(self, fda_ws_4k, cost_table):
+        from repro.core import Harness, HarnessConfig
+
+        tight = Harness(
+            config=HarnessConfig(
+                duration_s=0.5, score=ScoreConfig(energy_max_mj=100.0)
+            ),
+            costs=cost_table,
+        )
+        loose = Harness(
+            config=HarnessConfig(duration_s=0.5), costs=cost_table
+        )
+        a = tight.run_scenario("vr_gaming", fda_ws_4k).score.energy
+        b = loose.run_scenario("vr_gaming", fda_ws_4k).score.energy
+        assert a < b

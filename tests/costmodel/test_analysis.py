@@ -1,0 +1,176 @@
+"""Tests for the per-layer and per-model analytical cost model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.costmodel import CostModel, Dataflow
+from repro.nn import GraphBuilder, LayerSpec, OpType
+from repro.zoo import build_model
+
+
+def conv(cin=64, cout=64, hw=32, kernel=3):
+    return LayerSpec(
+        name="c", op=OpType.CONV2D, in_shape=(cin, hw, hw),
+        out_shape=(cout, hw, hw), kernel=kernel, stride=1, padding=kernel // 2,
+    )
+
+
+def dwconv(c=256, hw=32):
+    return LayerSpec(
+        name="dw", op=OpType.DWCONV2D, in_shape=(c, hw, hw),
+        out_shape=(c, hw, hw), kernel=3, stride=1, padding=1, groups=c,
+    )
+
+
+class TestValidation:
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ValueError, match="num_pes"):
+            CostModel(dataflow=Dataflow.WS, num_pes=0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            CostModel(dataflow=Dataflow.WS, num_pes=64, onchip_bw=0)
+
+    def test_rejects_zero_buffer(self):
+        with pytest.raises(ValueError, match="buffer"):
+            CostModel(dataflow=Dataflow.WS, num_pes=64, buffer_bytes=0)
+
+
+class TestLayerCost:
+    def test_positive_latency_and_energy(self):
+        cm = CostModel(dataflow=Dataflow.WS, num_pes=4096)
+        cost = cm.layer_cost(conv())
+        assert cost.latency_s > 0
+        assert cost.energy_mj > 0
+
+    def test_memory_only_layer_has_zero_compute(self):
+        cm = CostModel(dataflow=Dataflow.WS, num_pes=4096)
+        pool = LayerSpec(name="p", op=OpType.MAXPOOL, in_shape=(8, 16, 16),
+                         out_shape=(8, 8, 8), kernel=2, stride=2)
+        cost = cm.layer_cost(pool)
+        assert cost.compute_cycles == 0
+        assert cost.utilization == 0
+        assert cost.latency_s > 0  # still moves data
+
+    def test_utilization_bounded(self):
+        cm = CostModel(dataflow=Dataflow.OS, num_pes=4096)
+        cost = cm.layer_cost(conv(cin=256, cout=256, hw=64))
+        assert 0.0 < cost.utilization <= 1.0
+
+    def test_more_pes_never_slower(self):
+        layer = conv(cin=128, cout=128, hw=64)
+        for df in Dataflow:
+            small = CostModel(dataflow=df, num_pes=1024).layer_cost(layer)
+            big = CostModel(dataflow=df, num_pes=8192).layer_cost(layer)
+            assert big.latency_s <= small.latency_s + 1e-12, df
+
+    def test_ws_faster_than_os_on_fc(self):
+        layer = LayerSpec(name="fc", op=OpType.FC, in_shape=(2048, 1, 1),
+                          out_shape=(1024, 1, 1))
+        ws = CostModel(dataflow=Dataflow.WS, num_pes=4096).layer_cost(layer)
+        os_ = CostModel(dataflow=Dataflow.OS, num_pes=4096).layer_cost(layer)
+        assert ws.latency_s < os_.latency_s
+
+    def test_os_faster_than_ws_on_depthwise(self):
+        layer = dwconv()
+        ws = CostModel(dataflow=Dataflow.WS, num_pes=4096).layer_cost(layer)
+        os_ = CostModel(dataflow=Dataflow.OS, num_pes=4096).layer_cost(layer)
+        assert os_.latency_s < ws.latency_s
+
+    def test_rs_lowest_energy_on_conv(self):
+        layer = conv(cin=128, cout=128, hw=32)
+        energies = {
+            df: CostModel(dataflow=df, num_pes=4096).layer_cost(layer).energy_mj
+            for df in Dataflow
+        }
+        assert energies[Dataflow.RS] == min(energies.values())
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        cin=st.sampled_from([8, 32, 128]),
+        cout=st.sampled_from([8, 32, 128]),
+        hw=st.sampled_from([8, 32, 96]),
+        df=st.sampled_from(list(Dataflow)),
+        pes=st.sampled_from([512, 4096]),
+    )
+    def test_cost_always_finite_positive(self, cin, cout, hw, df, pes):
+        cm = CostModel(dataflow=df, num_pes=pes)
+        cost = cm.layer_cost(conv(cin=cin, cout=cout, hw=hw))
+        assert cost.latency_s > 0 and cost.energy_mj > 0
+        assert 0 <= cost.utilization <= 1
+
+
+class TestModelCost:
+    def small_graph(self):
+        b = GraphBuilder("small", (3, 32, 32))
+        b.conv(16, 3)
+        b.pool(2)
+        b.conv(32, 3)
+        b.global_pool()
+        b.fc(10)
+        return b.build()
+
+    def test_aggregates_layers(self):
+        cm = CostModel(dataflow=Dataflow.WS, num_pes=1024)
+        mc = cm.model_cost(self.small_graph())
+        assert mc.latency_s == pytest.approx(
+            sum(c.latency_cycles for c in mc.layer_costs) / 1e9
+        )
+        assert mc.energy_mj == pytest.approx(
+            sum(c.energy_mj for c in mc.layer_costs)
+        )
+
+    def test_one_cost_per_layer(self):
+        g = self.small_graph()
+        cm = CostModel(dataflow=Dataflow.RS, num_pes=1024)
+        assert len(cm.model_cost(g).layer_costs) == g.num_layers
+
+    def test_model_utilization_bounded(self):
+        cm = CostModel(dataflow=Dataflow.WS, num_pes=1024)
+        mc = cm.model_cost(self.small_graph())
+        assert 0 < mc.utilization <= 1
+
+    def test_latency_ms_consistent(self):
+        cm = CostModel(dataflow=Dataflow.WS, num_pes=1024)
+        mc = cm.model_cost(self.small_graph())
+        assert mc.latency_ms == pytest.approx(mc.latency_s * 1e3)
+
+
+class TestCalibrationShape:
+    """The latency regimes the paper's evaluation depends on (DESIGN.md)."""
+
+    def test_pd_saturates_2k_engines(self):
+        # PD at 30 FPS (33.3 ms deadline) must exceed ~2x the deadline on a
+        # 2K-PE engine so the 4K J system saturates (Figure 6, 4K panel).
+        cm = CostModel(dataflow=Dataflow.WS, num_pes=2048)
+        lat = cm.model_cost(build_model("PD")).latency_s
+        assert lat > 0.050
+
+    def test_pd_borderline_on_4k_engines(self):
+        # ... and sit near the deadline on a 4K-PE engine (8K J panel).
+        cm = CostModel(dataflow=Dataflow.WS, num_pes=4096)
+        lat = cm.model_cost(build_model("PD")).latency_s
+        assert 0.025 < lat < 0.045
+
+    def test_eye_pipeline_fails_on_1k_engines(self):
+        # ES at 60 FPS (16.6 ms) cannot hold on quad-split 1K engines,
+        # which is why G/H/I collapse on eye scenarios at 4K total PEs.
+        cm = CostModel(dataflow=Dataflow.OS, num_pes=1024)
+        lat = cm.model_cost(build_model("ES")).latency_s
+        assert lat > 1 / 60
+
+    def test_kd_trivially_fast_everywhere(self):
+        for df in Dataflow:
+            cm = CostModel(dataflow=df, num_pes=1024)
+            assert cm.model_cost(build_model("KD")).latency_s < 0.005
+
+    def test_heavy_models_fit_energy_budget_shape(self):
+        # Per-inference energies must straddle meaningful fractions of the
+        # 1500 mJ Enmax: heavy models in the hundreds of mJ.
+        cm = CostModel(dataflow=Dataflow.WS, num_pes=4096)
+        pd = cm.model_cost(build_model("PD")).energy_mj
+        kd = cm.model_cost(build_model("KD")).energy_mj
+        assert 200 < pd < 1500
+        assert kd < 5

@@ -1,0 +1,109 @@
+"""Tests for the dataflow specs: the WS/OS/RS behavioural contracts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import DATAFLOW_SPECS, Dataflow
+from repro.nn import LayerSpec, OpType
+
+
+def conv(cin=64, cout=64, hw=32, kernel=3):
+    return LayerSpec(
+        name="c", op=OpType.CONV2D, in_shape=(cin, hw, hw),
+        out_shape=(cout, hw, hw), kernel=kernel, stride=1, padding=kernel // 2,
+    )
+
+
+def dwconv(c=64, hw=32):
+    return LayerSpec(
+        name="dw", op=OpType.DWCONV2D, in_shape=(c, hw, hw),
+        out_shape=(c, hw, hw), kernel=3, stride=1, padding=1, groups=c,
+    )
+
+
+def fc(cin=1024, cout=1024):
+    return LayerSpec(
+        name="fc", op=OpType.FC, in_shape=(cin, 1, 1), out_shape=(cout, 1, 1),
+    )
+
+
+def parallelism(df: Dataflow, layer: LayerSpec) -> float:
+    return DATAFLOW_SPECS[df].usable_parallelism(layer, layer.conv_dims())
+
+
+class TestSpecs:
+    def test_all_three_registered(self):
+        assert set(DATAFLOW_SPECS) == set(Dataflow)
+
+    def test_efficiencies_in_range(self):
+        for spec in DATAFLOW_SPECS.values():
+            assert 0.0 < spec.mapping_efficiency <= 1.0
+
+    def test_rs_has_best_reuse(self):
+        # Eyeriss-style row stationary has the fewest buffer reads per MAC.
+        rs = DATAFLOW_SPECS[Dataflow.RS].buf_reads_per_mac
+        assert rs < DATAFLOW_SPECS[Dataflow.WS].buf_reads_per_mac
+        assert rs < DATAFLOW_SPECS[Dataflow.OS].buf_reads_per_mac
+
+
+class TestParallelismContracts:
+    """The qualitative behaviours that drive the paper's results."""
+
+    def test_ws_strong_on_channel_heavy_conv(self):
+        layer = conv(cin=256, cout=256, hw=8)
+        assert parallelism(Dataflow.WS, layer) > 4096
+
+    def test_ws_weak_on_depthwise(self):
+        # NVDLA-style engines are notoriously poor on depthwise conv.
+        layer = dwconv(c=256, hw=32)
+        assert parallelism(Dataflow.WS, layer) < 64
+
+    def test_os_strong_on_depthwise(self):
+        layer = dwconv(c=256, hw=32)
+        assert parallelism(Dataflow.OS, layer) >= 1024
+
+    def test_os_strong_on_large_spatial(self):
+        layer = conv(cin=32, cout=32, hw=128)
+        assert parallelism(Dataflow.OS, layer) > 4096
+
+    def test_os_weak_on_fc(self):
+        # A lone output pixel starves output-stationary engines.
+        layer = fc(cin=4096, cout=512)
+        assert parallelism(Dataflow.OS, layer) <= 16
+
+    def test_ws_strong_on_fc(self):
+        layer = fc(cin=4096, cout=512)
+        assert parallelism(Dataflow.WS, layer) > 100_000
+
+    def test_rs_balanced(self):
+        # RS sits between the extremes on both pathological cases.
+        dw, f = dwconv(c=256, hw=32), fc(cin=4096, cout=512)
+        assert parallelism(Dataflow.RS, dw) > parallelism(Dataflow.WS, dw)
+        assert parallelism(Dataflow.RS, f) > parallelism(Dataflow.OS, f)
+
+    def test_parallelism_at_least_one(self):
+        tiny = conv(cin=1, cout=1, hw=1, kernel=1)
+        for df in Dataflow:
+            assert parallelism(df, tiny) >= 1.0
+
+
+class TestOperandReuse:
+    def test_reuse_factors_at_least_one(self):
+        layer = conv()
+        dims = layer.conv_dims()
+        for df, spec in DATAFLOW_SPECS.items():
+            for r in spec.operand_reuse(layer, dims):
+                assert r >= 1.0, df
+
+    def test_ws_reuses_weights_spatially(self):
+        layer = conv(hw=64)
+        dims = layer.conv_dims()
+        _, w_reuse, _ = DATAFLOW_SPECS[Dataflow.WS].operand_reuse(layer, dims)
+        assert w_reuse == pytest.approx(64 * 64)
+
+    def test_os_reuses_outputs_over_reduction(self):
+        layer = conv(cin=128, kernel=3)
+        dims = layer.conv_dims()
+        _, _, o_reuse = DATAFLOW_SPECS[Dataflow.OS].operand_reuse(layer, dims)
+        assert o_reuse == pytest.approx(128 * 9)

@@ -1,0 +1,104 @@
+"""Tests for the DVFS extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import (
+    DEFAULT_DVFS_POINTS,
+    CostTable,
+    Dataflow,
+    DvfsPoint,
+    best_point_for_slack,
+    scale_cost,
+)
+
+
+@pytest.fixture(scope="module")
+def nominal_cost():
+    return CostTable().cost("DE", Dataflow.WS, 4096)
+
+
+class TestDvfsPoint:
+    def test_nominal_is_identity_scales(self):
+        p = DvfsPoint("nominal", 1.0)
+        assert p.latency_scale == 1.0
+        assert p.dynamic_energy_scale == 1.0
+        assert p.leakage_energy_scale == 1.0
+
+    def test_slow_point_trades_latency_for_energy(self):
+        p = DvfsPoint("eco", 0.5)
+        assert p.latency_scale == 2.0
+        assert p.dynamic_energy_scale == 0.25
+
+    def test_rejects_extreme_scale(self):
+        with pytest.raises(ValueError, match="frequency_scale"):
+            DvfsPoint("x", 0.05)
+        with pytest.raises(ValueError, match="frequency_scale"):
+            DvfsPoint("x", 3.0)
+
+    def test_default_ladder_sorted_and_contains_nominal(self):
+        freqs = [p.frequency_scale for p in DEFAULT_DVFS_POINTS]
+        assert freqs == sorted(freqs)
+        assert 1.0 in freqs
+
+
+class TestScaleCost:
+    def test_eco_slower_but_cheaper(self, nominal_cost):
+        eco = scale_cost(nominal_cost, DvfsPoint("eco", 0.5))
+        assert eco.latency_s > nominal_cost.latency_s
+        assert eco.energy_mj < nominal_cost.energy_mj
+
+    def test_boost_faster_but_hotter(self, nominal_cost):
+        boost = scale_cost(nominal_cost, DvfsPoint("boost", 1.3))
+        assert boost.latency_s < nominal_cost.latency_s
+        assert boost.energy_mj > nominal_cost.energy_mj
+
+    def test_nominal_noop(self, nominal_cost):
+        same = scale_cost(nominal_cost, DvfsPoint("nominal", 1.0))
+        assert same.latency_s == pytest.approx(nominal_cost.latency_s)
+        assert same.energy_mj == pytest.approx(nominal_cost.energy_mj)
+
+    def test_leakage_fraction_validated(self, nominal_cost):
+        with pytest.raises(ValueError, match="leakage_fraction"):
+            scale_cost(nominal_cost, DvfsPoint("eco", 0.5),
+                       leakage_fraction=1.5)
+
+    def test_pure_leakage_workload_prefers_speed(self, nominal_cost):
+        # With energy 100% leakage, slowing down only hurts.
+        eco = scale_cost(nominal_cost, DvfsPoint("eco", 0.5),
+                         leakage_fraction=1.0)
+        assert eco.energy_mj > nominal_cost.energy_mj
+
+
+class TestBestPointForSlack:
+    def test_generous_slack_picks_eco(self, nominal_cost):
+        point, scaled = best_point_for_slack(nominal_cost, slack_s=10.0)
+        assert point.frequency_scale == 0.5
+        assert scaled.latency_s <= 10.0
+
+    def test_tight_slack_picks_faster_point(self, nominal_cost):
+        tight = nominal_cost.latency_s * 1.1  # only ~nominal fits
+        point, scaled = best_point_for_slack(nominal_cost, slack_s=tight)
+        assert point.frequency_scale >= 1.0
+        assert scaled.latency_s <= tight
+
+    def test_impossible_slack_falls_back_to_fastest(self, nominal_cost):
+        point, _ = best_point_for_slack(
+            nominal_cost, slack_s=nominal_cost.latency_s / 100
+        )
+        assert point.frequency_scale == max(
+            p.frequency_scale for p in DEFAULT_DVFS_POINTS
+        )
+
+    def test_nonpositive_slack_fastest(self, nominal_cost):
+        point, _ = best_point_for_slack(nominal_cost, slack_s=0.0)
+        assert point.frequency_scale == 1.3
+
+    def test_chosen_point_is_cheapest_feasible(self, nominal_cost):
+        slack = nominal_cost.latency_s * 1.5
+        point, scaled = best_point_for_slack(nominal_cost, slack)
+        for p in DEFAULT_DVFS_POINTS:
+            candidate = scale_cost(nominal_cost, p)
+            if candidate.latency_s <= slack:
+                assert scaled.energy_mj <= candidate.energy_mj + 1e-12

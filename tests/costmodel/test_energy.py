@@ -1,0 +1,47 @@
+"""Tests for the energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import DEFAULT_ENERGY_MODEL, EnergyModel
+
+
+class TestValidation:
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ValueError):
+            EnergyModel(mac_pj=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(dram_pj_per_byte=-1.0)
+
+
+class TestConversions:
+    def test_compute_mj(self):
+        em = EnergyModel(mac_pj=2.0)
+        # 1e9 MACs at 2 pJ = 2 mJ.
+        assert em.compute_mj(1e9) == pytest.approx(2.0)
+
+    def test_buffer_mj(self):
+        em = EnergyModel(buf_pj_per_byte=10.0)
+        assert em.buffer_mj(1e8) == pytest.approx(1.0)
+
+    def test_dram_mj(self):
+        em = EnergyModel(dram_pj_per_byte=100.0)
+        assert em.dram_mj(1e7) == pytest.approx(1.0)
+
+    def test_leakage_mj(self):
+        em = EnergyModel(leakage_w_per_pe=1e-3)
+        # 1000 PEs at 1 mW for 1 s = 1 W*s = 1000 mJ.
+        assert em.leakage_mj(1000, 1.0) == pytest.approx(1000.0)
+
+    def test_zero_work_zero_energy(self):
+        em = DEFAULT_ENERGY_MODEL
+        assert em.compute_mj(0) == 0
+        assert em.buffer_mj(0) == 0
+        assert em.dram_mj(0) == 0
+        assert em.leakage_mj(4096, 0) == 0
+
+    def test_dram_costs_more_than_buffer(self):
+        # The memory-hierarchy invariant the model must respect.
+        em = DEFAULT_ENERGY_MODEL
+        assert em.dram_pj_per_byte > em.buf_pj_per_byte > em.mac_pj / 10

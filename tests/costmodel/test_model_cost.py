@@ -1,0 +1,46 @@
+"""Tests for the memoised cost table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import CostTable, Dataflow
+
+
+class TestCostTable:
+    def test_cache_returns_same_object(self):
+        t = CostTable()
+        a = t.cost("KD", Dataflow.WS, 1024)
+        b = t.cost("KD", Dataflow.WS, 1024)
+        assert a is b
+
+    def test_distinct_keys_distinct_costs(self):
+        t = CostTable()
+        a = t.cost("KD", Dataflow.WS, 1024)
+        b = t.cost("KD", Dataflow.WS, 2048)
+        c = t.cost("KD", Dataflow.OS, 1024)
+        assert a is not b and a is not c
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError, match="unknown task code"):
+            CostTable().cost("XX", Dataflow.WS, 1024)
+
+    def test_latency_shortcut(self):
+        t = CostTable()
+        assert t.latency_s("KD", Dataflow.WS, 1024) == (
+            t.cost("KD", Dataflow.WS, 1024).latency_s
+        )
+
+    def test_energy_shortcut(self):
+        t = CostTable()
+        assert t.energy_mj("KD", Dataflow.RS, 1024) == (
+            t.cost("KD", Dataflow.RS, 1024).energy_mj
+        )
+
+    def test_energy_independent_of_pe_count_within_tolerance(self):
+        # MAC/buffer/DRAM energy is PE-count independent; only leakage
+        # varies, and it is a small fraction.
+        t = CostTable()
+        e_small = t.energy_mj("DR", Dataflow.WS, 1024)
+        e_big = t.energy_mj("DR", Dataflow.WS, 8192)
+        assert abs(e_small - e_big) / e_big < 0.25

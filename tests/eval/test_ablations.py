@@ -1,0 +1,144 @@
+"""Tests for the ablation drivers and Pareto analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import (
+    DesignPoint,
+    dvfs_ablation,
+    enmax_sensitivity,
+    evaluate_designs,
+    jitter_ablation,
+    pareto_frontier,
+    quantization_ablation,
+    rt_k_sensitivity,
+    scheduler_ablation,
+)
+
+
+class TestSchedulerAblation:
+    def test_three_rows(self, cost_table):
+        rows = scheduler_ablation(cost_table)
+        assert [r.setting for r in rows] == [
+            "latency_greedy", "round_robin", "edf",
+        ]
+
+    def test_scores_bounded(self, cost_table):
+        for row in scheduler_ablation(cost_table):
+            assert 0.0 <= row.overall <= 1.0
+
+
+class TestJitterAblation:
+    def test_rows(self, cost_table):
+        rows = jitter_ablation(cost_table, seeds=5)
+        assert [r.setting for r in rows] == ["jitter_mean", "jitter_spread"]
+
+    def test_spread_small_but_measurable(self, cost_table):
+        mean, spread = jitter_ablation(cost_table, seeds=8)
+        # Sub-ms jitter perturbs scores only mildly on a stable scenario.
+        assert 0.0 <= spread.overall < 0.3
+        assert 0.3 < mean.overall <= 1.0
+
+
+class TestRtKSensitivity:
+    def test_rows_per_k(self, cost_table):
+        rows = rt_k_sensitivity(cost_table, ks=(1.0, 50.0))
+        assert [r.detail for r in rows] == [1.0, 50.0]
+
+    def test_softer_k_boosts_violating_workload(self, cost_table):
+        # AR gaming on J misses deadlines; a soft sigmoid forgives more.
+        rows = rt_k_sensitivity(cost_table, ks=(1.0, 50.0))
+        soft, sharp = rows
+        assert soft.rt >= sharp.rt
+
+
+class TestEnmaxSensitivity:
+    def test_larger_budget_higher_score(self, cost_table):
+        rows = enmax_sensitivity(cost_table, enmaxes=(500.0, 4500.0))
+        tight, loose = rows
+        assert loose.overall >= tight.overall
+
+
+class TestDvfsAblation:
+    @pytest.fixture(scope="class")
+    def result(self, cost_table):
+        return dvfs_ablation(cost_table)
+
+    def test_covers_all_models(self, result):
+        assert len(result) == 11
+
+    def test_savings_nonnegative_when_feasible(self, result):
+        for code, row in result.items():
+            if row["chosen_frequency"] <= 1.0:
+                assert row["energy_saving"] >= -1e-9, code
+
+    def test_light_models_run_eco(self, result):
+        # KD has 333 ms of slack and sub-ms latency: eco always fits.
+        assert result["KD"]["chosen_frequency"] == 0.5
+        assert result["KD"]["energy_saving"] > 0.3
+
+    def test_pd_cannot_slow_down(self, result):
+        # PD barely misses its deadline at nominal: DVFS must not pick a
+        # slower point.
+        assert result["PD"]["chosen_frequency"] >= 1.0
+
+    def test_scaled_latency_consistent(self, result):
+        for row in result.values():
+            expected = row["nominal_latency_ms"] / row["chosen_frequency"]
+            assert row["scaled_latency_ms"] == pytest.approx(expected)
+
+
+class TestQuantizationAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return quantization_ablation(codes=("KD",), bit_widths=(8, 4))
+
+    def test_structure(self, result):
+        assert set(result) == {"KD"}
+        assert set(result["KD"]) == {8, 4}
+
+    def test_int8_passes_int4_degrades(self, result):
+        int8, int4 = result["KD"][8], result["KD"][4]
+        assert int8["accuracy_score"] >= int4["accuracy_score"]
+        assert int8["meets_goal"] == 1.0
+
+
+class TestPareto:
+    def make(self, score, energy, drops, acc="X"):
+        return DesignPoint(acc, 4096, score, energy, drops)
+
+    def test_dominance(self):
+        good = self.make(0.9, 100.0, 0.0)
+        bad = self.make(0.5, 200.0, 0.1)
+        assert good.dominates(bad)
+        assert not bad.dominates(good)
+
+    def test_tradeoff_points_incomparable(self):
+        fast = self.make(0.9, 300.0, 0.0)
+        frugal = self.make(0.6, 100.0, 0.0)
+        assert not fast.dominates(frugal)
+        assert not frugal.dominates(fast)
+
+    def test_frontier_excludes_dominated(self):
+        a = self.make(0.9, 100.0, 0.0, "A")
+        b = self.make(0.8, 150.0, 0.1, "B")  # dominated by A
+        c = self.make(0.5, 50.0, 0.0, "C")   # cheaper: on the frontier
+        frontier = pareto_frontier([a, b, c])
+        ids = [p.acc_id for p in frontier]
+        assert ids == ["A", "C"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no design"):
+            pareto_frontier([])
+
+    def test_evaluate_designs_small(self, shared_harness):
+        points = evaluate_designs(
+            shared_harness, acc_ids=("A", "C"), total_pes=4096
+        )
+        assert len(points) == 2
+        frontier = pareto_frontier(points)
+        assert frontier  # at least one non-dominated design
+        for p in points:
+            assert 0.0 <= p.xrbench_score <= 1.0
+            assert p.mean_energy_mj > 0

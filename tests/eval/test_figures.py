@@ -1,0 +1,156 @@
+"""Tests for the figure drivers (reduced sizes for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import (
+    best_accelerator,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+)
+
+
+@pytest.fixture(scope="module")
+def fig5_rows(shared_harness):
+    # Reduced sweep: 3 accelerators, one budget, 2 scenarios.
+    return run_figure5(
+        shared_harness,
+        acc_ids=("A", "B", "J"),
+        pe_budgets={"4K": 4096},
+        scenarios=("vr_gaming", "ar_gaming"),
+    )
+
+
+class TestFigure5:
+    def test_row_count(self, fig5_rows):
+        # 3 accs x (2 scenarios + 1 average).
+        assert len(fig5_rows) == 9
+
+    def test_scores_bounded(self, fig5_rows):
+        for row in fig5_rows:
+            for v in (row.rt, row.energy, row.qoe, row.overall):
+                assert 0.0 <= v <= 1.0
+
+    def test_average_rows_present(self, fig5_rows):
+        averages = [r for r in fig5_rows if r.scenario == "average"]
+        assert len(averages) == 3
+
+    def test_average_is_mean(self, fig5_rows):
+        for acc in ("A", "B", "J"):
+            per = [r for r in fig5_rows
+                   if r.acc_id == acc and r.scenario != "average"]
+            avg = next(r for r in fig5_rows
+                       if r.acc_id == acc and r.scenario == "average")
+            assert avg.overall == pytest.approx(
+                sum(r.overall for r in per) / len(per)
+            )
+
+    def test_format(self, fig5_rows):
+        text = format_figure5(fig5_rows)
+        assert "Figure 5" in text and "vr_gaming" in text
+
+    def test_format_rejects_bad_metric(self, fig5_rows):
+        with pytest.raises(ValueError, match="metric"):
+            format_figure5(fig5_rows, "speed")
+
+    def test_best_accelerator(self, fig5_rows):
+        best = best_accelerator(fig5_rows, "vr_gaming", "4K")
+        assert best in ("A", "B", "J")
+
+    def test_best_accelerator_missing(self, fig5_rows):
+        with pytest.raises(KeyError):
+            best_accelerator(fig5_rows, "nope", "4K")
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def results(self, shared_harness):
+        return run_figure6(shared_harness)
+
+    def test_both_budgets(self, results):
+        assert set(results) == {"4K", "8K"}
+
+    def test_paper_shape(self, results):
+        # Section 4.2.2: the 4K system utilises more but drops more and
+        # scores worse overall.
+        small, big = results["4K"], results["8K"]
+        assert small.drop_rate > big.drop_rate
+        assert small.utilization >= big.utilization - 0.02
+        assert small.report.overall < big.report.overall
+
+    def test_format(self, results):
+        text = format_figure6(results)
+        assert "4K PEs" in text and "8K PEs" in text
+        assert "Realtime" in text and "QoE" in text
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def rows(self, shared_harness):
+        return run_figure7(
+            shared_harness, acc_ids=("B", "J"),
+            probabilities=(0.25, 1.0), trials=5,
+        )
+
+    def test_row_count(self, rows):
+        assert len(rows) == 4
+
+    def test_scores_bounded(self, rows):
+        for r in rows:
+            assert 0.0 <= r.overall <= 1.0
+
+    def test_j_beats_b(self, rows):
+        # The paper picked B as the low-score and J as the high-score
+        # design for VR gaming.
+        b = [r for r in rows if r.acc_id == "B"]
+        j = [r for r in rows if r.acc_id == "J"]
+        assert min(x.overall for x in j) > max(x.overall for x in b)
+
+    def test_qoe_declines_with_probability_on_b(self, shared_harness):
+        rows = run_figure7(
+            shared_harness, acc_ids=("B",),
+            probabilities=(0.25, 1.0), trials=10,
+        )
+        assert rows[1].qoe <= rows[0].qoe + 0.01
+
+    def test_rejects_zero_trials(self, shared_harness):
+        with pytest.raises(ValueError, match="trials"):
+            run_figure7(shared_harness, trials=0)
+
+    def test_format(self, rows):
+        text = format_figure7(rows)
+        assert "Figure 7" in text and "100%" in text
+
+
+class TestFigure8:
+    def test_series_count(self):
+        series = run_figure8()
+        assert [s.k for s in series] == [0.0, 1.0, 15.0, 50.0]
+
+    def test_k0_flat(self):
+        series = run_figure8(ks=(0.0,))
+        assert all(s == 0.5 for s in series[0].scores)
+
+    def test_monotone_decreasing(self):
+        series = run_figure8(ks=(15.0,))[0]
+        assert list(series.scores) == sorted(series.scores, reverse=True)
+
+    def test_larger_k_sharper_at_deadline(self):
+        mild, sharp = run_figure8(ks=(1.0, 50.0), points=201)
+        # Just past the deadline (latency 1.1 x slack 1.0).
+        idx = next(i for i, l in enumerate(mild.latencies_s) if l > 1.1)
+        assert sharp.scores[idx] < mild.scores[idx]
+
+    def test_rejects_too_few_points(self):
+        with pytest.raises(ValueError, match="points"):
+            run_figure8(points=1)
+
+    def test_format(self):
+        assert "k=15" in format_figure8(run_figure8())

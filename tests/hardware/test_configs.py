@@ -1,0 +1,93 @@
+"""Tests for the Table 5 accelerator configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import Dataflow
+from repro.hardware import (
+    ACCELERATOR_IDS,
+    AcceleratorStyle,
+    PE_BUDGETS,
+    all_accelerators,
+    build_accelerator,
+)
+
+
+class TestTable5:
+    def test_thirteen_ids(self):
+        assert ACCELERATOR_IDS == tuple("ABCDEFGHIJKLM")
+
+    def test_pe_budgets(self):
+        assert PE_BUDGETS == {"4K": 4096, "8K": 8192}
+
+    @pytest.mark.parametrize("acc_id", ACCELERATOR_IDS)
+    def test_pes_partition_exactly(self, acc_id):
+        for pes in (4096, 8192):
+            system = build_accelerator(acc_id, pes)
+            assert sum(s.num_pes for s in system.subs) == pes
+
+    def test_styles(self):
+        styles = {a: build_accelerator(a).style for a in ACCELERATOR_IDS}
+        assert styles["A"] == AcceleratorStyle.FDA
+        assert styles["B"] == AcceleratorStyle.FDA
+        assert styles["C"] == AcceleratorStyle.FDA
+        for a in "DEFGHI":
+            assert styles[a] == AcceleratorStyle.SFDA, a
+        for a in "JKLM":
+            assert styles[a] == AcceleratorStyle.HDA, a
+
+    def test_fda_dataflows(self):
+        assert build_accelerator("A").subs[0].dataflow is Dataflow.WS
+        assert build_accelerator("B").subs[0].dataflow is Dataflow.OS
+        assert build_accelerator("C").subs[0].dataflow is Dataflow.RS
+
+    def test_dual_sfda(self):
+        for acc_id, df in (("D", Dataflow.WS), ("E", Dataflow.OS),
+                           ("F", Dataflow.RS)):
+            system = build_accelerator(acc_id)
+            assert system.num_subs == 2
+            assert all(s.dataflow is df for s in system.subs)
+            assert all(s.num_pes == 2048 for s in system.subs)
+
+    def test_quad_sfda(self):
+        for acc_id, df in (("G", Dataflow.WS), ("H", Dataflow.OS),
+                           ("I", Dataflow.RS)):
+            system = build_accelerator(acc_id)
+            assert system.num_subs == 4
+            assert all(s.dataflow is df for s in system.subs)
+            assert all(s.num_pes == 1024 for s in system.subs)
+
+    def test_j_is_balanced_hda(self):
+        system = build_accelerator("J")
+        assert [s.dataflow for s in system.subs] == [Dataflow.WS, Dataflow.OS]
+        assert [s.num_pes for s in system.subs] == [2048, 2048]
+
+    def test_k_is_ws_heavy(self):
+        system = build_accelerator("K")
+        assert [s.num_pes for s in system.subs] == [3072, 1024]
+        assert system.subs[0].dataflow is Dataflow.WS
+
+    def test_l_is_os_heavy(self):
+        system = build_accelerator("L")
+        assert [s.num_pes for s in system.subs] == [1024, 3072]
+        assert system.subs[1].dataflow is Dataflow.OS
+
+    def test_m_is_quad_hda(self):
+        system = build_accelerator("M")
+        assert [s.dataflow for s in system.subs] == [
+            Dataflow.WS, Dataflow.OS, Dataflow.WS, Dataflow.OS,
+        ]
+        assert all(s.num_pes == 2048 for s in build_accelerator("M", 8192).subs)
+
+    def test_all_accelerators(self):
+        systems = all_accelerators(4096)
+        assert [s.acc_id for s in systems] == list(ACCELERATOR_IDS)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="unknown accelerator"):
+            build_accelerator("Z")
+
+    def test_indivisible_budget_raises(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            build_accelerator("K", 4095)

@@ -1,0 +1,187 @@
+"""Tests for model graphs and the builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn import GraphBuilder, LayerSpec, ModelGraph, OpType
+
+
+class TestBuilderShapes:
+    def test_conv_tracks_shape(self):
+        b = GraphBuilder("m", (3, 32, 32))
+        b.conv(16, 3, 2)
+        assert b.shape == (16, 16, 16)
+
+    def test_dwconv_preserves_channels(self):
+        b = GraphBuilder("m", (8, 16, 16))
+        b.dwconv(3)
+        assert b.shape == (8, 16, 16)
+
+    def test_pool_halves(self):
+        b = GraphBuilder("m", (8, 16, 16))
+        b.pool(2)
+        assert b.shape == (8, 8, 8)
+
+    def test_global_pool(self):
+        b = GraphBuilder("m", (8, 16, 16))
+        b.global_pool()
+        assert b.shape == (8, 1, 1)
+
+    def test_fc_flattens(self):
+        b = GraphBuilder("m", (8, 4, 4))
+        b.fc(10)
+        assert b.shape == (10, 1, 1)
+
+    def test_upsample(self):
+        b = GraphBuilder("m", (8, 4, 4))
+        b.upsample(2)
+        assert b.shape == (8, 8, 8)
+
+    def test_deconv(self):
+        b = GraphBuilder("m", (8, 4, 4))
+        b.deconv(4, 4, 2)
+        assert b.shape == (4, 8, 8)
+
+    def test_concat_adds_channels(self):
+        b = GraphBuilder("m", (8, 16, 16))
+        b.conv(8, 3, name="skip")
+        b.conv(8, 3)
+        b.concat("skip", 8)
+        assert b.shape == (16, 16, 16)
+
+    def test_reshape(self):
+        b = GraphBuilder("m", (8, 4, 4))
+        b.reshape((8, 1, 16))
+        assert b.shape == (8, 1, 16)
+
+    def test_reshape_rejects_bad_count(self):
+        b = GraphBuilder("m", (8, 4, 4))
+        with pytest.raises(ValueError, match="element count"):
+            b.reshape((8, 1, 15))
+
+    def test_attention_preserves_shape(self):
+        b = GraphBuilder("m", (64, 1, 16))
+        b.attention(8)
+        assert b.shape == (64, 1, 16)
+
+
+class TestCompositeBlocks:
+    def test_residual_block_same_channels(self):
+        b = GraphBuilder("m", (16, 8, 8))
+        b.conv(16, 3, name="pre")
+        b.residual_block(16)
+        graph = b.build()
+        adds = [l for l in graph.layers if l.op is OpType.ADD]
+        assert len(adds) == 1
+        assert adds[0].residual_from == "pre"
+
+    def test_residual_block_stride_uses_internal_skip(self):
+        b = GraphBuilder("m", (16, 8, 8))
+        b.conv(16, 3)
+        b.residual_block(32, stride=2)
+        graph = b.build()
+        assert graph.out_shape == (32, 4, 4)
+
+    def test_inverted_residual_with_skip(self):
+        b = GraphBuilder("m", (16, 8, 8))
+        b.conv(16, 1)
+        b.inverted_residual(16, expand=4, stride=1)
+        graph = b.build()
+        assert any(l.op is OpType.ADD for l in graph.layers)
+        assert graph.out_shape == (16, 8, 8)
+
+    def test_inverted_residual_stride2_no_skip(self):
+        b = GraphBuilder("m", (16, 8, 8))
+        b.conv(16, 1)
+        n_before = len(b._layers)
+        b.inverted_residual(32, expand=4, stride=2)
+        new = b._layers[n_before:]
+        assert not any(l.op is OpType.ADD for l in new)
+
+    def test_transformer_block_structure(self):
+        b = GraphBuilder("m", (64, 1, 16))
+        b.transformer_block(heads=8)
+        graph = b.build()
+        ops = [l.op for l in graph.layers]
+        assert ops.count(OpType.LAYERNORM) == 2
+        assert ops.count(OpType.ATTENTION) == 1
+        assert ops.count(OpType.ADD) == 2
+        assert graph.out_shape == (64, 1, 16)
+
+
+class TestGraphValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError, match="no layers"):
+            ModelGraph("m", (1, 1, 1), ())
+
+    def test_duplicate_names_rejected(self):
+        layer = LayerSpec(name="x", op=OpType.ADD, in_shape=(1, 2, 2),
+                          out_shape=(1, 2, 2), residual_from=None)
+        dup = LayerSpec(name="x", op=OpType.UPSAMPLE, in_shape=(1, 2, 2),
+                        out_shape=(1, 4, 4), stride=2)
+        with pytest.raises(ValueError, match="duplicate"):
+            ModelGraph("m", (1, 2, 2), (layer, dup))
+
+    def test_unknown_residual_rejected(self):
+        layer = LayerSpec(name="a", op=OpType.ADD, in_shape=(1, 2, 2),
+                          out_shape=(1, 2, 2), residual_from="ghost")
+        with pytest.raises(ValueError, match="unknown residual"):
+            ModelGraph("m", (1, 2, 2), (layer,))
+
+    def test_shape_chain_mismatch_rejected(self):
+        l1 = LayerSpec(name="a", op=OpType.UPSAMPLE, in_shape=(1, 2, 2),
+                       out_shape=(1, 4, 4), stride=2)
+        l2 = LayerSpec(name="b", op=OpType.UPSAMPLE, in_shape=(1, 2, 2),
+                       out_shape=(1, 4, 4), stride=2)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            ModelGraph("m", (1, 2, 2), (l1, l2))
+
+
+class TestGraphQueries:
+    def small(self) -> ModelGraph:
+        b = GraphBuilder("small", (3, 16, 16))
+        b.conv(8, 3, name="c1")
+        b.pool(2)
+        b.conv(16, 3, name="c2")
+        b.global_pool()
+        b.fc(10, name="head")
+        return b.build()
+
+    def test_totals(self):
+        g = self.small()
+        assert g.total_macs == sum(l.macs for l in g.layers)
+        assert g.total_params == sum(l.params for l in g.layers)
+        assert g.num_layers == 5
+
+    def test_compute_layers(self):
+        names = [l.name for l in self.small().compute_layers()]
+        assert names == ["c1", "c2", "head"]
+
+    def test_conv_dims_count_matches_compute(self):
+        g = self.small()
+        assert len(g.conv_dims()) == len(g.compute_layers())
+
+    def test_operator_mix(self):
+        mix = self.small().operator_mix()
+        assert mix["CONV2D"] == 2
+        assert mix["FC"] == 1
+
+    def test_find(self):
+        g = self.small()
+        assert g.find("c2").out_shape == (16, 8, 8)
+        with pytest.raises(KeyError):
+            g.find("missing")
+
+    def test_summary_contains_totals(self):
+        text = self.small().summary()
+        assert "TOTAL" in text
+        assert "small" in text
+
+    def test_out_shape(self):
+        assert self.small().out_shape == (10, 1, 1)
+
+    def test_immutable(self):
+        g = self.small()
+        with pytest.raises(Exception):
+            g.name = "other"  # frozen dataclass

@@ -1,0 +1,225 @@
+"""Numerical tests for the numpy forward kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import ops
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestIm2col:
+    def test_shape(self):
+        x = rng().standard_normal((3, 8, 8))
+        cols, oh, ow = ops.im2col(x, kernel=3, stride=1, padding=1)
+        assert cols.shape == (3 * 9, 64)
+        assert (oh, ow) == (8, 8)
+
+    def test_stride(self):
+        x = rng().standard_normal((2, 8, 8))
+        cols, oh, ow = ops.im2col(x, kernel=2, stride=2, padding=0)
+        assert (oh, ow) == (4, 4)
+
+    def test_values_1x1(self):
+        x = rng().standard_normal((2, 4, 4))
+        cols, _, _ = ops.im2col(x, kernel=1, stride=1, padding=0)
+        np.testing.assert_allclose(cols, x.reshape(2, 16))
+
+    def test_empty_output_raises(self):
+        x = rng().standard_normal((1, 2, 2))
+        with pytest.raises(ValueError, match="empty"):
+            ops.im2col(x, kernel=5, stride=1, padding=0)
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        # A 1x1 conv with identity weights must return the input.
+        x = rng().standard_normal((3, 5, 5))
+        w = np.eye(3).reshape(3, 3, 1, 1)
+        np.testing.assert_allclose(ops.conv2d(x, w), x, atol=1e-12)
+
+    def test_matches_direct_computation(self):
+        x = rng().standard_normal((2, 4, 4))
+        w = rng().standard_normal((3, 2, 3, 3))
+        out = ops.conv2d(x, w, stride=1, padding=1)
+        # Direct (slow) convolution at one position.
+        xp = np.pad(x, ((0, 0), (1, 1), (1, 1)))
+        expected = float(np.sum(xp[:, 1:4, 2:5] * w[1]))
+        assert out[1, 1, 2] == pytest.approx(expected)
+
+    def test_bias(self):
+        x = np.zeros((1, 3, 3))
+        w = np.zeros((2, 1, 1, 1))
+        out = ops.conv2d(x, w, bias=np.array([1.0, -2.0]))
+        assert out[0].max() == pytest.approx(1.0)
+        assert out[1].min() == pytest.approx(-2.0)
+
+    def test_grouped_matches_per_group(self):
+        x = rng().standard_normal((4, 6, 6))
+        w = rng().standard_normal((4, 2, 3, 3))
+        out = ops.conv2d(x, w, stride=1, padding=1, groups=2)
+        g0 = ops.conv2d(x[:2], w[:2], stride=1, padding=1)
+        g1 = ops.conv2d(x[2:], w[2:], stride=1, padding=1)
+        np.testing.assert_allclose(out, np.concatenate([g0, g1]), atol=1e-12)
+
+    def test_channel_mismatch_raises(self):
+        x = rng().standard_normal((3, 4, 4))
+        w = rng().standard_normal((2, 4, 3, 3))
+        with pytest.raises(ValueError, match="channel mismatch"):
+            ops.conv2d(x, w)
+
+    def test_nonsquare_kernel_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            ops.conv2d(rng().standard_normal((1, 4, 4)),
+                       rng().standard_normal((1, 1, 2, 3)))
+
+
+class TestDwConv2d:
+    def test_matches_grouped_conv(self):
+        x = rng().standard_normal((4, 6, 6))
+        w = rng().standard_normal((4, 3, 3))
+        out = ops.dwconv2d(x, w, stride=1, padding=1)
+        w_grouped = w[:, None, :, :]
+        expected = ops.conv2d(x, w_grouped, stride=1, padding=1, groups=4)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_channel_check(self):
+        with pytest.raises(ValueError, match="channels"):
+            ops.dwconv2d(rng().standard_normal((3, 4, 4)),
+                         rng().standard_normal((2, 3, 3)))
+
+
+class TestPooling:
+    def test_maxpool(self):
+        x = np.arange(16.0).reshape(1, 4, 4)
+        out = ops.maxpool2d(x, 2)
+        np.testing.assert_allclose(out, [[[5, 7], [13, 15]]])
+
+    def test_avgpool(self):
+        x = np.ones((2, 4, 4))
+        np.testing.assert_allclose(ops.avgpool2d(x, 2), np.ones((2, 2, 2)))
+
+    def test_global_avgpool(self):
+        x = np.arange(8.0).reshape(2, 2, 2)
+        out = ops.global_avgpool(x)
+        assert out.shape == (2, 1, 1)
+        assert out[0, 0, 0] == pytest.approx(1.5)
+        assert out[1, 0, 0] == pytest.approx(5.5)
+
+
+class TestUpsample:
+    def test_nearest(self):
+        x = np.array([[[1.0, 2.0], [3.0, 4.0]]])
+        out = ops.upsample_nearest(x, 2)
+        assert out.shape == (1, 4, 4)
+        assert out[0, 0, 0] == out[0, 1, 1] == 1.0
+        assert out[0, 3, 3] == 4.0
+
+    def test_scale_one_is_identity(self):
+        x = rng().standard_normal((2, 3, 3))
+        np.testing.assert_allclose(ops.upsample_nearest(x, 1), x)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            ops.upsample_nearest(np.ones((1, 2, 2)), 0)
+
+
+class TestDeconv:
+    def test_upsamples_by_stride(self):
+        x = rng().standard_normal((2, 4, 4))
+        w = rng().standard_normal((3, 2, 4, 4))
+        out = ops.deconv2d(x, w, stride=2)
+        assert out.shape == (3, 8, 8)
+
+
+class TestActivationsAndNorm:
+    def test_relu(self):
+        np.testing.assert_allclose(
+            ops.relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+    def test_softmax_sums_to_one(self):
+        x = rng().standard_normal((4, 10))
+        s = ops.softmax(x, axis=-1)
+        np.testing.assert_allclose(s.sum(axis=-1), np.ones(4), atol=1e-12)
+
+    def test_softmax_stability(self):
+        x = np.array([1e4, 1e4 + 1.0])
+        s = ops.softmax(x)
+        assert np.isfinite(s).all()
+
+    def test_layernorm_zero_mean_unit_var(self):
+        x = rng().standard_normal((8, 4, 4))
+        out = ops.layernorm(x, np.ones(8), np.zeros(8))
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_layernorm_affine(self):
+        x = rng().standard_normal((4, 2, 2))
+        gamma, beta = np.full(4, 2.0), np.full(4, 3.0)
+        base = ops.layernorm(x, np.ones(4), np.zeros(4))
+        out = ops.layernorm(x, gamma, beta)
+        np.testing.assert_allclose(out, base * 2.0 + 3.0, atol=1e-12)
+
+
+class TestAttention:
+    def test_shape_preserved(self):
+        x = rng().standard_normal((16, 1, 8))
+        w = [rng().standard_normal((16, 16)) for _ in range(4)]
+        out = ops.multihead_attention(x, *w, heads=4)
+        assert out.shape == (16, 1, 8)
+
+    def test_heads_must_divide_dim(self):
+        x = rng().standard_normal((10, 1, 4))
+        w = [np.eye(10)] * 4
+        with pytest.raises(ValueError, match="divisible"):
+            ops.multihead_attention(x, *w, heads=3)
+
+    def test_single_token_is_value_projection(self):
+        # With one token, softmax(QK^T) == 1, so out = Wo @ Wv @ x.
+        x = rng().standard_normal((8, 1, 1))
+        wq, wk = rng().standard_normal((8, 8)), rng().standard_normal((8, 8))
+        wv, wo = rng().standard_normal((8, 8)), rng().standard_normal((8, 8))
+        out = ops.multihead_attention(x, wq, wk, wv, wo, heads=2)
+        expected = (wo @ (wv @ x[:, 0, 0]))
+        np.testing.assert_allclose(out[:, 0, 0], expected, atol=1e-10)
+
+
+class TestRoiAlign:
+    def test_shape_contract(self):
+        x = rng().standard_normal((8, 14, 28))
+        out = ops.roialign_fold(x, rois=5, out_size=7)
+        assert out.shape == (8, 7, 35)
+
+    def test_crops_come_from_input(self):
+        x = rng().standard_normal((2, 16, 16))
+        out = ops.roialign_fold(x, rois=1, out_size=7)
+        np.testing.assert_allclose(out[:, :, :7], x[:, 0:7, 0:7])
+
+
+class TestOpProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        c=st.integers(1, 6), hw=st.integers(4, 16),
+        k=st.sampled_from([1, 3]), cout=st.integers(1, 6),
+    )
+    def test_conv_shape_contract(self, c, hw, k, cout):
+        x = rng().standard_normal((c, hw, hw))
+        w = rng().standard_normal((cout, c, k, k))
+        out = ops.conv2d(x, w, stride=1, padding=k // 2)
+        assert out.shape == (cout, hw, hw)
+
+    @settings(max_examples=25, deadline=None)
+    @given(c=st.integers(1, 8), hw=st.sampled_from([4, 8, 16]))
+    def test_conv_linearity(self, c, hw):
+        # conv(a*x) == a*conv(x): convolution is linear.
+        x = rng().standard_normal((c, hw, hw))
+        w = rng().standard_normal((3, c, 3, 3))
+        out1 = ops.conv2d(x * 2.0, w, padding=1)
+        out2 = ops.conv2d(x, w, padding=1) * 2.0
+        np.testing.assert_allclose(out1, out2, atol=1e-9)

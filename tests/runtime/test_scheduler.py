@@ -1,0 +1,123 @@
+"""Tests for the pluggable schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import CostTable, Dataflow
+from repro.hardware import build_accelerator
+from repro.runtime import (
+    SCHEDULERS,
+    EarliestDeadlineScheduler,
+    LatencyGreedyScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+from repro.workload import InferenceRequest
+
+
+def req(code="HT", frame=0, t=0.0, deadline=0.033):
+    return InferenceRequest(code, frame, t, deadline)
+
+
+@pytest.fixture(scope="module")
+def hda_j():
+    return build_accelerator("J", 4096)  # WS@2048 + OS@2048
+
+
+@pytest.fixture(scope="module")
+def table():
+    return CostTable()
+
+
+class TestFactory:
+    def test_registry_names(self):
+        assert set(SCHEDULERS) == {
+            "latency_greedy", "round_robin", "edf", "rate_monotonic",
+        }
+
+    def test_make_scheduler(self):
+        assert isinstance(make_scheduler("latency_greedy"),
+                          LatencyGreedyScheduler)
+        assert isinstance(make_scheduler("round_robin"), RoundRobinScheduler)
+        assert isinstance(make_scheduler("edf"), EarliestDeadlineScheduler)
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            make_scheduler("magic")
+
+
+class TestLatencyGreedy:
+    def test_returns_none_when_nothing_waiting(self, hda_j, table):
+        s = LatencyGreedyScheduler()
+        assert s.pick(0.0, [], [0, 1], hda_j, table) is None
+
+    def test_returns_none_when_no_idle_engine(self, hda_j, table):
+        s = LatencyGreedyScheduler()
+        assert s.pick(0.0, [req()], [], hda_j, table) is None
+
+    def test_picks_oldest_request(self, hda_j, table):
+        s = LatencyGreedyScheduler()
+        older, newer = req(frame=0, t=0.0), req(frame=1, t=0.1)
+        choice = s.pick(0.2, [older, newer], [0, 1], hda_j, table)
+        assert choice[0] is older
+
+    def test_picks_fastest_engine_for_model(self, hda_j, table):
+        # SR (transformer) strongly prefers the WS engine (index 0).
+        s = LatencyGreedyScheduler()
+        _, engine = s.pick(0.0, [req("SR")], [0, 1], hda_j, table)
+        assert engine == 0
+        # DE (depthwise-heavy) prefers the OS engine (index 1).
+        _, engine = s.pick(0.0, [req("DE")], [0, 1], hda_j, table)
+        assert engine == 1
+
+    def test_respects_idle_restriction(self, hda_j, table):
+        s = LatencyGreedyScheduler()
+        _, engine = s.pick(0.0, [req("SR")], [1], hda_j, table)
+        assert engine == 1  # fastest engine is busy; take what's idle
+
+
+class TestRoundRobin:
+    def test_cycles_engines(self, table):
+        quad = build_accelerator("H", 4096)
+        s = RoundRobinScheduler()
+        engines = []
+        for frame in range(4):
+            _, engine = s.pick(0.0, [req(frame=frame)], [0, 1, 2, 3],
+                               quad, table)
+            engines.append(engine)
+        assert engines == [0, 1, 2, 3]
+
+    def test_skips_busy_engines(self, table):
+        quad = build_accelerator("H", 4096)
+        s = RoundRobinScheduler()
+        _, engine = s.pick(0.0, [req()], [2, 3], quad, table)
+        assert engine == 2
+
+    def test_reset(self, table):
+        quad = build_accelerator("H", 4096)
+        s = RoundRobinScheduler()
+        s.pick(0.0, [req()], [0, 1, 2, 3], quad, table)
+        s.reset()
+        _, engine = s.pick(0.0, [req(frame=1)], [0, 1, 2, 3], quad, table)
+        assert engine == 0
+
+    def test_none_when_empty(self, table):
+        quad = build_accelerator("H", 4096)
+        assert RoundRobinScheduler().pick(0.0, [], [0], quad, table) is None
+
+
+class TestEDF:
+    def test_picks_most_urgent(self, hda_j, table):
+        s = EarliestDeadlineScheduler()
+        relaxed = req("HT", t=0.0, deadline=0.5)
+        urgent = req("ES", t=0.1, deadline=0.2)
+        choice = s.pick(0.2, [relaxed, urgent], [0, 1], hda_j, table)
+        assert choice[0] is urgent
+
+    def test_ties_break_on_request_time(self, hda_j, table):
+        s = EarliestDeadlineScheduler()
+        a = req("HT", t=0.05, deadline=0.2)
+        b = req("ES", t=0.01, deadline=0.2)
+        choice = s.pick(0.1, [a, b], [0], hda_j, table)
+        assert choice[0] is b

@@ -1,0 +1,159 @@
+"""Tests for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import CostTable
+from repro.hardware import build_accelerator
+from repro.runtime import LatencyGreedyScheduler, Simulator
+from repro.workload import get_scenario
+
+
+def simulate(scenario="vr_gaming", acc="A", pes=8192, duration=1.0, seed=0,
+             costs=None):
+    return Simulator(
+        scenario=get_scenario(scenario),
+        system=build_accelerator(acc, pes),
+        scheduler=LatencyGreedyScheduler(),
+        duration_s=duration,
+        seed=seed,
+        costs=costs or CostTable(),
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def table():
+    return CostTable()
+
+
+@pytest.fixture(scope="module")
+def vr_result(table):
+    return simulate(costs=table)
+
+
+class TestBasicInvariants:
+    def test_every_request_completed_or_dropped_or_both_not(self, vr_result):
+        for r in vr_result.requests:
+            assert r.completed != r.dropped  # exactly one outcome
+
+    def test_completed_have_engine_and_energy(self, vr_result):
+        for r in vr_result.completed():
+            assert r.accelerator_id is not None
+            assert r.energy_mj is not None and r.energy_mj > 0
+            assert r.start_time_s is not None
+
+    def test_dropped_never_started(self, vr_result):
+        for r in vr_result.dropped():
+            assert r.start_time_s is None
+
+    def test_start_after_request_time(self, vr_result):
+        for r in vr_result.completed():
+            assert r.start_time_s >= r.request_time_s - 1e-12
+
+    def test_end_after_start(self, vr_result):
+        for r in vr_result.completed():
+            assert r.end_time_s > r.start_time_s
+
+    def test_dependency_order_respected(self, vr_result, table):
+        # Every GE inference must start after some ES inference completed
+        # at or before its request time (its data source).
+        es_ends = sorted(
+            r.end_time_s for r in vr_result.completed("ES")
+        )
+        for ge in vr_result.completed("GE"):
+            assert any(e <= ge.request_time_s + 1e-12 for e in es_ends)
+
+    def test_no_engine_overlap(self, vr_result):
+        # Hardware-occupancy condition: per-engine segments never overlap.
+        by_engine: dict[int, list] = {}
+        for r in vr_result.completed():
+            by_engine.setdefault(r.accelerator_id, []).append(r)
+        for requests in by_engine.values():
+            requests.sort(key=lambda r: r.start_time_s)
+            for a, b in zip(requests, requests[1:]):
+                assert a.end_time_s <= b.start_time_s + 1e-12
+
+    def test_busy_time_consistent(self, vr_result):
+        for i in range(vr_result.system.num_subs):
+            total = sum(
+                r.end_time_s - r.start_time_s
+                for r in vr_result.completed()
+                if r.accelerator_id == i
+            )
+            assert vr_result.busy_time_s[i] == pytest.approx(total)
+
+
+class TestFrameAccounting:
+    def test_root_spawn_counts_match_rates(self, vr_result):
+        assert vr_result.num_frames("HT") == 45
+        assert vr_result.num_frames("ES") == 60
+
+    def test_ge_spawns_only_from_completed_es(self, vr_result):
+        assert vr_result.num_frames("GE") <= len(vr_result.completed("ES"))
+
+    def test_drop_rate_range(self, vr_result):
+        assert 0.0 <= vr_result.frame_drop_rate() <= 1.0
+
+    def test_utilization_bounded(self, vr_result):
+        for i in range(vr_result.system.num_subs):
+            assert 0.0 <= vr_result.utilization(i) <= 1.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self, table):
+        a = simulate(seed=7, costs=table)
+        b = simulate(seed=7, costs=table)
+        sig_a = [(r.model_code, r.model_frame, r.end_time_s, r.dropped)
+                 for r in a.requests]
+        sig_b = [(r.model_code, r.model_frame, r.end_time_s, r.dropped)
+                 for r in b.requests]
+        assert sig_a == sig_b
+
+    def test_different_seed_different_jitter(self, table):
+        a = simulate(seed=0, costs=table)
+        b = simulate(seed=42, costs=table)
+        ta = [r.request_time_s for r in a.requests]
+        tb = [r.request_time_s for r in b.requests]
+        assert ta != tb
+
+
+class TestSaturationBehaviour:
+    def test_overloaded_system_drops_frames(self, table):
+        # AR gaming on a 4K-PE system saturates (Figure 6).
+        result = simulate("ar_gaming", "J", 4096, costs=table)
+        assert result.frame_drop_rate() > 0.15
+        assert result.mean_utilization() > 0.9
+
+    def test_bigger_system_drops_fewer(self, table):
+        small = simulate("ar_gaming", "J", 4096, costs=table)
+        big = simulate("ar_gaming", "J", 8192, costs=table)
+        assert big.frame_drop_rate() < small.frame_drop_rate()
+
+    def test_light_scenario_no_drops(self, table):
+        result = simulate("outdoor_activity_a", "A", 8192, costs=table)
+        assert result.frame_drop_rate() == 0.0
+
+    def test_in_flight_work_finishes_after_duration(self, table):
+        # Streams stop at duration_s but in-flight inference completes.
+        result = simulate("ar_gaming", "J", 4096, costs=table)
+        last_end = max(r.end_time_s for r in result.completed())
+        assert last_end > result.duration_s
+
+
+class TestControlDependency:
+    def test_sr_triggered_fraction(self, table):
+        # AR assistant cascades KD -> SR with p = 0.5; over many seeds the
+        # trigger count should approximate half the KD completions.
+        triggered = total_kd = 0
+        for seed in range(30):
+            result = simulate("ar_assistant", "A", 8192, seed=seed,
+                              costs=table)
+            triggered += result.num_frames("SR")
+            total_kd += len(result.completed("KD"))
+        assert 0.3 < triggered / total_kd < 0.7
+
+    def test_duration_scales_requests(self, table):
+        short = simulate("vr_gaming", "A", 8192, duration=0.5, costs=table)
+        long = simulate("vr_gaming", "A", 8192, duration=2.0, costs=table)
+        assert len(long.requests) > 3 * len(short.requests)

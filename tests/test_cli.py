@@ -1,0 +1,135 @@
+"""Tests for the xrbench command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "ar_gaming", "J", "--pes", "8192"]
+        )
+        assert args.scenario == "ar_gaming"
+        assert args.accelerator == "J"
+        assert args.pes == 8192
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "nope", "J"])
+
+    def test_rejects_unknown_accelerator(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "ar_gaming", "Z"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "vr_gaming", "A", "--duration", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "vr_gaming" in out and "overall=" in out
+
+    def test_run_with_timeline(self, capsys):
+        assert main(
+            ["run", "vr_gaming", "A", "--duration", "0.5", "--timeline"]
+        ) == 0
+        assert "ms/char" in capsys.readouterr().out
+
+    def test_suite(self, capsys):
+        assert main(["suite", "A", "--duration", "0.5"]) == 0
+        assert "XRBench SCORE" in capsys.readouterr().out
+
+    def test_tables_all(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        for t in ("Table 1", "Table 2", "Table 3", "Table 5", "Table 7"):
+            assert t in out
+
+    def test_tables_single(self, capsys):
+        assert main(["tables", "--which", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "Table 5" not in out
+
+    def test_models_single(self, capsys):
+        assert main(["models", "--code", "KD"]) == 0
+        out = capsys.readouterr().out
+        assert "KD" in out and "WS@4096PE" in out
+
+    def test_figure8(self, capsys):
+        assert main(["figure8"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_figure6(self, capsys):
+        assert main(["figure6", "--duration", "0.5"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_figure7_small(self, capsys):
+        assert main(["figure7", "--trials", "2", "--duration", "0.5"]) == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_scheduler_flag(self, capsys):
+        assert main(
+            ["run", "vr_gaming", "A", "--duration", "0.5",
+             "--scheduler", "edf"]
+        ) == 0
+
+    def test_rate_monotonic_scheduler_flag(self, capsys):
+        assert main(
+            ["run", "ar_gaming", "J", "--duration", "0.5",
+             "--scheduler", "rate_monotonic"]
+        ) == 0
+
+    def test_frame_loss_flag(self, capsys):
+        assert main(
+            ["run", "vr_gaming", "A", "--duration", "0.5",
+             "--frame-loss", "0.3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "qoe=" in out
+
+    def test_ablations_quantization(self, capsys):
+        assert main(["ablations", "--which", "quantization"]) == 0
+        out = capsys.readouterr().out
+        assert "int8" in out and "acc_score" in out
+
+    def test_ablations_dvfs(self, capsys):
+        assert main(["ablations", "--which", "dvfs"]) == 0
+        assert "saving" in capsys.readouterr().out
+
+    def test_stats(self, capsys):
+        assert main(
+            ["stats", "outdoor_activity_a", "A", "--seeds", "3",
+             "--duration", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "95% CI" in out
+
+    def test_export_submission(self, capsys):
+        assert main(["export", "A", "--duration", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert '"benchmark": "XRBench"' in out
+        assert "breakdowns" not in out
+
+    def test_export_submission_with_breakdowns(self, capsys):
+        assert main(
+            ["export", "A", "--duration", "0.5", "--breakdowns"]
+        ) == 0
+        assert "breakdowns" in capsys.readouterr().out
+
+    def test_observations(self, capsys):
+        assert main(["observations"]) == 0
+        out = capsys.readouterr().out
+        assert "[HOLDS ]" in out and "[BROKEN]" not in out
+
+    def test_export_csv(self, capsys):
+        assert main(
+            ["export", "A", "--duration", "0.5", "--format", "csv"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("system,scenario,model")

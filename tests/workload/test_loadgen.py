@@ -1,0 +1,111 @@
+"""Tests for the load generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import LoadGenerator, get_scenario
+
+
+@pytest.fixture
+def vr_loadgen() -> LoadGenerator:
+    return LoadGenerator(get_scenario("vr_gaming"), duration_s=1.0, seed=0)
+
+
+class TestRootRequests:
+    def test_roots_only(self, vr_loadgen: LoadGenerator):
+        codes = {r.model_code for r in vr_loadgen.root_requests()}
+        assert codes == {"HT", "ES"}  # GE is data-dependent on ES
+
+    def test_counts_match_rates(self, vr_loadgen: LoadGenerator):
+        requests = vr_loadgen.root_requests()
+        by_code = {}
+        for r in requests:
+            by_code.setdefault(r.model_code, []).append(r)
+        assert len(by_code["ES"]) == 60
+        assert len(by_code["HT"]) == 45
+
+    def test_sorted_by_request_time(self, vr_loadgen: LoadGenerator):
+        times = [r.request_time_s for r in vr_loadgen.root_requests()]
+        assert times == sorted(times)
+
+    def test_deterministic_per_seed(self):
+        scenario = get_scenario("vr_gaming")
+        a = LoadGenerator(scenario, 1.0, seed=3).root_requests()
+        b = LoadGenerator(scenario, 1.0, seed=3).root_requests()
+        assert [(r.model_code, r.model_frame, r.request_time_s) for r in a] == [
+            (r.model_code, r.model_frame, r.request_time_s) for r in b
+        ]
+
+    def test_seed_changes_jitter(self):
+        scenario = get_scenario("vr_gaming")
+        a = LoadGenerator(scenario, 1.0, seed=0).root_requests()
+        b = LoadGenerator(scenario, 1.0, seed=99).root_requests()
+        assert any(
+            x.request_time_s != y.request_time_s for x, y in zip(a, b)
+        )
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError, match="duration"):
+            LoadGenerator(get_scenario("vr_gaming"), 0.0)
+
+
+class TestDependencySpawning:
+    def test_data_dep_always_triggers(self, vr_loadgen: LoadGenerator):
+        dep = vr_loadgen.scenario.upstream_of("GE")
+        assert all(
+            vr_loadgen.dependency_triggers(dep, f) for f in range(60)
+        )
+
+    def test_control_dep_rate_approximates_probability(self):
+        scenario = get_scenario("vr_gaming").with_dependency_probability(
+            "ES", "GE", 0.3
+        )
+        gen = LoadGenerator(scenario, 1.0, seed=0)
+        dep = scenario.upstream_of("GE")
+        hits = sum(gen.dependency_triggers(dep, f) for f in range(2000))
+        assert 0.25 < hits / 2000 < 0.35
+
+    def test_trigger_rolls_deterministic(self, vr_loadgen: LoadGenerator):
+        scenario = get_scenario("outdoor_activity_a")
+        gen1 = LoadGenerator(scenario, 1.0, seed=5)
+        gen2 = LoadGenerator(scenario, 1.0, seed=5)
+        dep = scenario.upstream_of("SR")
+        rolls1 = [gen1.dependency_triggers(dep, f) for f in range(100)]
+        rolls2 = [gen2.dependency_triggers(dep, f) for f in range(100)]
+        assert rolls1 == rolls2
+
+    def test_spawn_dependent_basic(self, vr_loadgen: LoadGenerator):
+        dep = vr_loadgen.scenario.upstream_of("GE")
+        child = vr_loadgen.spawn_dependent(dep, upstream_frame=5,
+                                           ready_time_s=0.1)
+        assert child is not None
+        assert child.model_code == "GE"
+        assert child.request_time_s == pytest.approx(0.1)
+
+    def test_spawn_outside_duration_returns_none(self, vr_loadgen: LoadGenerator):
+        dep = vr_loadgen.scenario.upstream_of("GE")
+        child = vr_loadgen.spawn_dependent(dep, upstream_frame=120,
+                                           ready_time_s=2.5)
+        assert child is None
+
+    def test_spawn_zero_probability_returns_none(self):
+        scenario = get_scenario("vr_gaming").with_dependency_probability(
+            "ES", "GE", 0.0
+        )
+        gen = LoadGenerator(scenario, 1.0, seed=0)
+        dep = scenario.upstream_of("GE")
+        assert gen.spawn_dependent(dep, 0, 0.01) is None
+
+    def test_downstream_deadline_matches_plan(self, vr_loadgen: LoadGenerator):
+        dep = vr_loadgen.scenario.upstream_of("GE")
+        child = vr_loadgen.spawn_dependent(dep, 10, 0.18)
+        plan = vr_loadgen.plan_for("GE")
+        assert child.deadline_s == pytest.approx(plan.deadline_s(child.model_frame))
+
+
+class TestExpectedFrames:
+    def test_excludes_dependent_models(self, vr_loadgen: LoadGenerator):
+        expected = vr_loadgen.expected_frames()
+        assert "GE" not in expected
+        assert expected == {"HT": 45, "ES": 60}

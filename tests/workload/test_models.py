@@ -1,0 +1,98 @@
+"""Tests for the unit-model registry (Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import UNIT_MODELS, MetricType, TaskCategory, get_model
+from repro.workload.sensors import CAMERA, LIDAR, MICROPHONE
+
+
+class TestRegistry:
+    def test_eleven_models(self):
+        assert len(UNIT_MODELS) == 11
+
+    def test_codes(self):
+        assert set(UNIT_MODELS) == {
+            "HT", "ES", "GE", "KD", "SR", "SS", "OD", "AS", "DE", "DR", "PD",
+        }
+
+    def test_get_model(self):
+        assert get_model("HT").task == "Hand Tracking"
+
+    def test_get_model_unknown(self):
+        with pytest.raises(KeyError, match="unknown model code"):
+            get_model("XX")
+
+
+class TestCategories:
+    def test_interaction_models(self):
+        interaction = {
+            c for c, m in UNIT_MODELS.items()
+            if m.category is TaskCategory.INTERACTION
+        }
+        assert interaction == {"HT", "ES", "GE", "KD", "SR"}
+
+    def test_context_models(self):
+        context = {
+            c for c, m in UNIT_MODELS.items()
+            if m.category is TaskCategory.CONTEXT
+        }
+        assert context == {"SS", "OD", "AS"}
+
+    def test_world_locking_models(self):
+        wl = {
+            c for c, m in UNIT_MODELS.items()
+            if m.category is TaskCategory.WORLD_LOCKING
+        }
+        assert wl == {"DE", "DR", "PD"}
+
+
+class TestSensors:
+    def test_audio_models_use_microphone(self):
+        assert UNIT_MODELS["KD"].primary_sensor is MICROPHONE
+        assert UNIT_MODELS["SR"].primary_sensor is MICROPHONE
+
+    def test_dr_is_the_only_multimodal_model(self):
+        multimodal = [c for c, m in UNIT_MODELS.items() if m.is_multimodal]
+        assert multimodal == ["DR"]
+
+    def test_dr_uses_camera_and_lidar(self):
+        assert set(UNIT_MODELS["DR"].sensors) == {CAMERA, LIDAR}
+
+    def test_vision_models_use_camera(self):
+        for code in ("HT", "ES", "GE", "SS", "OD", "AS", "DE", "PD"):
+            assert UNIT_MODELS[code].primary_sensor is CAMERA
+
+
+class TestQualityGoals:
+    def test_table1_targets(self):
+        assert UNIT_MODELS["HT"].quality.target == pytest.approx(0.948)
+        assert UNIT_MODELS["ES"].quality.target == pytest.approx(90.54)
+        assert UNIT_MODELS["SR"].quality.target == pytest.approx(8.79)
+        assert UNIT_MODELS["OD"].quality.target == pytest.approx(21.84)
+
+    def test_lower_is_better_metrics(self):
+        lib = {
+            c for c, m in UNIT_MODELS.items()
+            if m.quality.metric_type is MetricType.LOWER_IS_BETTER
+        }
+        assert lib == {"GE", "SR", "DE"}
+
+
+class TestGraphBinding:
+    def test_every_model_has_a_graph(self):
+        for code, model in UNIT_MODELS.items():
+            assert model.graph.name, code
+
+    def test_graphs_have_positive_macs(self):
+        for model in UNIT_MODELS.values():
+            assert model.graph.total_macs > 0
+
+    def test_pd_is_the_heaviest_model(self):
+        macs = {c: m.graph.total_macs for c, m in UNIT_MODELS.items()}
+        assert max(macs, key=macs.get) == "PD"
+
+    def test_kd_is_the_lightest_model(self):
+        macs = {c: m.graph.total_macs for c, m in UNIT_MODELS.items()}
+        assert min(macs, key=macs.get) == "KD"

@@ -1,0 +1,53 @@
+"""Tests for model quality goals (Definition 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import MetricType, QualityGoal
+
+
+class TestValidation:
+    def test_requires_metric_name(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            QualityGoal("", 1.0, MetricType.HIGHER_IS_BETTER)
+
+    def test_requires_positive_target(self):
+        with pytest.raises(ValueError, match="target"):
+            QualityGoal("acc", 0.0, MetricType.HIGHER_IS_BETTER)
+
+
+class TestIsMet:
+    def test_hib_met_at_target(self):
+        goal = QualityGoal("mIoU", 90.0, MetricType.HIGHER_IS_BETTER)
+        assert goal.is_met(90.0)
+
+    def test_hib_met_above(self):
+        goal = QualityGoal("mIoU", 90.0, MetricType.HIGHER_IS_BETTER)
+        assert goal.is_met(95.0)
+
+    def test_hib_not_met_below(self):
+        goal = QualityGoal("mIoU", 90.0, MetricType.HIGHER_IS_BETTER)
+        assert not goal.is_met(89.9)
+
+    def test_lib_met_at_target(self):
+        goal = QualityGoal("WER", 8.79, MetricType.LOWER_IS_BETTER)
+        assert goal.is_met(8.79)
+
+    def test_lib_met_below(self):
+        goal = QualityGoal("WER", 8.79, MetricType.LOWER_IS_BETTER)
+        assert goal.is_met(5.0)
+
+    def test_lib_not_met_above(self):
+        goal = QualityGoal("WER", 8.79, MetricType.LOWER_IS_BETTER)
+        assert not goal.is_met(9.0)
+
+
+class TestDescribe:
+    def test_hib_format(self):
+        goal = QualityGoal("mIoU", 90.54, MetricType.HIGHER_IS_BETTER)
+        assert goal.describe() == "mIoU, GT 90.54"
+
+    def test_lib_format(self):
+        goal = QualityGoal("Angular Error", 3.39, MetricType.LOWER_IS_BETTER)
+        assert goal.describe() == "Angular Error, LT 3.39"

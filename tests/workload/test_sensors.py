@@ -1,0 +1,112 @@
+"""Tests for sensor streams and jittered arrivals (Table 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workload import CAMERA, LIDAR, MICROPHONE, SENSORS, get_sensor
+from repro.workload.sensors import InputSource
+
+
+class TestRegistry:
+    def test_three_sensors(self):
+        assert set(SENSORS) == {"camera", "lidar", "microphone"}
+
+    def test_table3_rates(self):
+        assert CAMERA.fps == 60.0
+        assert LIDAR.fps == 60.0
+        assert MICROPHONE.fps == 3.0
+
+    def test_table3_jitters(self):
+        assert CAMERA.jitter_ms == pytest.approx(0.05)
+        assert LIDAR.jitter_ms == pytest.approx(0.05)
+        assert MICROPHONE.jitter_ms == pytest.approx(0.1)
+
+    def test_get_sensor(self):
+        assert get_sensor("camera") is CAMERA
+
+    def test_get_sensor_unknown(self):
+        with pytest.raises(KeyError, match="unknown sensor"):
+            get_sensor("radar")
+
+
+class TestValidation:
+    def test_rejects_nonpositive_fps(self):
+        with pytest.raises(ValueError, match="fps"):
+            InputSource("x", "t", fps=0.0, jitter_ms=0.0)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            InputSource("x", "t", fps=1.0, jitter_ms=-1.0)
+
+    def test_rejects_negative_init_latency(self):
+        with pytest.raises(ValueError, match="init latency"):
+            InputSource("x", "t", fps=1.0, jitter_ms=0.0, init_latency_ms=-1)
+
+
+class TestNominalTiming:
+    def test_period(self):
+        assert CAMERA.period_s == pytest.approx(1 / 60)
+
+    def test_frame0_at_init_latency(self):
+        s = InputSource("x", "t", fps=10.0, jitter_ms=0.0, init_latency_ms=5.0)
+        assert s.nominal_arrival_s(0) == pytest.approx(0.005)
+
+    def test_frame_spacing(self):
+        t1 = CAMERA.nominal_arrival_s(1)
+        t2 = CAMERA.nominal_arrival_s(2)
+        assert t2 - t1 == pytest.approx(1 / 60)
+
+    def test_negative_frame_rejected(self):
+        with pytest.raises(ValueError, match="frame_id"):
+            CAMERA.nominal_arrival_s(-1)
+
+
+class TestJitter:
+    def test_zero_jitter_sensor_is_exact(self):
+        s = InputSource("exact", "t", fps=30.0, jitter_ms=0.0)
+        assert s.arrival_s(7) == s.nominal_arrival_s(7)
+
+    def test_jitter_is_deterministic(self):
+        assert CAMERA.jitter_s(3, seed=1) == CAMERA.jitter_s(3, seed=1)
+
+    def test_jitter_varies_with_seed(self):
+        values = {CAMERA.jitter_s(3, seed=s) for s in range(20)}
+        assert len(values) > 1
+
+    def test_jitter_varies_with_frame(self):
+        values = {CAMERA.jitter_s(f, seed=0) for f in range(20)}
+        assert len(values) > 1
+
+    def test_jitter_bounded(self):
+        bound = CAMERA.jitter_ms / 1e3
+        for frame in range(200):
+            assert abs(CAMERA.jitter_s(frame)) <= bound + 1e-12
+
+    def test_arrival_never_negative(self):
+        for frame in range(50):
+            assert CAMERA.arrival_s(frame) >= 0.0
+
+    def test_sensors_jitter_independently(self):
+        # Same frame id on different sensors must not share jitter.
+        assert CAMERA.jitter_s(5) != LIDAR.jitter_s(5)
+
+
+class TestJitterProperties:
+    @given(
+        frame=st.integers(min_value=0, max_value=10_000),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_arrival_close_to_nominal(self, frame: int, seed: int):
+        arrival = CAMERA.arrival_s(frame, seed)
+        nominal = CAMERA.nominal_arrival_s(frame)
+        assert abs(arrival - nominal) <= CAMERA.jitter_ms / 1e3 + 1e-12
+
+    @given(
+        fps=st.floats(min_value=0.5, max_value=240.0),
+        frame=st.integers(min_value=0, max_value=1000),
+    )
+    def test_nominal_monotone_in_frame(self, fps: float, frame: int):
+        s = InputSource("x", "t", fps=fps, jitter_ms=0.0)
+        assert s.nominal_arrival_s(frame + 1) > s.nominal_arrival_s(frame)

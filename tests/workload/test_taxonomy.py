@@ -1,0 +1,78 @@
+"""Tests for the Section 2.1 MTMM taxonomy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import (
+    MtmmClass,
+    SCENARIOS,
+    classify,
+    deactivate,
+    get_scenario,
+    is_dynamic,
+    pipelines,
+)
+
+
+class TestPipelines:
+    def test_vr_gaming_chains(self):
+        chains = pipelines(get_scenario("vr_gaming"))
+        assert sorted(chains) == [["ES", "GE"], ["HT"]]
+
+    def test_ar_gaming_all_standalone(self):
+        chains = pipelines(get_scenario("ar_gaming"))
+        assert all(len(c) == 1 for c in chains)
+        assert len(chains) == 3
+
+    def test_ar_assistant_speech_chain(self):
+        chains = pipelines(get_scenario("ar_assistant"))
+        assert ["KD", "SR"] in chains
+
+
+class TestClassify:
+    def test_all_shipped_scenarios_are_mtmm(self):
+        for scenario in SCENARIOS.values():
+            assert classify(scenario) is not MtmmClass.STSM
+
+    def test_cascon_dominates_the_suite(self):
+        # The paper: XR scenarios are predominantly cascon-MTMM.
+        classes = [classify(s) for s in SCENARIOS.values()]
+        cascon = classes.count(MtmmClass.CASCADED_CONCURRENT)
+        assert cascon >= 5
+
+    def test_ar_gaming_is_concurrent(self):
+        # HT, DE, PD run independently: con-MTMM.
+        assert classify(get_scenario("ar_gaming")) is MtmmClass.CONCURRENT
+
+    def test_pure_cascade(self):
+        # Strip VR gaming down to just the eye pipeline: cas-MTMM.
+        scenario = deactivate(get_scenario("vr_gaming"), "HT")
+        assert classify(scenario) is MtmmClass.CASCADED
+
+    def test_single_model_is_stsm(self):
+        scenario = deactivate(
+            deactivate(get_scenario("ar_gaming"), "PD"), "DE"
+        )
+        assert classify(scenario) is MtmmClass.STSM
+
+
+class TestIsDynamic:
+    def test_control_dep_scenarios_dynamic(self):
+        for name in ("outdoor_activity_a", "outdoor_activity_b",
+                     "ar_assistant"):
+            assert is_dynamic(get_scenario(name)), name
+
+    def test_pure_data_dep_static(self):
+        assert not is_dynamic(get_scenario("vr_gaming"))
+        assert not is_dynamic(get_scenario("social_interaction_a"))
+
+    def test_probabilistic_data_dep_is_dynamic(self):
+        # The Figure 7 sweep makes the eye pipeline dynamic.
+        varied = get_scenario("vr_gaming").with_dependency_probability(
+            "ES", "GE", 0.5
+        )
+        assert is_dynamic(varied)
+
+    def test_no_deps_static(self):
+        assert not is_dynamic(get_scenario("ar_gaming"))

@@ -1,0 +1,32 @@
+"""Tests for the zoo registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.zoo import MODEL_BUILDERS, TASK_CODES, all_models, build_model
+
+
+class TestRegistry:
+    def test_eleven_builders(self):
+        assert len(MODEL_BUILDERS) == 11
+
+    def test_task_codes_order(self):
+        assert TASK_CODES == (
+            "HT", "ES", "GE", "KD", "SR", "SS", "OD", "AS", "DE", "DR", "PD",
+        )
+
+    def test_build_model_cached(self):
+        assert build_model("KD") is build_model("KD")
+
+    def test_build_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown task code"):
+            build_model("ZZ")
+
+    def test_all_models_complete(self):
+        models = all_models()
+        assert set(models) == set(TASK_CODES)
+
+    def test_graph_names_unique(self):
+        names = {g.name for g in all_models().values()}
+        assert len(names) == 11

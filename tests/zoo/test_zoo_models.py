@@ -1,0 +1,170 @@
+"""Architecture-level tests for all eleven zoo models.
+
+Checks each model's input resolution (including the appendix-A dataset
+down-scales), the operator mix Table 7 reports, the relative compute
+ordering the evaluation depends on, and that the lighter graphs actually
+execute end-to-end through the numpy engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import GraphExecutor, OpType
+from repro.zoo import all_models, build_model
+
+
+@pytest.fixture(scope="module")
+def models():
+    return all_models()
+
+
+class TestInputResolutions:
+    def test_ht_stereo_half_scale(self, models):
+        # Stereo pair (2 x RGB) at 1/2 of 640x480.
+        assert models["HT"].input_shape == (6, 240, 320)
+
+    def test_es_quarter_scale_openeds(self, models):
+        assert models["ES"].input_shape == (1, 100, 160)
+
+    def test_sr_logmel_features(self, models):
+        c, h, w = models["SR"].input_shape
+        assert c == 80 and h == 1  # 80-dim log-mel over time
+
+    def test_ss_cityscapes_crop(self, models):
+        assert models["SS"].input_shape == (3, 512, 1024)
+
+    def test_dr_rgbd_input(self, models):
+        assert models["DR"].input_shape[0] == 4  # RGB + sparse depth
+
+    def test_pd_quarter_scale_kitti(self, models):
+        c, h, w = models["PD"].input_shape
+        assert (h, w) == (96, 320)
+
+
+class TestOperatorMixes:
+    """Table 7's "Major Operators" column, per model."""
+
+    def _ops(self, models, code):
+        return set(models[code].operator_mix())
+
+    def test_sr_is_a_transformer(self, models):
+        ops = self._ops(models, "SR")
+        assert "SelfAttention" in ops and "Layernorm" in ops
+
+    def test_ss_mixes_transformer_and_dwconv(self, models):
+        ops = self._ops(models, "SS")
+        assert {"SelfAttention", "Layernorm", "DWCONV"} <= ops
+
+    def test_ge_uses_dwconv(self, models):
+        assert "DWCONV" in self._ops(models, "GE")
+
+    def test_de_uses_dwconv(self, models):
+        assert "DWCONV" in self._ops(models, "DE")
+
+    def test_dr_uses_deconv(self, models):
+        assert "DeCONV" in self._ops(models, "DR")
+
+    def test_od_uses_roialign(self, models):
+        assert "RoIAlign" in self._ops(models, "OD")
+
+    def test_pd_uses_roialign_and_deconv(self, models):
+        ops = self._ops(models, "PD")
+        assert "RoIAlign" in ops and "DeCONV" in ops
+
+    def test_pure_cnns_have_no_attention(self, models):
+        for code in ("HT", "ES", "KD", "AS", "DE", "DR", "PD"):
+            assert "SelfAttention" not in self._ops(models, code), code
+
+    def test_skip_connections_present(self, models):
+        for code in ("HT", "ES", "GE", "KD", "DE"):
+            assert any(
+                l.op is OpType.ADD for l in models[code].layers
+            ), code
+
+
+class TestComputeOrdering:
+    """Relative sizes that the evaluation's behaviour depends on."""
+
+    def test_pd_dominates(self, models):
+        macs = {c: g.total_macs for c, g in models.items()}
+        pd = macs.pop("PD")
+        assert pd > 2 * max(macs.values())
+
+    def test_audio_models_tiny_vs_vision(self, models):
+        assert models["KD"].total_macs < models["ES"].total_macs / 10
+
+    def test_heavy_group(self, models):
+        # SS and SR are the heaviest after PD.
+        macs = {c: g.total_macs for c, g in models.items()}
+        ordered = sorted(macs, key=macs.get, reverse=True)
+        assert ordered[0] == "PD"
+        assert set(ordered[1:4]) >= {"SS", "SR"}
+
+    def test_all_param_counts_positive(self, models):
+        for code, g in models.items():
+            assert g.total_params > 1000, code
+
+
+class TestExecutability:
+    """The lighter graphs run end-to-end on the numpy engine.
+
+    (The heavy ones are exercised by dedicated slow-marked tests in the
+    integration suite; running PD's 43 GMACs through numpy in unit tests
+    would dominate the suite's runtime.)
+    """
+
+    @pytest.mark.parametrize("code", ["KD", "AS", "GE"])
+    def test_forward_pass(self, code):
+        graph = build_model(code)
+        out = GraphExecutor(graph, seed=0).run()
+        assert out.shape == graph.out_shape
+        assert np.isfinite(out).all()
+
+    def test_kd_produces_12_keyword_logits(self):
+        out = GraphExecutor(build_model("KD")).run()
+        assert out.shape == (12, 1, 1)
+
+    def test_as_produces_11_action_classes(self):
+        out = GraphExecutor(build_model("AS")).run()
+        assert out.shape[0] == 11
+
+    def test_ge_produces_gaze_vector(self):
+        out = GraphExecutor(build_model("GE")).run()
+        assert out.shape == (3, 1, 1)
+
+
+class TestTinyWidthExecutability:
+    """Every architecture — including the heavyweights — executes on the
+    numpy engine when built at a reduced width, validating the full layer
+    graphs (shape chains, residual wiring, RoI folds) end to end."""
+
+    @pytest.mark.parametrize(
+        "code",
+        ["HT", "ES", "GE", "KD", "SR", "SS", "OD", "AS", "DE", "DR", "PD"],
+    )
+    def test_reduced_width_forward_pass(self, code):
+        from repro.zoo import MODEL_BUILDERS
+
+        graph = MODEL_BUILDERS[code](0.25)
+        out = GraphExecutor(graph, seed=0).run()
+        assert out.shape == graph.out_shape
+        assert np.isfinite(out).all()
+
+
+class TestWidthParameter:
+    def test_width_scales_macs_quadratically(self):
+        from repro.zoo import eye_segmentation
+
+        small = eye_segmentation.build(width=1.0)
+        large = eye_segmentation.build(width=2.0)
+        ratio = large.total_macs / small.total_macs
+        assert 2.5 < ratio < 4.5  # ~quadratic in channel width
+
+    def test_width_floor(self):
+        from repro.zoo import keyword_detection
+
+        tiny = keyword_detection.build(width=0.01)
+        # Channel floor of 8 keeps the graph valid.
+        assert all(l.out_shape[0] >= 4 for l in tiny.layers)
