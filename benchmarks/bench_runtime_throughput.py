@@ -1,0 +1,111 @@
+"""Runtime-throughput microbenchmark: what the cost cache buys.
+
+Runs the same multi-session workload twice through the multi-tenant
+engine — once pricing every dispatch with :class:`UncachedCostTable`
+(full analytical re-evaluation per query, the naive baseline) and once
+with :class:`CachedCostTable` (dict-probe dispatch path) — and emits a
+JSON blob with simulated-requests/sec and the cost-cache hit rate, to
+seed the performance trajectory of future PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py
+    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py \
+        --scenario ar_gaming --sessions 8 --repeat 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.costmodel import CachedCostTable, CostTable, UncachedCostTable
+from repro.hardware import ACCELERATOR_IDS, build_accelerator
+from repro.runtime import MultiScenarioSimulator, make_scheduler
+from repro.workload import SCENARIO_ORDER, get_scenario
+
+
+def run_once(args, costs):
+    simulator = MultiScenarioSimulator.replicate(
+        get_scenario(args.scenario),
+        build_accelerator(args.accelerator, args.pes),
+        make_scheduler(args.scheduler),
+        args.sessions,
+        base_seed=args.seed,
+        duration_s=args.duration,
+        costs=costs,
+        granularity=args.granularity,
+    )
+    start = time.perf_counter()
+    result = simulator.run()
+    elapsed = time.perf_counter() - start
+    requests = sum(len(s.requests) for s in result.sessions)
+    return result, requests, elapsed
+
+
+def measure(args, make_table):
+    """Best-of-N wall time for one table flavour."""
+    best = None
+    for _ in range(args.repeat):
+        result, requests, elapsed = run_once(args, make_table())
+        if best is None or elapsed < best[2]:
+            best = (result, requests, elapsed)
+    result, requests, elapsed = best
+    return {
+        "simulated_requests": requests,
+        "wall_time_s": round(elapsed, 6),
+        "requests_per_sec": round(requests / elapsed, 2),
+    }, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="vr_gaming",
+                        choices=list(SCENARIO_ORDER))
+    parser.add_argument("--accelerator", default="J",
+                        choices=list(ACCELERATOR_IDS))
+    parser.add_argument("--pes", type=int, default=8192)
+    parser.add_argument("--sessions", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scheduler", default="latency_greedy")
+    parser.add_argument("--granularity", default="model",
+                        choices=["model", "segment"])
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="take the best of N runs (default 3)")
+    args = parser.parse_args(argv)
+    if args.sessions < 1:
+        parser.error(f"--sessions must be >= 1, got {args.sessions}")
+    if args.repeat < 1:
+        parser.error(f"--repeat must be >= 1, got {args.repeat}")
+
+    uncached, _ = measure(args, UncachedCostTable)
+    cached, cached_result = measure(
+        args, lambda: CachedCostTable(base=CostTable())
+    )
+    stats = cached_result.cost_stats
+    payload = {
+        "workload": {
+            "scenario": args.scenario,
+            "accelerator": args.accelerator,
+            "pes": args.pes,
+            "sessions": args.sessions,
+            "duration_s": args.duration,
+            "scheduler": args.scheduler,
+            "granularity": args.granularity,
+        },
+        "uncached": uncached,
+        "cached": cached,
+        "speedup": round(
+            cached["requests_per_sec"] / uncached["requests_per_sec"], 2
+        ),
+        "cost_cache_hit_rate": round(stats.hit_rate, 4) if stats else None,
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,7 +24,8 @@ def main() -> None:
 
         print(f"=== accelerator J @ {total_pes} PEs ===")
         print(
-            f"utilisation {sim.mean_utilization():6.1%}   "
+            # Raw busy fraction, clamped only for display.
+            f"utilisation {min(1.0, sim.mean_utilization()):6.1%}   "
             f"drops {sim.frame_drop_rate():6.1%}   "
             f"overall score {score.overall:.2f}"
         )

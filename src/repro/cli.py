@@ -58,6 +58,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("accelerator", choices=list(ACCELERATOR_IDS))
     run_p.add_argument("--timeline", action="store_true",
                        help="print the execution timeline")
+    run_p.add_argument(
+        "--sessions", type=int, default=1,
+        help="concurrent tenant sessions multiplexed onto the system "
+             "(distinct seeds; default 1)",
+    )
+    run_p.add_argument(
+        "--granularity", default="model", choices=["model", "segment"],
+        help="dispatch whole models, or split models at segment "
+             "boundaries so long inferences yield engines (default model)",
+    )
+    run_p.add_argument(
+        "--segments", type=int, default=2,
+        help="target segments per model at --granularity segment "
+             "(default 2)",
+    )
     add_common(run_p)
 
     suite_p = sub.add_parser("suite", help="run the full scenario suite")
@@ -146,6 +161,30 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         harness = _harness(args)
         system = build_accelerator(args.accelerator, args.pes)
+        if args.sessions < 1:
+            print(f"--sessions must be >= 1, got {args.sessions}",
+                  file=sys.stderr)
+            return 2
+        if args.segments < 1:
+            print(f"--segments must be >= 1, got {args.segments}",
+                  file=sys.stderr)
+            return 2
+        if args.sessions > 1 or args.granularity != "model":
+            multi = harness.run_sessions(
+                args.scenario,
+                system,
+                num_sessions=args.sessions,
+                granularity=args.granularity,
+                segments_per_model=args.segments,
+            )
+            print(multi.summary())
+            if args.timeline:
+                from repro.runtime import render_timeline
+
+                for session in multi.result.sessions:
+                    print(f"-- session {session.session_id} --")
+                    print(render_timeline(session))
+            return 0
         report = harness.run_scenario(args.scenario, system)
         print(report.summary())
         if args.timeline:

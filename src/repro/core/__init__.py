@@ -5,12 +5,13 @@ from .aggregate import (
     ModelScore,
     ScenarioScore,
     benchmark_score,
+    score_sessions,
     score_simulation,
 )
 from .config import HarnessConfig, ScoreConfig
 from .export import benchmark_to_dict, scenario_to_dict, submission, to_csv
 from .harness import Harness
-from .report import BenchmarkReport, ScenarioReport
+from .report import BenchmarkReport, MultiSessionReport, ScenarioReport
 from .scores import (
     accuracy_score,
     energy_score,
@@ -29,6 +30,7 @@ __all__ = [
     "HarnessConfig",
     "InferenceScore",
     "ModelScore",
+    "MultiSessionReport",
     "ScenarioReport",
     "ScenarioScore",
     "ScoreConfig",
@@ -38,5 +40,6 @@ __all__ = [
     "inference_score",
     "qoe_score",
     "realtime_score",
+    "score_sessions",
     "score_simulation",
 ]

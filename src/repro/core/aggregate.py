@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.runtime import SimulationResult
+from repro.runtime import MultiSessionResult, SimulationResult
 from repro.workload import InferenceRequest
 
 from .config import ScoreConfig
@@ -30,7 +30,13 @@ from .scores import (
     realtime_score,
 )
 
-__all__ = ["InferenceScore", "ModelScore", "ScenarioScore", "score_simulation"]
+__all__ = [
+    "InferenceScore",
+    "ModelScore",
+    "ScenarioScore",
+    "score_simulation",
+    "score_sessions",
+]
 
 
 @dataclass(frozen=True)
@@ -218,3 +224,21 @@ def score_simulation(
     return ScenarioScore(
         scenario_name=result.scenario.name, model_scores=tuple(model_scores)
     )
+
+
+def score_sessions(
+    result: MultiSessionResult,
+    config: ScoreConfig | None = None,
+    measured_quality: dict[str, float] | None = None,
+) -> list[ScenarioScore]:
+    """Per-session QoE/score accounting for a multi-tenant run.
+
+    Each tenant session is scored exactly like a standalone run — its
+    own requests, its own streamed-frame denominators — so contention on
+    the shared accelerator shows up as per-session QoE and RT
+    degradation, ordered by session id.
+    """
+    return [
+        score_simulation(session, config, measured_quality)
+        for session in result.sessions
+    ]

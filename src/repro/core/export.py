@@ -46,6 +46,8 @@ def scenario_to_dict(report: ScenarioReport) -> dict[str, Any]:
             "drop_rate": sim.frame_drop_rate(),
             "missed_deadlines": score.total_missed_deadlines,
         },
+        # Raw (unclamped) busy fractions: values above 1.0 signal
+        # overload — in-flight work draining past the streamed duration.
         "utilization": {
             str(i): sim.utilization(i) for i in range(sim.system.num_subs)
         },

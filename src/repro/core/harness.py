@@ -17,15 +17,21 @@ inspection (timelines, per-request records).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.costmodel import CostTable
+from repro.costmodel import CachedCostTable, CostTable
 from repro.hardware import AcceleratorSystem
-from repro.runtime import Simulator, make_scheduler
+from repro.runtime import (
+    MultiScenarioSimulator,
+    SessionSpec,
+    Simulator,
+    make_scheduler,
+)
 from repro.workload import UsageScenario, benchmark_suite, get_scenario
 
-from .aggregate import score_simulation
+from .aggregate import score_sessions, score_simulation
 from .config import HarnessConfig
-from .report import BenchmarkReport, ScenarioReport
+from .report import BenchmarkReport, MultiSessionReport, ScenarioReport
 
 __all__ = ["Harness"]
 
@@ -64,6 +70,61 @@ class Harness:
         result = simulator.run()
         score = score_simulation(result, self.config.score, measured_quality)
         return ScenarioReport(simulation=result, score=score)
+
+    def run_sessions(
+        self,
+        scenario: UsageScenario | str | Sequence[UsageScenario | str],
+        system: AcceleratorSystem,
+        num_sessions: int = 4,
+        seed: int | None = None,
+        granularity: str = "model",
+        segments_per_model: int = 2,
+        measured_quality: dict[str, float] | None = None,
+    ) -> MultiSessionReport:
+        """Multiplex concurrent scenario sessions onto one system.
+
+        ``scenario`` may be a single scenario (or name) replicated across
+        ``num_sessions`` tenants with consecutive seeds, or a sequence of
+        per-session scenarios (whose length then sets the session count).
+        Dispatch-path costs flow through a :class:`CachedCostTable`
+        layered over the harness-wide table, so repeated runs share the
+        analytical results while the hot loop stays a dict probe.
+        """
+        if isinstance(scenario, (str, UsageScenario)):
+            scenarios = [scenario] * num_sessions
+        else:
+            scenarios = list(scenario)
+        if not scenarios:
+            raise ValueError("at least one session is required")
+        resolved = [
+            get_scenario(s) if isinstance(s, str) else s for s in scenarios
+        ]
+        base_seed = self.config.seed if seed is None else seed
+        specs = [
+            SessionSpec(
+                session_id=i,
+                scenario=sc,
+                seed=base_seed + i,
+                frame_loss_probability=self.config.frame_loss_probability,
+            )
+            for i, sc in enumerate(resolved)
+        ]
+        simulator = MultiScenarioSimulator(
+            sessions=specs,
+            system=system,
+            scheduler=make_scheduler(self.config.scheduler),
+            duration_s=self.config.duration_s,
+            costs=CachedCostTable(base=self.costs),
+            granularity=granularity,
+            segments_per_model=segments_per_model,
+        )
+        result = simulator.run()
+        scores = score_sessions(result, self.config.score, measured_quality)
+        reports = tuple(
+            ScenarioReport(simulation=session, score=score)
+            for session, score in zip(result.sessions, scores)
+        )
+        return MultiSessionReport(result=result, session_reports=reports)
 
     def run_suite(
         self,

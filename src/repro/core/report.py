@@ -10,11 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.runtime import SimulationResult, render_timeline
+from repro.runtime import MultiSessionResult, SimulationResult, render_timeline
 
 from .aggregate import ScenarioScore, benchmark_score
 
-__all__ = ["ScenarioReport", "BenchmarkReport"]
+__all__ = ["ScenarioReport", "BenchmarkReport", "MultiSessionReport"]
 
 
 @dataclass(frozen=True)
@@ -57,7 +57,10 @@ class ScenarioReport:
                 f"({sim.frame_drop_rate():.1%}); "
                 f"{score.total_missed_deadlines} missed deadlines"
             ),
-            f"  mean engine utilization: {sim.mean_utilization():.1%}",
+            # Utilization is a raw busy fraction (overload pushes it past
+            # 100%); clamp only here, at display time.
+            f"  mean engine utilization: "
+            f"{min(1.0, sim.mean_utilization()):.1%}",
         ]
         for m in score.model_scores:
             lines.append(
@@ -115,4 +118,57 @@ class BenchmarkReport:
                 f"qoe={row['qoe']:.3f}"
             )
         lines.append(f"  XRBench SCORE: {self.xrbench_score:.3f}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class MultiSessionReport:
+    """Per-session scores plus system statistics for a multi-tenant run."""
+
+    result: MultiSessionResult
+    session_reports: tuple[ScenarioReport, ...]
+
+    @property
+    def mean_overall(self) -> float:
+        reports = self.session_reports
+        return sum(r.overall for r in reports) / len(reports)
+
+    def session(self, session_id: int) -> ScenarioReport:
+        for report in self.session_reports:
+            if report.simulation.session_id == session_id:
+                return report
+        raise KeyError(f"no session {session_id} in this report")
+
+    def summary(self) -> str:
+        """Multi-line report: system totals, then one line per session."""
+        res = self.result
+        scenarios = sorted(
+            {s.scenario.name for s in res.sessions}
+        )
+        lines = [
+            (
+                f"{res.num_sessions} sessions of {', '.join(scenarios)} "
+                f"on {res.system.describe()}"
+            ),
+            (
+                f"  mean session score: {self.mean_overall:.3f}; "
+                # Raw busy fraction, clamped only for display.
+                f"mean engine utilization: "
+                f"{min(1.0, res.mean_system_utilization()):.1%}"
+            ),
+        ]
+        if res.cost_stats is not None and res.cost_stats.lookups:
+            lines.append(
+                f"  cost cache: {res.cost_stats.lookups} lookups, "
+                f"{res.cost_stats.hit_rate:.1%} hits"
+            )
+        for report in self.session_reports:
+            sim, score = report.simulation, report.score
+            lines.append(
+                f"    session {sim.session_id}: "
+                f"overall={score.overall:.3f} rt={score.rt:.3f} "
+                f"qoe={score.qoe:.3f} frames={len(sim.requests)} "
+                f"dropped={len(sim.dropped())} "
+                f"missed={score.total_missed_deadlines}"
+            )
         return "\n".join(lines)

@@ -1,6 +1,12 @@
 """Analytical accelerator cost model (the MAESTRO substitute)."""
 
 from .analysis import CostModel, LayerCost, ModelCost
+from .cached import (
+    CachedCostTable,
+    CostCacheStats,
+    GraphRegistry,
+    UncachedCostTable,
+)
 from .dataflow import DATAFLOW_SPECS, Dataflow, DataflowSpec
 from .dvfs import DEFAULT_DVFS_POINTS, DvfsPoint, best_point_for_slack, scale_cost
 from .energy import DEFAULT_ENERGY_MODEL, EnergyModel
@@ -11,13 +17,17 @@ __all__ = [
     "DvfsPoint",
     "best_point_for_slack",
     "scale_cost",
+    "CachedCostTable",
+    "CostCacheStats",
     "CostModel",
     "CostTable",
+    "UncachedCostTable",
     "DATAFLOW_SPECS",
     "DEFAULT_ENERGY_MODEL",
     "Dataflow",
     "DataflowSpec",
     "EnergyModel",
+    "GraphRegistry",
     "LayerCost",
     "ModelCost",
     "SHARED_COST_TABLE",

@@ -1,0 +1,171 @@
+"""Dispatch-path cost caching.
+
+The runtime's hot loop prices work constantly: every scheduler pass asks
+"what would this model (or segment) cost on that engine at its current
+DVFS state", once per idle engine per decision.  :class:`CachedCostTable`
+memoises the fully-derived answer keyed on
+``(task code, engine dataflow, engine PE count, DVFS point)`` so the
+dispatch path degenerates to one dict probe, and it counts hits/misses so
+harnesses can report the cache's effectiveness.
+
+:class:`UncachedCostTable` is the deliberate anti-optimisation: it
+re-runs the analytical layer-by-layer model on *every* query.  It exists
+so ``benchmarks/bench_runtime_throughput.py`` can measure what the cache
+layer buys on identical workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload import UNIT_MODELS
+
+from .analysis import CostModel, ModelCost
+from .dataflow import Dataflow
+from .dvfs import DvfsPoint, scale_cost
+from .model_cost import CostTable
+
+__all__ = [
+    "CostCacheStats",
+    "GraphRegistry",
+    "CachedCostTable",
+    "UncachedCostTable",
+]
+
+
+class GraphRegistry:
+    """Mixin: a registry of virtual task-code graphs (segment pieces).
+
+    Classes mixing this in must initialise ``self._graphs = {}``.  The
+    runtime duck-types against ``register_graph``/``knows`` to decide
+    whether a cost table can price dispatch-time segment codes.
+    """
+
+    _graphs: dict[str, object]
+
+    def register_graph(self, code: str, graph) -> None:
+        """Make a virtual task code priceable from its layer graph."""
+        if code in self._graphs:
+            raise ValueError(f"task code {code!r} already registered")
+        self._graphs[code] = graph
+
+    def knows(self, code: str) -> bool:
+        return code in self._graphs
+
+
+@dataclass
+class CostCacheStats:
+    """Hit/miss counters of one :class:`CachedCostTable`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CachedCostTable(GraphRegistry, CostTable):
+    """Memoised dispatch-path costs keyed on (task, engine, DVFS state).
+
+    Wraps any base :class:`CostTable` (including a
+    :class:`~repro.runtime.segmentation.SegmentedCostTable`); unknown task
+    codes fall through to the base table.  Segment graphs produced at
+    dispatch time are registered with :meth:`register_graph` so virtual
+    segment codes are priceable without touching the global model zoo.
+    """
+
+    def __init__(self, base: CostTable | None = None) -> None:
+        super().__init__()
+        self.base = base if base is not None else CostTable()
+        self.stats = CostCacheStats()
+        self._graphs = {}
+        self._entries: dict[
+            tuple[str, Dataflow, int, DvfsPoint | None], ModelCost
+        ] = {}
+
+    # -- lookups -------------------------------------------------------------
+
+    def _compute(
+        self, task_code: str, dataflow: Dataflow, num_pes: int
+    ) -> ModelCost:
+        graph = self._graphs.get(task_code)
+        if graph is not None:
+            engine = CostModel(dataflow=dataflow, num_pes=num_pes)
+            return engine.model_cost(graph)
+        return self.base.cost(task_code, dataflow, num_pes)
+
+    def _lookup(
+        self,
+        task_code: str,
+        dataflow: Dataflow,
+        num_pes: int,
+        dvfs: DvfsPoint | None,
+    ) -> ModelCost:
+        # Key on the (frozen, hashable) point itself: two points sharing
+        # a name but not a frequency must not share a cache entry.
+        key = (task_code, dataflow, num_pes, dvfs)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        cost = self._compute(task_code, dataflow, num_pes)
+        if dvfs is not None:
+            cost = scale_cost(cost, dvfs)
+        self._entries[key] = cost
+        return cost
+
+    def cost(
+        self, task_code: str, dataflow: Dataflow, num_pes: int
+    ) -> ModelCost:
+        """CostTable-compatible lookup (nominal DVFS)."""
+        return self._lookup(task_code, dataflow, num_pes, None)
+
+    def engine_cost(
+        self, task_code: str, sub, dvfs: DvfsPoint | None = None
+    ) -> ModelCost:
+        """Cost of ``task_code`` on one engine at a DVFS operating point.
+
+        ``sub`` is any engine description exposing ``dataflow`` and
+        ``num_pes`` (e.g. :class:`repro.hardware.SubAccelerator`; typed
+        loosely because the hardware layer imports this package).
+        """
+        return self._lookup(task_code, sub.dataflow, sub.num_pes, dvfs)
+
+
+class UncachedCostTable(GraphRegistry, CostTable):
+    """Re-runs the analytical cost model on every query (no memoisation).
+
+    Only useful as a benchmark baseline: it makes the dispatch path pay
+    the full layer-by-layer analysis cost each time, which is what a
+    naive runtime querying the cost model directly would do.  Carries a
+    graph registry so segment-granularity runs stay genuinely uncached
+    instead of being wrapped in a cache.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Total analytical evaluations performed.
+        self.queries = 0
+        self._graphs = {}
+
+    def cost(
+        self, task_code: str, dataflow: Dataflow, num_pes: int
+    ) -> ModelCost:
+        self.queries += 1
+        engine = CostModel(dataflow=dataflow, num_pes=num_pes)
+        graph = self._graphs.get(task_code)
+        if graph is not None:
+            return engine.model_cost(graph)
+        model = UNIT_MODELS.get(task_code)
+        if model is None:
+            raise KeyError(
+                f"unknown task code {task_code!r}; "
+                f"available: {sorted(UNIT_MODELS)}"
+            )
+        return engine.model_cost(model.graph)

@@ -54,7 +54,9 @@ def format_figure6(results: dict[str, Figure6Result], width: int = 90) -> str:
         lines.append(
             f"({budget} PEs)  Realtime: {s.rt:.2f}  Energy: {s.energy:.2f}  "
             f"QoE: {s.qoe:.2f}  Overall: {s.overall:.2f}  "
-            f"drops: {res.drop_rate:.1%}  utilization: {res.utilization:.1%}"
+            f"drops: {res.drop_rate:.1%}  "
+            # Raw busy fraction; clamp only at display time.
+            f"utilization: {min(1.0, res.utilization):.1%}"
         )
         lines.append(res.report.timeline(width=width, until_s=0.6))
     return "\n".join(lines)

@@ -78,8 +78,10 @@ def verify_observations(harness: Harness | None = None) -> list[Observation]:
                 and j4.score.overall < j8.score.overall
             ),
             evidence=(
-                f"util 4K={j4.simulation.mean_utilization():.0%} vs "
-                f"8K={j8.simulation.mean_utilization():.0%}; overall "
+                # Raw busy fraction, clamped only for display.
+                f"util 4K={min(1.0, j4.simulation.mean_utilization()):.0%} "
+                f"vs 8K={min(1.0, j8.simulation.mean_utilization()):.0%}; "
+                f"overall "
                 f"{j4.score.overall:.2f} vs {j8.score.overall:.2f}"
             ),
         )

@@ -11,7 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.costmodel import CostModel, CostTable, Dataflow, ModelCost
+from repro.costmodel import (
+    CostModel,
+    CostTable,
+    Dataflow,
+    DvfsPoint,
+    ModelCost,
+    scale_cost,
+)
 
 __all__ = ["SubAccelerator", "AcceleratorSystem", "AcceleratorStyle"]
 
@@ -85,6 +92,28 @@ class AcceleratorSystem:
         """Cost of running ``task_code`` on engine ``sub_index``."""
         sub = self.subs[sub_index]
         return table.cost(task_code, sub.dataflow, sub.num_pes)
+
+    def engine_cost(
+        self,
+        table: CostTable,
+        task_code: str,
+        sub_index: int,
+        dvfs: DvfsPoint | None = None,
+    ) -> ModelCost:
+        """DVFS-aware cost lookup through the dispatch-path cache.
+
+        A :class:`~repro.costmodel.CachedCostTable` answers from its
+        (task, engine, DVFS) memo; any other table falls back to the
+        plain per-engine lookup plus on-the-fly DVFS scaling.
+        """
+        sub = self.subs[sub_index]
+        lookup = getattr(table, "engine_cost", None)
+        if lookup is not None:
+            return lookup(task_code, sub, dvfs)
+        cost = table.cost(task_code, sub.dataflow, sub.num_pes)
+        if dvfs is not None:
+            cost = scale_cost(cost, dvfs)
+        return cost
 
     def describe(self) -> str:
         engines = " + ".join(s.describe() for s in self.subs)

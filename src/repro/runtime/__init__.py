@@ -1,6 +1,13 @@
-"""Discrete-event benchmark runtime (Figure 2)."""
+"""Discrete-event benchmark runtime (Figure 2), multi-tenant edition."""
 
+from .engine import ExecutionEngine, ExecutionRecord, WorkItem
 from .events import Event, EventKind, EventQueue
+from .multisim import (
+    GRANULARITIES,
+    MultiScenarioSimulator,
+    MultiSessionResult,
+    SessionSpec,
+)
 from .queues import ActiveInferenceTable, DependencyTracker, PendingQueue
 from .scheduler import (
     SCHEDULERS,
@@ -9,6 +16,9 @@ from .scheduler import (
     LatencyGreedyScheduler,
     RoundRobinScheduler,
     Scheduler,
+    SchedulerAdapter,
+    SegmentScheduler,
+    as_segment_scheduler,
     make_scheduler,
 )
 from .segmentation import SegmentedCostTable, segment_scenario, split_graph
@@ -22,14 +32,24 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    "ExecutionEngine",
+    "ExecutionRecord",
+    "GRANULARITIES",
     "LatencyGreedyScheduler",
+    "MultiScenarioSimulator",
+    "MultiSessionResult",
     "PendingQueue",
     "RateMonotonicScheduler",
     "RoundRobinScheduler",
     "SCHEDULERS",
     "Scheduler",
+    "SchedulerAdapter",
     "Segment",
+    "SegmentScheduler",
     "SegmentedCostTable",
+    "SessionSpec",
+    "WorkItem",
+    "as_segment_scheduler",
     "segment_scenario",
     "split_graph",
     "SimulationResult",

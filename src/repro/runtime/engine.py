@@ -1,0 +1,179 @@
+"""Execution engines: per-sub-accelerator runtime state.
+
+The multi-tenant runtime models each sub-accelerator as an
+:class:`ExecutionEngine` that owns its occupancy state, busy-time
+accounting, DVFS operating point, and an execution log.  Work arrives as
+:class:`WorkItem` values — session-tagged and segment-granular, so a long
+model split by :mod:`repro.runtime.segmentation` can yield the engine
+between segments (a preemption point) and resume on whichever engine is
+best then.
+
+Engines append an :class:`ExecutionRecord` per occupancy interval; the
+records are what :mod:`repro.runtime.timeline` renders, so segment-level
+runs produce accurate Gantt charts (one bar per segment, not one bar per
+request).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.costmodel import DvfsPoint, ModelCost
+from repro.hardware import SubAccelerator
+from repro.workload import InferenceRequest
+
+__all__ = ["WorkItem", "ExecutionRecord", "ExecutionEngine"]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable unit: a request (or one segment of it) in a session.
+
+    ``task_code`` is the cost-table code pricing this piece; ``None``
+    means the whole model.  Segment items of the same request share the
+    underlying :class:`InferenceRequest`, whose user-visible timing spans
+    first-segment start to last-segment end.
+    """
+
+    request: InferenceRequest
+    session_id: int = 0
+    segment_index: int = 0
+    num_segments: int = 1
+    task_code: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_segments < 1:
+            raise ValueError(
+                f"num_segments must be >= 1, got {self.num_segments}"
+            )
+        if not 0 <= self.segment_index < self.num_segments:
+            raise ValueError(
+                f"segment_index {self.segment_index} out of range for "
+                f"{self.num_segments} segments"
+            )
+
+    @property
+    def code(self) -> str:
+        """The cost-table task code of this piece of work."""
+        return self.task_code or self.request.model_code
+
+    @property
+    def is_first_segment(self) -> bool:
+        return self.segment_index == 0
+
+    @property
+    def is_final_segment(self) -> bool:
+        return self.segment_index == self.num_segments - 1
+
+    def successor(self, task_code: str | None) -> WorkItem:
+        """The next segment of the same request."""
+        if self.is_final_segment:
+            raise ValueError(f"{self!r} has no successor segment")
+        return replace(
+            self, segment_index=self.segment_index + 1, task_code=task_code
+        )
+
+    def __repr__(self) -> str:  # keep logs compact
+        seg = (
+            f" seg {self.segment_index + 1}/{self.num_segments}"
+            if self.num_segments > 1
+            else ""
+        )
+        return (
+            f"WI(s{self.session_id} {self.request.model_code}"
+            f"#{self.request.model_frame}{seg})"
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """One engine occupancy interval (the unit of the execution timeline)."""
+
+    sub_index: int
+    session_id: int
+    model_code: str
+    model_frame: int
+    segment_index: int
+    num_segments: int
+    start_s: float
+    end_s: float
+    energy_mj: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class ExecutionEngine:
+    """Runtime state of one sub-accelerator.
+
+    Enforces the hardware-occupancy condition (one item at a time),
+    accrues busy time, and logs every execution.  ``dvfs`` is the
+    engine's current operating point; ``None`` means nominal frequency.
+    """
+
+    sub: SubAccelerator
+    dvfs: DvfsPoint | None = None
+    busy_time_s: float = 0.0
+    records: list[ExecutionRecord] = field(default_factory=list)
+    _current: WorkItem | None = field(default=None, repr=False)
+    _started_s: float = field(default=0.0, repr=False)
+    _until_s: float = field(default=0.0, repr=False)
+    _energy_mj: float = field(default=0.0, repr=False)
+
+    @property
+    def index(self) -> int:
+        return self.sub.index
+
+    @property
+    def idle(self) -> bool:
+        return self._current is None
+
+    @property
+    def current(self) -> WorkItem | None:
+        return self._current
+
+    @property
+    def busy_until_s(self) -> float:
+        """When the engine frees up (meaningless while idle)."""
+        return self._until_s
+
+    def begin(self, item: WorkItem, now_s: float, cost: ModelCost) -> float:
+        """Occupy the engine with ``item``; returns the completion time."""
+        if self._current is not None:
+            raise ValueError(
+                f"engine {self.index} is already running {self._current!r} "
+                f"(hardware-occupancy condition)"
+            )
+        self._current = item
+        self._started_s = now_s
+        self._until_s = now_s + cost.latency_s
+        self._energy_mj = cost.energy_mj
+        self.busy_time_s += cost.latency_s
+        return self._until_s
+
+    def finish(self, now_s: float) -> WorkItem:
+        """Release the engine; logs the execution and returns its item."""
+        item = self._current
+        if item is None:
+            raise ValueError(f"engine {self.index} is idle")
+        self.records.append(
+            ExecutionRecord(
+                sub_index=self.index,
+                session_id=item.session_id,
+                model_code=item.request.model_code,
+                model_frame=item.request.model_frame,
+                segment_index=item.segment_index,
+                num_segments=item.num_segments,
+                start_s=self._started_s,
+                end_s=self._until_s,
+                energy_mj=self._energy_mj,
+            )
+        )
+        self._current = None
+        return item
+
+    def describe(self) -> str:
+        point = f" [{self.dvfs.name}]" if self.dvfs else ""
+        return f"{self.sub.describe()}{point}"

@@ -1,0 +1,449 @@
+"""Multi-tenant execution engine: N scenario sessions on one system.
+
+This is the production-shaped core of the runtime.  Where the seed
+:class:`~repro.runtime.simulator.Simulator` drove exactly one scenario
+against one accelerator, :class:`MultiScenarioSimulator` multiplexes any
+number of independent *sessions* — each a scenario instance bound to its
+own seed (a distinct user), with its own load generator, pending queue,
+dependency tracker and QoE accounting — onto one shared
+:class:`~repro.hardware.AcceleratorSystem` through a single event queue.
+
+Key properties:
+
+* **Segment-level dispatch** (``granularity="segment"``): every model
+  whose graph admits residual-safe cuts is split into MAC-balanced
+  segments (:func:`repro.runtime.segmentation.split_graph`) at
+  simulator-build time.  A dispatched request occupies an engine for one
+  segment at a time, yielding it between segments; the next segment may
+  resume on a *different* engine (finer engine packing).  In-flight
+  requests resume with priority over fresh work, so on a single-engine
+  system the schedule — and therefore every completion count — is
+  identical to whole-model dispatch (per-layer costs are additive across
+  split points).
+* **Per-session accounting**: each session yields its own
+  :class:`~repro.runtime.simulator.SimulationResult`, so existing scoring
+  (:func:`repro.core.aggregate.score_simulation`) applies per session
+  unchanged; system-level busy time and the execution-record log live on
+  the :class:`MultiSessionResult`.
+* **Cost caching**: dispatch-path pricing flows through
+  :meth:`repro.hardware.AcceleratorSystem.engine_cost`, which answers
+  from a :class:`~repro.costmodel.CachedCostTable` keyed on
+  (task, engine, DVFS state) when one is supplied.
+* **Determinism**: sessions are iterated in id order, merged queues are
+  sorted with session-id tie-breaks, and all randomness flows through the
+  per-session seeds — two runs with the same specs are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel import CachedCostTable, CostCacheStats, CostTable, DvfsPoint
+from repro.hardware import AcceleratorSystem
+from repro.workload import InferenceRequest, LoadGenerator, UsageScenario
+
+from .engine import ExecutionEngine, ExecutionRecord, WorkItem
+from .events import EventKind, EventQueue
+from .queues import DependencyTracker, PendingQueue
+from .scheduler import Scheduler, SegmentScheduler, as_segment_scheduler
+from .segmentation import dispatch_segment_code, split_graph
+from .simulator import SimulationResult
+
+__all__ = [
+    "GRANULARITIES",
+    "SessionSpec",
+    "MultiSessionResult",
+    "MultiScenarioSimulator",
+]
+
+#: Dispatch granularities: whole models, or Herald-style segments.
+GRANULARITIES: tuple[str, ...] = ("model", "segment")
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One tenant: a scenario instance bound to a seed (a distinct user)."""
+
+    session_id: int
+    scenario: UsageScenario
+    seed: int = 0
+    frame_loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.session_id < 0:
+            raise ValueError(
+                f"session_id must be >= 0, got {self.session_id}"
+            )
+
+
+@dataclass
+class _SessionState:
+    """Mutable runtime state of one session."""
+
+    spec: SessionSpec
+    loadgen: LoadGenerator
+    deps: DependencyTracker
+    pending: PendingQueue
+    requests: list[InferenceRequest]
+    busy_time_s: dict[int, float]
+    spawned: dict[str, int]
+    root_codes: set[str]
+
+
+@dataclass
+class MultiSessionResult:
+    """Outcome of one multi-tenant run.
+
+    ``sessions`` holds one :class:`SimulationResult` per session (indexed
+    by session id), each scoring-compatible with the single-tenant path.
+    ``busy_time_s`` is the *system-level* per-engine busy time, which in
+    overload can exceed the streamed duration — a raw signal, clamped
+    only when formatted for display.
+    """
+
+    system: AcceleratorSystem
+    duration_s: float
+    sessions: list[SimulationResult]
+    records: list[ExecutionRecord]
+    busy_time_s: dict[int, float]
+    cost_stats: CostCacheStats | None = None
+
+    @property
+    def num_sessions(self) -> int:
+        return len(self.sessions)
+
+    def session(self, session_id: int) -> SimulationResult:
+        for result in self.sessions:
+            if result.session_id == session_id:
+                return result
+        raise KeyError(f"no session {session_id} in this result")
+
+    def all_requests(self) -> list[InferenceRequest]:
+        return [r for s in self.sessions for r in s.requests]
+
+    def system_utilization(self, sub_index: int) -> float:
+        """Raw busy fraction of one engine across all sessions."""
+        return self.busy_time_s.get(sub_index, 0.0) / self.duration_s
+
+    def mean_system_utilization(self) -> float:
+        subs = self.system.num_subs
+        return sum(self.system_utilization(i) for i in range(subs)) / subs
+
+
+@dataclass
+class MultiScenarioSimulator:
+    """Runs N concurrent scenario sessions on one accelerator system.
+
+    Attributes:
+        sessions: the tenant sessions to multiplex (ids must be unique).
+        system: the shared accelerator system.
+        scheduler: a legacy :class:`Scheduler` (adapted automatically) or
+            a session-aware :class:`SegmentScheduler`.
+        duration_s: streamed seconds per session.
+        costs: the cost table; for segment granularity a table without a
+            graph registry is wrapped in a :class:`CachedCostTable` so
+            virtual segment codes are priceable.
+        granularity: ``"model"`` (whole-model dispatch, the seed
+            behaviour) or ``"segment"`` (split models yield engines at
+            segment boundaries).
+        segments_per_model: target segments per model under segment
+            granularity; models without enough residual-safe cut points
+            run whole.
+        engine_dvfs: optional per-engine DVFS operating points.
+    """
+
+    sessions: list[SessionSpec]
+    system: AcceleratorSystem
+    scheduler: Scheduler | SegmentScheduler
+    duration_s: float = 1.0
+    costs: CostTable = field(default_factory=CachedCostTable)
+    granularity: str = "model"
+    segments_per_model: int = 2
+    engine_dvfs: dict[int, DvfsPoint] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.sessions:
+            raise ValueError("at least one session is required")
+        ids = [spec.session_id for spec in self.sessions]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate session ids: {ids}")
+        if self.granularity not in GRANULARITIES:
+            raise ValueError(
+                f"granularity must be one of {GRANULARITIES}, "
+                f"got {self.granularity!r}"
+            )
+        if self.segments_per_model < 1:
+            raise ValueError(
+                f"segments_per_model must be >= 1, "
+                f"got {self.segments_per_model}"
+            )
+        for index in self.engine_dvfs:
+            if not 0 <= index < self.system.num_subs:
+                raise ValueError(
+                    f"engine_dvfs references engine {index}, but the "
+                    f"system has {self.system.num_subs}"
+                )
+
+    @classmethod
+    def replicate(
+        cls,
+        scenario: UsageScenario,
+        system: AcceleratorSystem,
+        scheduler: Scheduler | SegmentScheduler,
+        num_sessions: int,
+        base_seed: int = 0,
+        frame_loss_probability: float = 0.0,
+        **kwargs,
+    ) -> MultiScenarioSimulator:
+        """N sessions of the same scenario with consecutive seeds."""
+        if num_sessions < 1:
+            raise ValueError(
+                f"num_sessions must be >= 1, got {num_sessions}"
+            )
+        specs = [
+            SessionSpec(i, scenario, base_seed + i, frame_loss_probability)
+            for i in range(num_sessions)
+        ]
+        return cls(sessions=specs, system=system, scheduler=scheduler,
+                   **kwargs)
+
+    # -- segment planning ----------------------------------------------------
+
+    def _plan_segments(self, costs) -> dict[str, list[str | None]]:
+        """Per-model segment task codes, registering segment graphs.
+
+        Models that cannot be split (too few layers, no residual-safe
+        cuts) map to a single whole-model piece.
+        """
+        plans: dict[str, list[str | None]] = {}
+        if self.granularity != "segment" or self.segments_per_model < 2:
+            return plans
+        seen: set[str] = set()
+        for spec in self.sessions:
+            for sm in spec.scenario.models:
+                if sm.code in seen:
+                    continue
+                seen.add(sm.code)
+                try:
+                    pieces = split_graph(
+                        sm.model.graph, self.segments_per_model
+                    )
+                except ValueError:
+                    continue
+                codes: list[str | None] = []
+                for idx, piece in enumerate(pieces):
+                    # The code embeds the split count: a table reused
+                    # across runs with different segments_per_model must
+                    # never resolve against a stale graph (split_graph is
+                    # deterministic, so same-count reuse is safe).
+                    vcode = dispatch_segment_code(sm.code, idx, len(pieces))
+                    if not costs.knows(vcode):
+                        costs.register_graph(vcode, piece)
+                    codes.append(vcode)
+                plans[sm.code] = codes
+        return plans
+
+    # -- the event loop ------------------------------------------------------
+
+    def run(self) -> MultiSessionResult:
+        scheduler = as_segment_scheduler(self.scheduler)
+        costs = self.costs
+        if self.granularity == "segment" and not hasattr(
+            costs, "register_graph"
+        ):
+            costs = CachedCostTable(base=costs)
+        plans = self._plan_segments(costs)
+
+        engines = [
+            ExecutionEngine(sub=sub, dvfs=self.engine_dvfs.get(sub.index))
+            for sub in self.system.subs
+        ]
+        events = EventQueue()
+        states: dict[int, _SessionState] = {}
+        for spec in sorted(self.sessions, key=lambda s: s.session_id):
+            loadgen = LoadGenerator(
+                spec.scenario,
+                self.duration_s,
+                spec.seed,
+                frame_loss_probability=spec.frame_loss_probability,
+            )
+            spawned = {sm.code: 0 for sm in spec.scenario.models}
+            spawned.update(loadgen.expected_frames())
+            states[spec.session_id] = _SessionState(
+                spec=spec,
+                loadgen=loadgen,
+                deps=DependencyTracker(spec.scenario),
+                pending=PendingQueue(),
+                requests=[],
+                busy_time_s={i: 0.0 for i in range(self.system.num_subs)},
+                spawned=spawned,
+                root_codes=set(loadgen.expected_frames()),
+            )
+            for request in loadgen.root_requests():
+                events.push(
+                    request.request_time_s,
+                    EventKind.ARRIVAL,
+                    request,
+                    session_id=spec.session_id,
+                )
+
+        #: In-flight requests waiting for their next segment.  Resumed
+        #: ahead of fresh work (a started request is never dropped), which
+        #: also makes single-engine segment runs schedule-identical to
+        #: whole-model runs.
+        resumable: list[WorkItem] = []
+
+        def piece_codes(model_code: str) -> list[str | None]:
+            return plans.get(model_code, [None])
+
+        def start(item: WorkItem, engine: ExecutionEngine,
+                  now_s: float) -> None:
+            state = states[item.session_id]
+            request = item.request
+            cost = self.system.engine_cost(
+                costs, item.code, engine.index, engine.dvfs
+            )
+            if item.is_first_segment:
+                request.start_time_s = now_s
+                request.energy_mj = 0.0
+            request.energy_mj += cost.energy_mj
+            # A single scalar cannot express segment migration: this ends
+            # up as the *final* segment's engine.  Exact per-segment
+            # attribution lives in the ExecutionRecords.
+            request.accelerator_id = engine.index
+            end_s = engine.begin(item, now_s, cost)
+            state.busy_time_s[engine.index] += cost.latency_s
+            if item.is_final_segment:
+                request.end_time_s = end_s
+            events.push(
+                end_s,
+                EventKind.COMPLETION,
+                request,
+                engine.index,
+                session_id=item.session_id,
+            )
+
+        def best_engine_for(item: WorkItem,
+                            idle: list[ExecutionEngine]) -> ExecutionEngine:
+            return min(
+                idle,
+                key=lambda e: (
+                    self.system.engine_cost(
+                        costs, item.code, e.index, e.dvfs
+                    ).latency_s,
+                    e.index,
+                ),
+            )
+
+        def item_order(item: WorkItem) -> tuple:
+            return (
+                item.request.request_time_s,
+                item.session_id,
+                item.request.model_code,
+            )
+
+        def dispatch(now_s: float) -> None:
+            # Pass 1: resume in-flight segmented requests, oldest first.
+            while resumable:
+                idle = [e for e in engines if e.idle]
+                if not idle:
+                    return
+                resumable.sort(key=item_order)
+                item = resumable.pop(0)
+                start(item, best_engine_for(item, idle), now_s)
+            # Pass 2: let the scheduler fill remaining idle engines.
+            while True:
+                idle = [e for e in engines if e.idle]
+                if not idle:
+                    return
+                waiting = [
+                    WorkItem(
+                        request=request,
+                        session_id=sid,
+                        segment_index=0,
+                        num_segments=len(piece_codes(request.model_code)),
+                        task_code=piece_codes(request.model_code)[0],
+                    )
+                    for sid, state in states.items()
+                    for request in state.pending.waiting()
+                ]
+                waiting.sort(key=item_order)
+                choice = scheduler.select(
+                    now_s, waiting, idle, self.system, costs
+                )
+                if choice is None:
+                    return
+                item, engine = choice
+                if not engine.idle:
+                    raise ValueError(
+                        f"scheduler chose busy engine {engine.index} "
+                        f"(idle: {[e.index for e in idle]})"
+                    )
+                states[item.session_id].pending.take(item.request)
+                start(item, engine, now_s)
+
+        while events:
+            event = events.pop()
+            now_s = event.time_s
+            state = states[event.session_id]
+            if event.kind is EventKind.ARRIVAL:
+                request = event.request
+                state.requests.append(request)
+                if request.model_code not in state.root_codes:
+                    state.spawned[request.model_code] += 1
+                state.pending.offer(request)
+            else:  # COMPLETION
+                engine = engines[event.sub_index]
+                item = engine.finish(now_s)
+                if item.request is not event.request:
+                    raise AssertionError(
+                        "completion event does not match active inference"
+                    )
+                if item.is_final_segment:
+                    for dep in state.deps.downstream_of(
+                        item.request.model_code
+                    ):
+                        child = state.loadgen.spawn_dependent(
+                            dep, item.request.model_frame, now_s
+                        )
+                        if child is not None:
+                            events.push(
+                                now_s,
+                                EventKind.ARRIVAL,
+                                child,
+                                session_id=event.session_id,
+                            )
+                else:
+                    codes = piece_codes(item.request.model_code)
+                    resumable.append(
+                        item.successor(codes[item.segment_index + 1])
+                    )
+            dispatch(now_s)
+
+        records = sorted(
+            (record for engine in engines for record in engine.records),
+            key=lambda r: (r.start_s, r.sub_index),
+        )
+        session_results = [
+            SimulationResult(
+                scenario=state.spec.scenario,
+                system=self.system,
+                duration_s=self.duration_s,
+                requests=state.requests,
+                busy_time_s=state.busy_time_s,
+                spawned_frames=state.spawned,
+                records=[
+                    r for r in records if r.session_id == sid
+                ],
+                session_id=sid,
+            )
+            for sid, state in sorted(states.items())
+        ]
+        return MultiSessionResult(
+            system=self.system,
+            duration_s=self.duration_s,
+            sessions=session_results,
+            records=records,
+            busy_time_s={e.index: e.busy_time_s for e in engines},
+            cost_stats=getattr(costs, "stats", None),
+        )

@@ -10,6 +10,19 @@ to plug in.
 Schedulers are deliberately simple objects with a single method so user
 code can swap in anything (the yellow "user-customisable" boxes of
 Figure 2).
+
+Two interfaces coexist:
+
+* :class:`Scheduler` — the legacy whole-request protocol: pick a
+  ``(request, engine index)`` pair from flat lists.
+* :class:`SegmentScheduler` — the multi-tenant protocol: pick a
+  ``(work item, engine)`` pair, where work items carry session identity
+  and segment position and engines are stateful
+  :class:`~repro.runtime.engine.ExecutionEngine` objects.
+
+:class:`SchedulerAdapter` lifts any legacy scheduler into the new
+protocol, so the four registered policies keep working unchanged under
+session multiplexing and segment-level dispatch.
 """
 
 from __future__ import annotations
@@ -21,8 +34,13 @@ from repro.costmodel import CostTable
 from repro.hardware import AcceleratorSystem
 from repro.workload import InferenceRequest
 
+from .engine import ExecutionEngine, WorkItem
+
 __all__ = [
     "Scheduler",
+    "SegmentScheduler",
+    "SchedulerAdapter",
+    "as_segment_scheduler",
     "LatencyGreedyScheduler",
     "RoundRobinScheduler",
     "EarliestDeadlineScheduler",
@@ -45,6 +63,81 @@ class Scheduler(Protocol):
     ) -> tuple[InferenceRequest, int] | None:
         """Choose the next dispatch, or ``None`` to leave engines idle."""
         ...
+
+
+class SegmentScheduler(Protocol):
+    """Session- and segment-aware dispatch interface."""
+
+    def select(
+        self,
+        now_s: float,
+        waiting: list[WorkItem],
+        idle_engines: list[ExecutionEngine],
+        system: AcceleratorSystem,
+        costs: CostTable,
+    ) -> tuple[WorkItem, ExecutionEngine] | None:
+        """Choose the next dispatch, or ``None`` to leave engines idle."""
+        ...
+
+
+@dataclass
+class SchedulerAdapter:
+    """Presents segment-granular, session-tagged work to a legacy policy.
+
+    The wrapped scheduler sees plain request/engine-index lists exactly as
+    before; the adapter maps its choice back onto the work item and the
+    engine object.  Engine-fit heuristics keep pricing by the *whole*
+    model code — an acceptable approximation for a segment, whose
+    relative engine affinity matches its parent model's.
+    """
+
+    inner: Scheduler
+
+    def select(
+        self,
+        now_s: float,
+        waiting: list[WorkItem],
+        idle_engines: list[ExecutionEngine],
+        system: AcceleratorSystem,
+        costs: CostTable,
+    ) -> tuple[WorkItem, ExecutionEngine] | None:
+        if not waiting or not idle_engines:
+            return None
+        choice = self.inner.pick(
+            now_s,
+            [item.request for item in waiting],
+            [engine.index for engine in idle_engines],
+            system,
+            costs,
+        )
+        if choice is None:
+            return None
+        request, sub_index = choice
+        item = next(
+            (w for w in waiting if w.request is request), None
+        )
+        if item is None:
+            raise ValueError(
+                f"scheduler picked {request!r}, which is not waiting"
+            )
+        engine = next(
+            (e for e in idle_engines if e.index == sub_index), None
+        )
+        if engine is None:
+            raise ValueError(
+                f"scheduler chose busy engine {sub_index} "
+                f"(idle: {[e.index for e in idle_engines]})"
+            )
+        return item, engine
+
+
+def as_segment_scheduler(
+    scheduler: Scheduler | SegmentScheduler,
+) -> SegmentScheduler:
+    """Lift a legacy scheduler into the session/segment protocol."""
+    if hasattr(scheduler, "select"):
+        return scheduler  # already segment-aware
+    return SchedulerAdapter(scheduler)
 
 
 def _best_engine(
@@ -176,11 +269,16 @@ SCHEDULERS: dict[str, type] = {
 }
 
 
-def make_scheduler(name: str) -> Scheduler:
-    """Instantiate a scheduler by registry name."""
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by registry name.
+
+    Keyword arguments are forwarded to the policy's constructor, e.g.
+    ``make_scheduler("rate_monotonic", periods={"HT": 1 / 45})``.
+    """
     try:
-        return SCHEDULERS[name]()
+        cls = SCHEDULERS[name]
     except KeyError:
         raise KeyError(
             f"unknown scheduler {name!r}; available: {sorted(SCHEDULERS)}"
         ) from None
+    return cls(**kwargs)

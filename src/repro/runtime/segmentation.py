@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.costmodel import CostTable, Dataflow
+from repro.costmodel import CostTable, Dataflow, GraphRegistry
 from repro.costmodel.analysis import CostModel, ModelCost
 from repro.nn import ModelGraph
 from repro.workload import (
@@ -33,12 +33,24 @@ from repro.workload import (
     UsageScenario,
 )
 __all__ = ["split_graph", "SegmentedCostTable", "segment_scenario",
-           "segment_code"]
+           "segment_code", "dispatch_segment_code"]
 
 
 def segment_code(code: str, index: int) -> str:
     """The virtual task code of one segment, e.g. ``PD.0``."""
     return f"{code}.{index}"
+
+
+def dispatch_segment_code(code: str, index: int, total: int) -> str:
+    """Cost-table code of one dispatch-time segment, e.g. ``PD.0of3``.
+
+    Unlike :func:`segment_code` (which names scenario-level virtual
+    models), these codes are cost-table-only and embed the split count,
+    so a table shared across runs with different ``segments_per_model``
+    never resolves a segment against a stale graph from an earlier
+    split.
+    """
+    return f"{code}.{index}of{total}"
 
 
 def split_graph(graph: ModelGraph, segments: int) -> list[ModelGraph]:
@@ -111,17 +123,12 @@ def split_graph(graph: ModelGraph, segments: int) -> list[ModelGraph]:
     return pieces
 
 
-class SegmentedCostTable(CostTable):
+class SegmentedCostTable(GraphRegistry, CostTable):
     """A cost table that also knows the virtual segment graphs."""
 
     def __init__(self) -> None:
         super().__init__()
-        self._graphs: dict[str, ModelGraph] = {}
-
-    def register_graph(self, code: str, graph: ModelGraph) -> None:
-        if code in self._graphs:
-            raise ValueError(f"segment code {code!r} already registered")
-        self._graphs[code] = graph
+        self._graphs = {}
 
     def cost(
         self, task_code: str, dataflow: Dataflow, num_pes: int

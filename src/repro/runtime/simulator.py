@@ -1,6 +1,11 @@
-"""The discrete-event simulator at the heart of the benchmark runtime.
+"""The single-tenant façade over the multi-tenant runtime engine.
 
-Drives one usage scenario against one accelerator system:
+Historically this module *was* the discrete-event simulator; the event
+loop now lives in :mod:`repro.runtime.multisim`, which multiplexes any
+number of scenario sessions onto one accelerator system through
+:class:`~repro.runtime.engine.ExecutionEngine` objects.  The
+:class:`Simulator` here runs the common one-scenario/one-system case as a
+single session, preserving the seed semantics exactly:
 
 1. The load generator schedules every sensor-driven inference request
    (with jittered arrival times) as ARRIVAL events.
@@ -26,10 +31,9 @@ from dataclasses import dataclass, field
 
 from repro.costmodel import CostTable
 from repro.hardware import AcceleratorSystem
-from repro.workload import InferenceRequest, LoadGenerator, UsageScenario
+from repro.workload import InferenceRequest, UsageScenario
 
-from .events import EventKind, EventQueue
-from .queues import ActiveInferenceTable, DependencyTracker, PendingQueue
+from .engine import ExecutionRecord
 from .scheduler import Scheduler
 
 __all__ = ["SimulationResult", "Simulator"]
@@ -37,7 +41,7 @@ __all__ = ["SimulationResult", "Simulator"]
 
 @dataclass
 class SimulationResult:
-    """Raw outcome of one scenario x system simulation."""
+    """Raw outcome of one scenario x system simulation (one session)."""
 
     scenario: UsageScenario
     system: AcceleratorSystem
@@ -45,6 +49,11 @@ class SimulationResult:
     requests: list[InferenceRequest]
     busy_time_s: dict[int, float]
     spawned_frames: dict[str, int]
+    #: Engine occupancy log (one entry per dispatched model/segment);
+    #: empty for results built by hand from request lists alone.
+    records: list[ExecutionRecord] = field(default_factory=list)
+    #: The tenant session this result belongs to (0 in single runs).
+    session_id: int = 0
 
     # -- derived statistics --------------------------------------------------
 
@@ -72,16 +81,21 @@ class SimulationResult:
             return 0.0
         return len([r for r in self.requests if r.dropped]) / total
 
+    def utilization(self, sub_index: int) -> float:
+        """Raw busy fraction of one engine over the streamed duration.
+
+        May exceed 1.0 when in-flight work drains past ``duration_s`` —
+        overload is signal, so it is *not* clamped here; reports clamp
+        when formatting for display.
+        """
+        return self.busy_time_s.get(sub_index, 0.0) / self.duration_s
+
     def missed_deadlines(self, model_code: str | None = None) -> int:
         return sum(
             1
             for r in self.completed(model_code)
             if r.missed_deadline
         )
-
-    def utilization(self, sub_index: int) -> float:
-        """Busy fraction of one engine over the streamed duration."""
-        return min(1.0, self.busy_time_s.get(sub_index, 0.0) / self.duration_s)
 
     def mean_utilization(self) -> float:
         subs = self.system.num_subs
@@ -100,91 +114,31 @@ class Simulator:
     costs: CostTable = field(default_factory=CostTable)
     #: Failure injection: sensor-frame loss probability (see LoadGenerator).
     frame_loss_probability: float = 0.0
+    #: Dispatch granularity: "model" (whole models, the paper's runtime)
+    #: or "segment" (split models yield engines between segments).
+    granularity: str = "model"
+    #: Target segments per split model under segment granularity.
+    segments_per_model: int = 2
 
     def run(self) -> SimulationResult:
-        loadgen = LoadGenerator(
-            self.scenario,
-            self.duration_s,
-            self.seed,
-            frame_loss_probability=self.frame_loss_probability,
-        )
-        deps = DependencyTracker(self.scenario)
-        events = EventQueue()
-        pending = PendingQueue()
-        active = ActiveInferenceTable()
-        busy_time: dict[int, float] = {i: 0.0 for i in range(self.system.num_subs)}
-        all_requests: list[InferenceRequest] = []
-        # QoE denominators: root models are charged for every streamed
-        # frame (including sensor-lost ones); dependent models only for
-        # the requests their triggers actually spawn.
-        spawned: dict[str, int] = {sm.code: 0 for sm in self.scenario.models}
-        spawned.update(loadgen.expected_frames())
-        root_codes = set(loadgen.expected_frames())
+        # Imported here: multisim builds SimulationResult objects, so the
+        # module dependency points that way.
+        from .multisim import MultiScenarioSimulator, SessionSpec
 
-        for request in loadgen.root_requests():
-            events.push(request.request_time_s, EventKind.ARRIVAL, request)
-
-        def dispatch(now_s: float) -> None:
-            """Let the scheduler fill idle engines."""
-            while True:
-                idle = active.idle_engines(self.system.num_subs)
-                waiting = pending.waiting()
-                choice = self.scheduler.pick(
-                    now_s, waiting, idle, self.system, self.costs
+        multi = MultiScenarioSimulator(
+            sessions=[
+                SessionSpec(
+                    session_id=0,
+                    scenario=self.scenario,
+                    seed=self.seed,
+                    frame_loss_probability=self.frame_loss_probability,
                 )
-                if choice is None:
-                    return
-                request, sub_index = choice
-                if sub_index not in idle:
-                    raise ValueError(
-                        f"scheduler chose busy engine {sub_index} "
-                        f"(idle: {idle})"
-                    )
-                pending.take(request)
-                cost = self.system.model_cost(
-                    self.costs, request.model_code, sub_index
-                )
-                request.start_time_s = now_s
-                request.end_time_s = now_s + cost.latency_s
-                request.accelerator_id = sub_index
-                request.energy_mj = cost.energy_mj
-                active.start(sub_index, request)
-                busy_time[sub_index] += cost.latency_s
-                events.push(
-                    request.end_time_s,
-                    EventKind.COMPLETION,
-                    request,
-                    sub_index,
-                )
-
-        while events:
-            event = events.pop()
-            now_s = event.time_s
-            if event.kind is EventKind.ARRIVAL:
-                request = event.request
-                all_requests.append(request)
-                if request.model_code not in root_codes:
-                    spawned[request.model_code] += 1
-                pending.offer(request)
-            else:  # COMPLETION
-                finished = active.finish(event.sub_index)
-                if finished is not event.request:
-                    raise AssertionError(
-                        "completion event does not match active inference"
-                    )
-                for dep in deps.downstream_of(finished.model_code):
-                    child = loadgen.spawn_dependent(
-                        dep, finished.model_frame, now_s
-                    )
-                    if child is not None:
-                        events.push(now_s, EventKind.ARRIVAL, child)
-            dispatch(now_s)
-
-        return SimulationResult(
-            scenario=self.scenario,
+            ],
             system=self.system,
+            scheduler=self.scheduler,
             duration_s=self.duration_s,
-            requests=all_requests,
-            busy_time_s=busy_time,
-            spawned_frames=spawned,
+            costs=self.costs,
+            granularity=self.granularity,
+            segments_per_model=self.segments_per_model,
         )
+        return multi.run().sessions[0]

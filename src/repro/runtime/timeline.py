@@ -30,22 +30,40 @@ class Segment:
 
 
 def extract_timeline(result: SimulationResult) -> dict[int, list[Segment]]:
-    """Per-engine execution segments, sorted by start time."""
+    """Per-engine execution segments, sorted by start time.
+
+    Prefers the engine occupancy log (``result.records``), which is exact
+    even under segment-level dispatch where one request occupies several
+    engines in turn; hand-built results without records fall back to the
+    per-request spans.
+    """
     lanes: dict[int, list[Segment]] = {
         i: [] for i in range(result.system.num_subs)
     }
-    for request in result.completed():
-        assert request.accelerator_id is not None
-        assert request.start_time_s is not None and request.end_time_s is not None
-        lanes[request.accelerator_id].append(
-            Segment(
-                sub_index=request.accelerator_id,
-                model_code=request.model_code,
-                model_frame=request.model_frame,
-                start_s=request.start_time_s,
-                end_s=request.end_time_s,
+    if result.records:
+        for record in result.records:
+            lanes[record.sub_index].append(
+                Segment(
+                    sub_index=record.sub_index,
+                    model_code=record.model_code,
+                    model_frame=record.model_frame,
+                    start_s=record.start_s,
+                    end_s=record.end_s,
+                )
             )
-        )
+    else:
+        for request in result.completed():
+            assert request.accelerator_id is not None
+            assert request.start_time_s is not None and request.end_time_s is not None
+            lanes[request.accelerator_id].append(
+                Segment(
+                    sub_index=request.accelerator_id,
+                    model_code=request.model_code,
+                    model_frame=request.model_frame,
+                    start_s=request.start_time_s,
+                    end_s=request.end_time_s,
+                )
+            )
     for segments in lanes.values():
         segments.sort(key=lambda s: s.start_s)
     return lanes

@@ -57,6 +57,59 @@ class TestRunScenario:
         assert rr.overall <= greedy.overall + 0.05
 
 
+class TestRunSessions:
+    def test_four_session_multiplex_reports_per_session_qoe(
+        self, short_harness, hda_j_4k
+    ):
+        report = short_harness.run_sessions("vr_gaming", hda_j_4k,
+                                            num_sessions=4)
+        assert len(report.session_reports) == 4
+        for session_report in report.session_reports:
+            assert 0.0 <= session_report.score.qoe <= 1.0
+        summary = report.summary()
+        assert "4 sessions of vr_gaming" in summary
+        assert "session 3:" in summary
+        assert 0.0 <= report.mean_overall <= 1.0
+
+    def test_session_lookup(self, short_harness, hda_j_4k):
+        report = short_harness.run_sessions("vr_gaming", hda_j_4k,
+                                            num_sessions=2)
+        assert report.session(1).simulation.session_id == 1
+        with pytest.raises(KeyError):
+            report.session(9)
+
+    def test_mixed_scenario_sequence(self, short_harness, hda_j_4k):
+        report = short_harness.run_sessions(
+            ["vr_gaming", "ar_assistant"], hda_j_4k
+        )
+        names = [
+            r.simulation.scenario.name for r in report.session_reports
+        ]
+        assert names == ["vr_gaming", "ar_assistant"]
+
+    def test_segment_granularity_through_harness(
+        self, short_harness, hda_j_4k
+    ):
+        report = short_harness.run_sessions(
+            "ar_gaming", hda_j_4k, num_sessions=2, granularity="segment"
+        )
+        assert any(
+            r.num_segments > 1 for r in report.result.records
+        )
+
+    def test_cost_cache_layered_over_harness_table(
+        self, short_harness, hda_j_4k
+    ):
+        report = short_harness.run_sessions("vr_gaming", hda_j_4k,
+                                            num_sessions=2)
+        stats = report.result.cost_stats
+        assert stats is not None and stats.hit_rate > 0.5
+
+    def test_empty_sequence_rejected(self, short_harness, hda_j_4k):
+        with pytest.raises(ValueError, match="at least one session"):
+            short_harness.run_sessions([], hda_j_4k)
+
+
 class TestRunSuite:
     def test_covers_all_scenarios(self, short_harness, fda_ws_4k):
         report = short_harness.run_suite(fda_ws_4k)

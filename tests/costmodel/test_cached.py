@@ -1,0 +1,115 @@
+"""Tests for the dispatch-path cost cache layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import (
+    CachedCostTable,
+    CostTable,
+    Dataflow,
+    DvfsPoint,
+    UncachedCostTable,
+)
+from repro.nn import ModelGraph
+from repro.runtime import split_graph
+from repro.workload import UNIT_MODELS
+
+
+class TestCachedCostTable:
+    def test_first_lookup_misses_then_hits(self):
+        table = CachedCostTable()
+        a = table.cost("HT", Dataflow.WS, 2048)
+        assert (table.stats.hits, table.stats.misses) == (0, 1)
+        b = table.cost("HT", Dataflow.WS, 2048)
+        assert b is a
+        assert (table.stats.hits, table.stats.misses) == (1, 1)
+        assert table.stats.hit_rate == pytest.approx(0.5)
+
+    def test_matches_base_table_values(self):
+        base, cached = CostTable(), CachedCostTable()
+        for code in ("HT", "SR", "DE"):
+            for dataflow in Dataflow:
+                expected = base.cost(code, dataflow, 2048)
+                got = cached.cost(code, dataflow, 2048)
+                assert got.latency_s == expected.latency_s
+                assert got.energy_mj == expected.energy_mj
+
+    def test_dvfs_states_cached_independently(self):
+        table = CachedCostTable()
+        sub = type("Sub", (), {"dataflow": Dataflow.WS, "num_pes": 2048})()
+        eco = DvfsPoint("eco", 0.5)
+        nominal = table.engine_cost("HT", sub)
+        slow = table.engine_cost("HT", sub, eco)
+        assert slow.latency_s == pytest.approx(2 * nominal.latency_s)
+        assert table.engine_cost("HT", sub, eco) is slow
+        assert table.stats.hits == 1
+
+    def test_same_name_different_scale_not_conflated(self):
+        # The memo keys on the DvfsPoint value, not its name.
+        table = CachedCostTable()
+        sub = type("Sub", (), {"dataflow": Dataflow.WS, "num_pes": 2048})()
+        fast = table.engine_cost("HT", sub, DvfsPoint("boost", 1.3))
+        slow = table.engine_cost("HT", sub, DvfsPoint("boost", 1.1))
+        assert slow.latency_s > fast.latency_s
+        assert table.stats.misses == 2
+
+    def test_registered_segment_graphs_priceable(self):
+        graph = UNIT_MODELS["PD"].graph
+        pieces = split_graph(graph, 2)
+        table = CachedCostTable()
+        table.register_graph("PD.0", pieces[0])
+        table.register_graph("PD.1", pieces[1])
+        assert table.knows("PD.0") and not table.knows("PD")
+        whole = table.cost("PD", Dataflow.WS, 2048)
+        seg = [
+            table.cost(code, Dataflow.WS, 2048) for code in ("PD.0", "PD.1")
+        ]
+        # Per-layer costs are additive, so segments sum to the whole.
+        assert sum(c.latency_s for c in seg) == pytest.approx(whole.latency_s)
+        assert sum(c.energy_mj for c in seg) == pytest.approx(whole.energy_mj)
+
+    def test_duplicate_registration_rejected(self):
+        graph = UNIT_MODELS["PD"].graph
+        table = CachedCostTable()
+        table.register_graph("PD.0", graph)
+        with pytest.raises(ValueError, match="already registered"):
+            table.register_graph("PD.0", graph)
+
+    def test_unknown_code_falls_through_to_base_error(self):
+        with pytest.raises(KeyError, match="unknown task code"):
+            CachedCostTable().cost("NOPE", Dataflow.WS, 2048)
+
+    def test_wraps_existing_base_table(self):
+        base = CostTable()
+        warm = base.cost("HT", Dataflow.WS, 2048)
+        cached = CachedCostTable(base=base)
+        assert cached.cost("HT", Dataflow.WS, 2048) is warm
+
+
+class TestUncachedCostTable:
+    def test_recomputes_every_query(self):
+        table = UncachedCostTable()
+        a = table.cost("HT", Dataflow.WS, 2048)
+        b = table.cost("HT", Dataflow.WS, 2048)
+        assert table.queries == 2
+        assert a is not b  # fresh analysis each time
+        assert a.latency_s == b.latency_s
+
+    def test_values_match_memoised_table(self):
+        base = CostTable()
+        uncached = UncachedCostTable()
+        got = uncached.cost("DE", Dataflow.OS, 4096)
+        expected = base.cost("DE", Dataflow.OS, 4096)
+        assert got.latency_s == expected.latency_s
+        assert got.energy_mj == expected.energy_mj
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(KeyError, match="unknown task code"):
+            UncachedCostTable().cost("NOPE", Dataflow.WS, 2048)
+
+
+def test_segment_graph_type_sanity():
+    # split_graph returns ModelGraph pieces the cache can analyse.
+    pieces = split_graph(UNIT_MODELS["PD"].graph, 2)
+    assert all(isinstance(p, ModelGraph) for p in pieces)

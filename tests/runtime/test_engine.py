@@ -1,0 +1,121 @@
+"""Tests for the ExecutionEngine abstraction and work items."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costmodel import CachedCostTable, CostTable, DvfsPoint
+from repro.hardware import build_accelerator
+from repro.runtime import ExecutionEngine, WorkItem
+from repro.workload import InferenceRequest
+
+
+def req(code="HT", frame=0, t=0.0, deadline=0.033):
+    return InferenceRequest(code, frame, t, deadline)
+
+
+@pytest.fixture()
+def engine():
+    system = build_accelerator("J", 4096)
+    return ExecutionEngine(sub=system.subs[0])
+
+
+@pytest.fixture(scope="module")
+def table():
+    return CostTable()
+
+
+class TestWorkItem:
+    def test_defaults_whole_model(self):
+        item = WorkItem(request=req())
+        assert item.code == "HT"
+        assert item.is_first_segment and item.is_final_segment
+        assert item.num_segments == 1
+
+    def test_segment_code_override(self):
+        item = WorkItem(request=req("PD"), segment_index=0,
+                        num_segments=2, task_code="PD.0")
+        assert item.code == "PD.0"
+        assert not item.is_final_segment
+
+    def test_successor_advances_segment(self):
+        item = WorkItem(request=req("PD"), num_segments=3, task_code="PD.0")
+        nxt = item.successor("PD.1")
+        assert nxt.segment_index == 1
+        assert nxt.code == "PD.1"
+        assert nxt.request is item.request
+
+    def test_successor_of_final_raises(self):
+        item = WorkItem(request=req())
+        with pytest.raises(ValueError, match="no successor"):
+            item.successor(None)
+
+    def test_invalid_segment_index(self):
+        with pytest.raises(ValueError, match="out of range"):
+            WorkItem(request=req(), segment_index=2, num_segments=2)
+
+    def test_session_identity_carried(self):
+        item = WorkItem(request=req(), session_id=7)
+        assert item.session_id == 7
+        assert item.successor is not None  # frozen dataclass still usable
+
+
+class TestExecutionEngine:
+    def test_begin_occupies(self, engine, table):
+        cost = table.cost("HT", engine.sub.dataflow, engine.sub.num_pes)
+        item = WorkItem(request=req())
+        end = engine.begin(item, 0.5, cost)
+        assert end == pytest.approx(0.5 + cost.latency_s)
+        assert not engine.idle
+        assert engine.current is item
+        assert engine.busy_until_s == pytest.approx(end)
+
+    def test_double_begin_raises(self, engine, table):
+        cost = table.cost("HT", engine.sub.dataflow, engine.sub.num_pes)
+        engine.begin(WorkItem(request=req()), 0.0, cost)
+        with pytest.raises(ValueError, match="hardware-occupancy"):
+            engine.begin(WorkItem(request=req(frame=1)), 0.1, cost)
+
+    def test_finish_idle_raises(self, engine):
+        with pytest.raises(ValueError, match="idle"):
+            engine.finish(0.0)
+
+    def test_finish_emits_record(self, engine, table):
+        cost = table.cost("HT", engine.sub.dataflow, engine.sub.num_pes)
+        item = WorkItem(request=req(), session_id=3, segment_index=0,
+                        num_segments=1)
+        end = engine.begin(item, 0.25, cost)
+        returned = engine.finish(end)
+        assert returned is item
+        assert engine.idle
+        [record] = engine.records
+        assert record.sub_index == engine.index
+        assert record.session_id == 3
+        assert record.model_code == "HT"
+        assert record.start_s == pytest.approx(0.25)
+        assert record.end_s == pytest.approx(end)
+        assert record.energy_mj == pytest.approx(cost.energy_mj)
+
+    def test_busy_time_accumulates(self, engine, table):
+        cost = table.cost("HT", engine.sub.dataflow, engine.sub.num_pes)
+        for frame in range(3):
+            end = engine.begin(WorkItem(request=req(frame=frame)), 0.0, cost)
+            engine.finish(end)
+        assert engine.busy_time_s == pytest.approx(3 * cost.latency_s)
+
+    def test_dvfs_point_slows_and_is_cached_separately(self):
+        system = build_accelerator("J", 4096)
+        table = CachedCostTable()
+        eco = DvfsPoint("eco", 0.5)
+        nominal = system.engine_cost(table, "HT", 0)
+        scaled = system.engine_cost(table, "HT", 0, eco)
+        assert scaled.latency_s == pytest.approx(2 * nominal.latency_s)
+        # Both operating points are cached independently.
+        assert system.engine_cost(table, "HT", 0, eco) is scaled
+        assert system.engine_cost(table, "HT", 0) is nominal
+
+    def test_describe_mentions_dvfs(self):
+        system = build_accelerator("J", 4096)
+        engine = ExecutionEngine(sub=system.subs[0],
+                                 dvfs=DvfsPoint("eco", 0.5))
+        assert "eco" in engine.describe()

@@ -1,0 +1,264 @@
+"""Tests for the multi-tenant runtime engine."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core import score_sessions
+from repro.costmodel import CachedCostTable, CostTable
+from repro.hardware import build_accelerator
+from repro.runtime import (
+    LatencyGreedyScheduler,
+    MultiScenarioSimulator,
+    SessionSpec,
+    Simulator,
+)
+from repro.workload import get_scenario
+
+
+def multi(scenario="vr_gaming", acc="J", pes=8192, sessions=4, seed=0,
+          duration=1.0, **kwargs):
+    return MultiScenarioSimulator.replicate(
+        get_scenario(scenario),
+        build_accelerator(acc, pes),
+        LatencyGreedyScheduler(),
+        sessions,
+        base_seed=seed,
+        duration_s=duration,
+        **kwargs,
+    ).run()
+
+
+def signature(result):
+    return [
+        (s.session_id, r.model_code, r.model_frame, r.end_time_s, r.dropped)
+        for s in result.sessions
+        for r in s.requests
+    ]
+
+
+@pytest.fixture(scope="module")
+def four_sessions():
+    return multi()
+
+
+class TestConstruction:
+    def test_needs_a_session(self):
+        with pytest.raises(ValueError, match="at least one session"):
+            MultiScenarioSimulator(
+                sessions=[],
+                system=build_accelerator("J", 4096),
+                scheduler=LatencyGreedyScheduler(),
+            )
+
+    def test_rejects_duplicate_ids(self):
+        scenario = get_scenario("vr_gaming")
+        with pytest.raises(ValueError, match="duplicate session ids"):
+            MultiScenarioSimulator(
+                sessions=[SessionSpec(0, scenario), SessionSpec(0, scenario)],
+                system=build_accelerator("J", 4096),
+                scheduler=LatencyGreedyScheduler(),
+            )
+
+    def test_rejects_unknown_granularity(self):
+        with pytest.raises(ValueError, match="granularity"):
+            MultiScenarioSimulator(
+                sessions=[SessionSpec(0, get_scenario("vr_gaming"))],
+                system=build_accelerator("J", 4096),
+                scheduler=LatencyGreedyScheduler(),
+                granularity="layer",
+            )
+
+
+class TestMultiplexing:
+    def test_per_session_results_and_qoe(self, four_sessions):
+        assert four_sessions.num_sessions == 4
+        scores = score_sessions(four_sessions)
+        assert len(scores) == 4
+        for score in scores:
+            assert 0.0 <= score.overall <= 1.0
+            assert 0.0 <= score.qoe <= 1.0
+
+    def test_sessions_have_distinct_jitter(self, four_sessions):
+        times = [
+            tuple(r.request_time_s for r in s.requests)
+            for s in four_sessions.sessions
+        ]
+        assert len(set(times)) == 4  # distinct seeds -> distinct streams
+
+    def test_system_busy_is_sum_of_session_busy(self, four_sessions):
+        for i in range(four_sessions.system.num_subs):
+            contributed = sum(
+                s.busy_time_s[i] for s in four_sessions.sessions
+            )
+            assert four_sessions.busy_time_s[i] == pytest.approx(contributed)
+
+    def test_shared_system_shows_contention(self):
+        alone = multi(sessions=1)
+        crowded = multi(sessions=4)
+        drop = lambda res: sum(  # noqa: E731
+            len(s.dropped()) for s in res.sessions
+        ) / max(1, sum(len(s.requests) for s in res.sessions))
+        assert drop(crowded) >= drop(alone)
+        assert crowded.mean_system_utilization() >= (
+            alone.mean_system_utilization()
+        )
+
+    def test_records_cover_all_sessions(self, four_sessions):
+        sessions_seen = {r.session_id for r in four_sessions.records}
+        assert sessions_seen == {0, 1, 2, 3}
+
+    def test_no_engine_overlap_across_sessions(self, four_sessions):
+        by_engine: dict[int, list] = {}
+        for record in four_sessions.records:
+            by_engine.setdefault(record.sub_index, []).append(record)
+        for records in by_engine.values():
+            records.sort(key=lambda r: r.start_s)
+            for a, b in zip(records, records[1:]):
+                assert a.end_s <= b.start_s + 1e-12
+
+    def test_mixed_scenarios(self):
+        specs = [
+            SessionSpec(0, get_scenario("vr_gaming"), seed=0),
+            SessionSpec(1, get_scenario("ar_assistant"), seed=1),
+        ]
+        result = MultiScenarioSimulator(
+            sessions=specs,
+            system=build_accelerator("J", 8192),
+            scheduler=LatencyGreedyScheduler(),
+        ).run()
+        assert result.session(0).scenario.name == "vr_gaming"
+        assert result.session(1).scenario.name == "ar_assistant"
+        assert all(len(s.completed()) > 0 for s in result.sessions)
+
+
+class TestDeterminism:
+    def test_same_seeds_same_outcome(self):
+        assert signature(multi(seed=3)) == signature(multi(seed=3))
+
+    def test_different_seed_differs(self):
+        assert signature(multi(seed=0)) != signature(multi(seed=100))
+
+    def test_single_session_matches_legacy_simulator(self):
+        table = CostTable()
+        legacy = Simulator(
+            scenario=get_scenario("vr_gaming"),
+            system=build_accelerator("J", 8192),
+            scheduler=LatencyGreedyScheduler(),
+            costs=table,
+            seed=5,
+        ).run()
+        result = multi(sessions=1, seed=5)
+        [session] = result.sessions
+        legacy_sig = [
+            (r.model_code, r.model_frame, r.end_time_s, r.dropped)
+            for r in legacy.requests
+        ]
+        multi_sig = [
+            (r.model_code, r.model_frame, r.end_time_s, r.dropped)
+            for r in session.requests
+        ]
+        assert legacy_sig == multi_sig
+
+
+class TestSegmentGranularity:
+    def test_single_engine_counts_match_model_granularity(self):
+        by_granularity = {}
+        for granularity in ("model", "segment"):
+            result = multi(
+                scenario="ar_gaming",
+                acc="A",
+                pes=8192,
+                sessions=1,
+                granularity=granularity,
+            )
+            by_granularity[granularity] = Counter(
+                r.model_code for r in result.sessions[0].completed()
+            )
+        assert by_granularity["model"] == by_granularity["segment"]
+
+    def test_segment_records_emitted(self):
+        result = multi(granularity="segment", sessions=2)
+        segmented = [r for r in result.records if r.num_segments > 1]
+        assert segmented, "expected at least one segment-level execution"
+        # Segment indices within a (session, model, frame) group chain up.
+        groups: dict[tuple, list[int]] = {}
+        for record in segmented:
+            key = (record.session_id, record.model_code, record.model_frame)
+            groups.setdefault(key, []).append(record.segment_index)
+        for indices in groups.values():
+            assert sorted(indices) == list(range(len(indices)))
+
+    def test_segment_requests_span_their_records(self):
+        result = multi(granularity="segment", sessions=1)
+        [session] = result.sessions
+        spans: dict[tuple, list] = {}
+        for record in session.records:
+            spans.setdefault(
+                (record.model_code, record.model_frame), []
+            ).append(record)
+        for request in session.completed():
+            records = spans[(request.model_code, request.model_frame)]
+            assert min(r.start_s for r in records) == pytest.approx(
+                request.start_time_s
+            )
+            assert max(r.end_s for r in records) == pytest.approx(
+                request.end_time_s
+            )
+
+    def test_simulator_facade_plumbs_split_count(self):
+        result = Simulator(
+            scenario=get_scenario("ar_gaming"),
+            system=build_accelerator("J", 8192),
+            scheduler=LatencyGreedyScheduler(),
+            costs=CachedCostTable(),
+            granularity="segment",
+            segments_per_model=3,
+        ).run()
+        assert max(r.num_segments for r in result.records) == 3
+
+    def test_table_reuse_across_split_counts_stays_correct(self):
+        # Segment codes embed the split count, so a table warmed by a
+        # 2-way run never prices a 3-way run with stale segment graphs.
+        def signature_of(result):
+            return [
+                (r.model_code, r.model_frame, r.end_time_s)
+                for r in result.sessions[0].completed()
+            ]
+
+        shared = CachedCostTable()
+        multi(scenario="ar_gaming", acc="A", sessions=1,
+              granularity="segment", costs=shared)
+        reused = multi(scenario="ar_gaming", acc="A", sessions=1,
+                       granularity="segment", segments_per_model=3,
+                       costs=shared)
+        fresh = multi(scenario="ar_gaming", acc="A", sessions=1,
+                      granularity="segment", segments_per_model=3,
+                      costs=CachedCostTable())
+        assert signature_of(reused) == signature_of(fresh)
+
+    def test_plain_cost_table_gets_wrapped(self):
+        # Segment granularity needs a graph registry; a bare CostTable is
+        # wrapped transparently rather than rejected.
+        result = multi(granularity="segment", sessions=1,
+                       **{"costs": CostTable()})
+        assert any(r.num_segments > 1 for r in result.records)
+
+
+class TestCostCache:
+    def test_cache_stats_reported(self, four_sessions):
+        stats = four_sessions.cost_stats
+        assert stats is not None
+        assert stats.lookups > 0
+        assert stats.hit_rate > 0.9  # hot path is dominated by hits
+
+    def test_shared_base_table_reused(self):
+        base = CostTable()
+        multi(sessions=2, **{"costs": CachedCostTable(base=base)})
+        cached = CachedCostTable(base=base)
+        result = multi(sessions=2, **{"costs": cached})
+        # Every analytical answer came from the warm base table.
+        assert cached.stats.misses > 0
+        assert result.cost_stats is cached.stats

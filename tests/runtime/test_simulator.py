@@ -95,9 +95,21 @@ class TestFrameAccounting:
     def test_drop_rate_range(self, vr_result):
         assert 0.0 <= vr_result.frame_drop_rate() <= 1.0
 
-    def test_utilization_bounded(self, vr_result):
+    def test_utilization_is_raw_busy_fraction(self, vr_result):
+        # Overload is signal: utilization is the unclamped busy fraction
+        # (reports clamp at display time only).
         for i in range(vr_result.system.num_subs):
-            assert 0.0 <= vr_result.utilization(i) <= 1.0
+            expected = vr_result.busy_time_s[i] / vr_result.duration_s
+            assert vr_result.utilization(i) == pytest.approx(expected)
+            assert vr_result.utilization(i) >= 0.0
+
+    def test_overloaded_utilization_exceeds_one(self, table):
+        # A saturated run keeps the engines busy past duration_s (in-flight
+        # work drains), so the raw fraction must not be clamped to 1.
+        result = simulate("ar_gaming", "J", 4096, costs=table)
+        assert max(
+            result.utilization(i) for i in range(result.system.num_subs)
+        ) > 1.0
 
 
 class TestDeterminism:

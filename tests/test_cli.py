@@ -41,6 +41,26 @@ class TestCommands:
         ) == 0
         assert "ms/char" in capsys.readouterr().out
 
+    def test_run_multi_session(self, capsys):
+        assert main(
+            ["run", "vr_gaming", "J", "--duration", "0.5", "--sessions", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 sessions of vr_gaming" in out
+        assert "session 2:" in out
+        assert "cost cache" in out
+
+    def test_run_segment_granularity(self, capsys):
+        assert main(
+            ["run", "ar_gaming", "J", "--duration", "0.5",
+             "--granularity", "segment"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 sessions of ar_gaming" in out
+
+    def test_run_rejects_bad_session_count(self, capsys):
+        assert main(["run", "vr_gaming", "J", "--sessions", "0"]) == 2
+
     def test_suite(self, capsys):
         assert main(["suite", "A", "--duration", "0.5"]) == 0
         assert "XRBench SCORE" in capsys.readouterr().out
