@@ -1,11 +1,13 @@
 """Runtime-throughput microbenchmark: what the cost cache buys.
 
-Runs the same multi-session workload twice through the multi-tenant
-engine — once pricing every dispatch with :class:`UncachedCostTable`
-(full analytical re-evaluation per query, the naive baseline) and once
-with :class:`CachedCostTable` (dict-probe dispatch path) — and emits a
-JSON blob with simulated-requests/sec and the cost-cache hit rate, to
-seed the performance trajectory of future PRs.
+Compiles the workload flags into one declarative
+:class:`repro.api.RunSpec` and runs it twice through the single
+:func:`repro.api.execute` funnel — once pricing every dispatch with
+:class:`UncachedCostTable` (full analytical re-evaluation per query, the
+naive baseline) and once with :class:`CachedCostTable` (dict-probe
+dispatch path) — and emits a JSON blob with simulated-requests/sec and
+the cost-cache hit rate, to seed the performance trajectory of future
+PRs.
 
 Usage::
 
@@ -21,35 +23,44 @@ import json
 import sys
 import time
 
+from repro.api import RunSpec, execute
+from repro.core import MultiSessionReport
 from repro.costmodel import CachedCostTable, CostTable, UncachedCostTable
-from repro.hardware import ACCELERATOR_IDS, build_accelerator
-from repro.runtime import MultiScenarioSimulator, make_scheduler
-from repro.workload import SCENARIO_ORDER, get_scenario
+from repro.hardware import ACCELERATOR_IDS
+from repro.workload import SCENARIO_ORDER
 
 
-def run_once(args, costs):
-    simulator = MultiScenarioSimulator.replicate(
-        get_scenario(args.scenario),
-        build_accelerator(args.accelerator, args.pes),
-        make_scheduler(args.scheduler),
-        args.sessions,
-        base_seed=args.seed,
-        duration_s=args.duration,
-        costs=costs,
+def build_spec(args) -> RunSpec:
+    # A per-session scenario tuple (even of length 1) routes the spec
+    # through the multi-tenant engine, so --sessions 1 still benchmarks
+    # the dispatch path this file's numbers have always measured.
+    return RunSpec(
+        scenario=(args.scenario,) * args.sessions,
+        accelerator=args.accelerator,
+        pes=args.pes,
+        scheduler=args.scheduler,
         granularity=args.granularity,
+        duration_s=args.duration,
+        seed=args.seed,
     )
+
+
+def run_once(spec: RunSpec, costs):
+    """One funnel pass with an injected dispatch-path cost table."""
     start = time.perf_counter()
-    result = simulator.run()
+    report = execute(spec, dispatch_costs=costs)
     elapsed = time.perf_counter() - start
+    assert isinstance(report, MultiSessionReport)
+    result = report.result
     requests = sum(len(s.requests) for s in result.sessions)
     return result, requests, elapsed
 
 
-def measure(args, make_table):
+def measure(spec: RunSpec, repeat: int, make_table):
     """Best-of-N wall time for one table flavour."""
     best = None
-    for _ in range(args.repeat):
-        result, requests, elapsed = run_once(args, make_table())
+    for _ in range(repeat):
+        result, requests, elapsed = run_once(spec, make_table())
         if best is None or elapsed < best[2]:
             best = (result, requests, elapsed)
     result, requests, elapsed = best
@@ -81,21 +92,14 @@ def main(argv=None) -> int:
     if args.repeat < 1:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
 
-    uncached, _ = measure(args, UncachedCostTable)
+    spec = build_spec(args)
+    uncached, _ = measure(spec, args.repeat, UncachedCostTable)
     cached, cached_result = measure(
-        args, lambda: CachedCostTable(base=CostTable())
+        spec, args.repeat, lambda: CachedCostTable(base=CostTable())
     )
     stats = cached_result.cost_stats
     payload = {
-        "workload": {
-            "scenario": args.scenario,
-            "accelerator": args.accelerator,
-            "pes": args.pes,
-            "sessions": args.sessions,
-            "duration_s": args.duration,
-            "scheduler": args.scheduler,
-            "granularity": args.granularity,
-        },
+        "workload": spec.to_dict(),
         "uncached": uncached,
         "cached": cached,
         "speedup": round(

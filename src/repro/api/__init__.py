@@ -1,0 +1,67 @@
+"""Declarative run API: one serializable entry point for all execution.
+
+The paper's value is scenario diversity scored under one methodology;
+this package makes the *run description* itself a first-class, frozen,
+JSON-round-trippable value so every front end — the Python API, the
+``xrbench`` CLI, the eval figure drivers, the benchmarks, and future
+distributed workers — compiles through one funnel:
+
+    RunSpec  ── execute() ──>  ScenarioReport
+    Sweep ─ expand ─> [RunSpec] ── Experiment.run() ──> [Report]
+
+Quickstart::
+
+    from repro.api import RunSpec, Sweep, Experiment, execute
+
+    # One run, declaratively.
+    report = execute(RunSpec(scenario="ar_gaming", accelerator="J"))
+    print(report.summary())
+
+    # The same spec, over the wire and back, byte-identical results.
+    spec = RunSpec.from_json(report_spec_json)
+
+    # A cartesian sweep on two worker processes.
+    sweep = Sweep(
+        base=RunSpec(scenario="ar_gaming", duration_s=0.5),
+        grid={"scenario": ("ar_gaming", "vr_gaming"),
+              "accelerator": ("A", "J")},
+    )
+    reports = Experiment.from_sweep(sweep).run(workers=2)
+
+Every name a spec mentions (scenario, scheduler, accelerator, score
+preset) resolves through :mod:`repro.registry`, so third-party
+registrations are addressable from JSON without code changes.
+:class:`repro.core.Harness` remains as a thin compatibility facade over
+the same helpers.
+"""
+
+from .events import (
+    CollectingSink,
+    EventSink,
+    ProgressEvent,
+    StreamSink,
+)
+from .execute import (
+    Experiment,
+    Report,
+    execute,
+    run_full_suite,
+    run_session_group,
+    run_single_scenario,
+)
+from .spec import RunSpec, Sweep
+
+__all__ = [
+    "CollectingSink",
+    "EventSink",
+    "Experiment",
+    "ProgressEvent",
+    "Report",
+    "RunSpec",
+    "StreamSink",
+    "Sweep",
+    "execute",
+    "run_full_suite",
+    "run_session_group",
+    "run_single_scenario",
+]

@@ -1,0 +1,87 @@
+"""Structured progress events for spec execution.
+
+Long sweeps (13 accelerators x 7 scenarios x seeds) need observable
+progress without coupling the funnel to any output device.  The funnel
+emits :class:`ProgressEvent` records to every sink passed in; a sink is
+anything with an ``emit(event)`` method.  Two are provided:
+:class:`CollectingSink` (testing/programmatic) and :class:`StreamSink`
+(human-readable lines on a stream, e.g. stderr for the CLI).
+
+Event kinds, in emission order:
+
+* ``experiment_started`` / ``experiment_finished`` — one experiment.
+* ``spec_started`` / ``spec_finished`` — one :class:`~repro.api.RunSpec`.
+* ``scenario_finished`` — one scenario inside a ``suite=True`` spec.
+
+``payload`` carries kind-specific details (scores, counts, names) as
+plain data so sinks can serialize events wholesale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import IO, Any, Iterable, Mapping, Protocol
+
+__all__ = [
+    "ProgressEvent",
+    "EventSink",
+    "CollectingSink",
+    "StreamSink",
+    "emit",
+]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One step of an executing spec, experiment or suite."""
+
+    kind: str
+    label: str = ""
+    index: int = 0
+    total: int = 1
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        head = f"[{self.index + 1}/{self.total}] {self.kind}"
+        if self.label:
+            head += f": {self.label}"
+        overall = self.payload.get("overall")
+        if overall is not None:
+            head += f" (overall={overall:.3f})"
+        return head
+
+
+class EventSink(Protocol):
+    """Anything that can receive progress events."""
+
+    def emit(self, event: ProgressEvent) -> None: ...
+
+
+class CollectingSink:
+    """Accumulates events in order (tests, programmatic monitoring)."""
+
+    def __init__(self) -> None:
+        self.events: list[ProgressEvent] = []
+
+    def emit(self, event: ProgressEvent) -> None:
+        self.events.append(event)
+
+    def kinds(self) -> list[str]:
+        return [e.kind for e in self.events]
+
+
+class StreamSink:
+    """Writes one human-readable line per event to a text stream."""
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+
+    def emit(self, event: ProgressEvent) -> None:
+        self.stream.write(event.describe() + "\n")
+        self.stream.flush()
+
+
+def emit(sinks: Iterable[EventSink], event: ProgressEvent) -> None:
+    """Deliver one event to every sink."""
+    for sink in sinks:
+        sink.emit(event)

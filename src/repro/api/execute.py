@@ -1,0 +1,384 @@
+"""The single execution funnel: ``execute(spec) -> Report``.
+
+Every front end — :class:`repro.core.Harness` (now a facade), the CLI,
+the eval figure drivers, the benchmarks — runs specs through this module.
+The three run shapes share one implementation each:
+
+* :func:`run_single_scenario` — one scenario, one system
+  (:class:`~repro.core.ScenarioReport`).
+* :func:`run_session_group` — N concurrent tenant sessions multiplexed
+  onto one system (:class:`~repro.core.MultiSessionReport`).
+* :func:`run_full_suite` — the seven-scenario suite
+  (:class:`~repro.core.BenchmarkReport`).
+
+:func:`execute` resolves a :class:`~repro.api.RunSpec`'s names through
+:mod:`repro.registry`, routes on :attr:`RunSpec.mode` and streams
+:class:`~repro.api.events.ProgressEvent` records to pluggable sinks.
+
+:class:`Experiment` executes spec lists — serially through one shared
+:class:`~repro.costmodel.CachedCostTable` (so a 13-accelerator x
+7-scenario sweep analyses each (model, engine) pair once), or on a
+process pool (``workers > 1``) for wall-clock parallelism.  Both paths
+produce identical reports: cost caching is a speed layer, never a
+results layer, and every spec carries its own seeds.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.core.aggregate import score_sessions, score_simulation
+from repro.core.config import ScoreConfig, get_score_preset
+from repro.core.report import (
+    BenchmarkReport,
+    MultiSessionReport,
+    ScenarioReport,
+)
+from repro.costmodel import CachedCostTable, CostTable
+from repro.hardware import AcceleratorSystem, build_accelerator
+from repro.runtime import (
+    MultiScenarioSimulator,
+    SessionSpec,
+    Simulator,
+    make_scheduler,
+)
+from repro.workload import UsageScenario, benchmark_suite, get_scenario
+
+from .events import EventSink, ProgressEvent, emit
+from .spec import RunSpec, Sweep
+
+__all__ = [
+    "Report",
+    "execute",
+    "Experiment",
+    "run_single_scenario",
+    "run_session_group",
+    "run_full_suite",
+]
+
+#: What :func:`execute` returns, depending on :attr:`RunSpec.mode`.
+Report = ScenarioReport | MultiSessionReport | BenchmarkReport
+
+
+def _resolve(scenario: UsageScenario | str) -> UsageScenario:
+    return get_scenario(scenario) if isinstance(scenario, str) else scenario
+
+
+def run_single_scenario(
+    scenario: UsageScenario | str,
+    system: AcceleratorSystem,
+    *,
+    scheduler: str = "latency_greedy",
+    duration_s: float = 1.0,
+    seed: int = 0,
+    score: ScoreConfig | None = None,
+    frame_loss: float = 0.0,
+    costs: CostTable | None = None,
+    measured_quality: dict[str, float] | None = None,
+) -> ScenarioReport:
+    """Simulate and score one scenario on one system."""
+    simulator = Simulator(
+        scenario=_resolve(scenario),
+        system=system,
+        scheduler=make_scheduler(scheduler),
+        duration_s=duration_s,
+        seed=seed,
+        costs=costs if costs is not None else CostTable(),
+        frame_loss_probability=frame_loss,
+    )
+    result = simulator.run()
+    scored = score_simulation(
+        result, score if score is not None else ScoreConfig(),
+        measured_quality,
+    )
+    return ScenarioReport(simulation=result, score=scored)
+
+
+def run_session_group(
+    scenarios: Sequence[UsageScenario | str],
+    system: AcceleratorSystem,
+    *,
+    scheduler: str = "latency_greedy",
+    duration_s: float = 1.0,
+    base_seed: int = 0,
+    score: ScoreConfig | None = None,
+    frame_loss: float = 0.0,
+    costs: CostTable | None = None,
+    dispatch_costs: CostTable | None = None,
+    granularity: str = "model",
+    segments_per_model: int = 2,
+    measured_quality: dict[str, float] | None = None,
+) -> MultiSessionReport:
+    """Multiplex concurrent scenario sessions onto one system.
+
+    Sessions get consecutive seeds from ``base_seed``.  Dispatch-path
+    pricing flows through a :class:`CachedCostTable` layered over
+    ``costs`` unless ``dispatch_costs`` supplies the table directly
+    (the throughput benchmark uses that to compare cache flavours).
+    """
+    if not scenarios:
+        raise ValueError("at least one session is required")
+    resolved = [_resolve(s) for s in scenarios]
+    specs = [
+        SessionSpec(
+            session_id=i,
+            scenario=sc,
+            seed=base_seed + i,
+            frame_loss_probability=frame_loss,
+        )
+        for i, sc in enumerate(resolved)
+    ]
+    if dispatch_costs is None:
+        dispatch_costs = CachedCostTable(
+            base=costs if costs is not None else CostTable()
+        )
+    simulator = MultiScenarioSimulator(
+        sessions=specs,
+        system=system,
+        scheduler=make_scheduler(scheduler),
+        duration_s=duration_s,
+        costs=dispatch_costs,
+        granularity=granularity,
+        segments_per_model=segments_per_model,
+    )
+    result = simulator.run()
+    score_cfg = score if score is not None else ScoreConfig()
+    scores = score_sessions(result, score_cfg, measured_quality)
+    reports = tuple(
+        ScenarioReport(simulation=session, score=scored)
+        for session, scored in zip(result.sessions, scores)
+    )
+    return MultiSessionReport(result=result, session_reports=reports)
+
+
+def run_full_suite(
+    system: AcceleratorSystem,
+    *,
+    scheduler: str = "latency_greedy",
+    duration_s: float = 1.0,
+    seed: int = 0,
+    score: ScoreConfig | None = None,
+    frame_loss: float = 0.0,
+    costs: CostTable | None = None,
+    sinks: Sequence[EventSink] = (),
+    label: str = "",
+) -> BenchmarkReport:
+    """Run the full seven-scenario suite (Definition 5's Omega)."""
+    costs = costs if costs is not None else CostTable()
+    suite = benchmark_suite()
+    reports = []
+    for i, scenario in enumerate(suite):
+        report = run_single_scenario(
+            scenario, system,
+            scheduler=scheduler, duration_s=duration_s, seed=seed,
+            score=score, frame_loss=frame_loss, costs=costs,
+        )
+        emit(sinks, ProgressEvent(
+            kind="scenario_finished",
+            label=label or scenario.name,
+            index=i,
+            total=len(suite),
+            payload={"scenario": scenario.name, "overall": report.overall},
+        ))
+        reports.append(report)
+    return BenchmarkReport(system=system, scenario_reports=reports)
+
+
+def execute(
+    spec: RunSpec,
+    *,
+    system: AcceleratorSystem | None = None,
+    costs: CostTable | None = None,
+    dispatch_costs: CostTable | None = None,
+    score: ScoreConfig | None = None,
+    measured_quality: dict[str, float] | None = None,
+    sinks: Sequence[EventSink] = (),
+    index: int = 0,
+    total: int = 1,
+) -> Report:
+    """Execute one spec and return its report.
+
+    The keyword overrides exist for callers that already hold richer
+    objects than a spec can serialize — a pre-built ``system`` (ignoring
+    ``spec.accelerator``/``spec.pes``), a shared cost table, or an
+    inline :class:`ScoreConfig` replacing the named preset.  The
+    spec-only call is the fully-declarative path.
+    """
+    if score is None:
+        score = get_score_preset(spec.score_preset)
+    if system is None:
+        system = build_accelerator(spec.accelerator, spec.pes)
+    label = spec.describe()
+    emit(sinks, ProgressEvent(
+        kind="spec_started", label=label, index=index, total=total,
+    ))
+    if spec.mode == "suite":
+        report: Report = run_full_suite(
+            system,
+            scheduler=spec.scheduler, duration_s=spec.duration_s,
+            seed=spec.seed, score=score, frame_loss=spec.frame_loss,
+            costs=costs, sinks=sinks,
+        )
+    elif spec.mode == "sessions":
+        names = (
+            spec.scenario
+            if isinstance(spec.scenario, tuple)
+            else (spec.scenario,) * spec.sessions
+        )
+        report = run_session_group(
+            names, system,
+            scheduler=spec.scheduler, duration_s=spec.duration_s,
+            base_seed=spec.seed, score=score, frame_loss=spec.frame_loss,
+            costs=costs, dispatch_costs=dispatch_costs,
+            granularity=spec.granularity,
+            segments_per_model=spec.segments_per_model,
+            measured_quality=measured_quality,
+        )
+    else:
+        report = run_single_scenario(
+            spec.scenario, system,
+            scheduler=spec.scheduler, duration_s=spec.duration_s,
+            seed=spec.seed, score=score, frame_loss=spec.frame_loss,
+            costs=costs, measured_quality=measured_quality,
+        )
+    emit(sinks, ProgressEvent(
+        kind="spec_finished", label=label, index=index, total=total,
+        payload={"overall": _overall(report)},
+    ))
+    return report
+
+
+def _overall(report: Report) -> float:
+    """The headline score of any report shape (for progress payloads)."""
+    if isinstance(report, BenchmarkReport):
+        return report.xrbench_score
+    if isinstance(report, MultiSessionReport):
+        return report.mean_overall
+    return report.overall
+
+
+def _execute_worker(
+    spec_dict: Mapping[str, Any], costs: CostTable | None = None
+) -> Report:
+    """Process-pool entry point: specs travel as plain dicts.
+
+    The worker re-imports ``repro``, so registries re-bootstrap with the
+    built-ins plus anything registered at import time; names registered
+    dynamically in the parent resolve here only under the ``fork`` start
+    method (see :meth:`Experiment.run`).
+    """
+    try:
+        spec = RunSpec.from_dict(spec_dict)
+    except KeyError as exc:
+        raise KeyError(
+            f"{exc.args[0]} (in a worker process: names registered at "
+            f"runtime must come from a module imported in the worker, "
+            f"or run with workers=1)"
+        ) from None
+    return execute(spec, costs=costs)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A named, ordered collection of specs executed as one unit.
+
+    Serial runs (``workers=1``) share one :class:`CachedCostTable`, so
+    repeated (model, engine, DVFS) pricing across specs is analysed
+    once.  ``workers > 1`` fans specs out to a process pool; results
+    are returned in spec order and are identical to serial execution
+    (each spec is self-contained and carries its own seeds, and any
+    caller-supplied ``costs`` table is shipped to the workers).  One
+    caveat: scenario/scheduler/accelerator names registered dynamically
+    at runtime resolve in pooled workers only under the ``fork``
+    process start method — under ``spawn``/``forkserver`` the worker
+    re-imports built-ins only, so put custom registrations in an
+    imported module or run serially.
+    """
+
+    name: str = "experiment"
+    specs: tuple[RunSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if isinstance(self.specs, list):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    @classmethod
+    def from_sweep(cls, sweep: Sweep, name: str = "sweep") -> "Experiment":
+        return cls(name=name, specs=tuple(sweep.expand()))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def run(
+        self,
+        *,
+        workers: int = 1,
+        sinks: Sequence[EventSink] = (),
+        costs: CostTable | None = None,
+    ) -> list[Report]:
+        """Execute every spec; reports come back in spec order."""
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        specs = list(self.specs)
+        total = len(specs)
+        emit(sinks, ProgressEvent(
+            kind="experiment_started", label=self.name, total=max(total, 1),
+            payload={"specs": total, "workers": workers},
+        ))
+        if workers == 1 or total <= 1:
+            shared = CachedCostTable(
+                base=costs if costs is not None else CostTable()
+            )
+            reports = [
+                execute(spec, costs=shared, sinks=sinks,
+                        index=i, total=total)
+                for i, spec in enumerate(specs)
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = []
+                for i, spec in enumerate(specs):
+                    # Mirror the serial event stream (workers cannot
+                    # emit to parent-side sinks themselves; per-scenario
+                    # suite events are the one omission).
+                    emit(sinks, ProgressEvent(
+                        kind="spec_started", label=spec.describe(),
+                        index=i, total=total,
+                    ))
+                    futures.append(
+                        pool.submit(_execute_worker, spec.to_dict(), costs)
+                    )
+                reports = []
+                for i, (spec, future) in enumerate(zip(specs, futures)):
+                    report = future.result()
+                    emit(sinks, ProgressEvent(
+                        kind="spec_finished", label=spec.describe(),
+                        index=i, total=total,
+                        payload={"overall": _overall(report)},
+                    ))
+                    reports.append(report)
+        emit(sinks, ProgressEvent(
+            kind="experiment_finished", label=self.name,
+            index=max(total - 1, 0), total=max(total, 1),
+            payload={"specs": total},
+        ))
+        return reports
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "specs": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Experiment":
+        return cls(
+            name=data.get("name", "experiment"),
+            specs=tuple(
+                RunSpec.from_dict(d) for d in data.get("specs", ())
+            ),
+        )

@@ -1,9 +1,19 @@
 """Command-line interface: ``xrbench``.
 
+Every executing subcommand parses its flags into a single declarative
+:class:`repro.api.RunSpec` and runs it through the one
+:func:`repro.api.execute` funnel — the CLI is a spec compiler, not a
+second execution path.
+
 Subcommands:
 
-* ``run`` — run one scenario on one accelerator and print the report.
+* ``run`` — run one scenario (or a spec file via ``--spec``) and print
+  the report.
 * ``suite`` — run the full seven-scenario suite on one accelerator.
+* ``sweep`` — expand a cartesian scenario x accelerator grid and run it
+  (optionally on worker processes); ``--dry-run`` emits the expanded
+  specs as JSON for external runners (validated in CI against
+  ``schema/runspec.schema.json``).
 * ``figure5`` / ``figure6`` / ``figure7`` / ``figure8`` — regenerate the
   paper's evaluation figures as text tables.
 * ``tables`` — print the definitional tables (1, 2, 3, 5, 6, 7).
@@ -16,11 +26,13 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.api import Experiment, RunSpec, StreamSink, Sweep, execute
 from repro.core import Harness, HarnessConfig
 from repro.costmodel import CostTable, Dataflow
-from repro.hardware import ACCELERATOR_IDS, build_accelerator
+from repro.hardware import ACCELERATOR_IDS
 from repro.workload import SCENARIO_ORDER, UNIT_MODELS
 
 __all__ = ["main", "build_parser"]
@@ -33,43 +45,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Flags default to None so "not passed" is distinguishable from
+    # "passed the default value": _spec_from_args fills in the RunSpec
+    # defaults, and `run --spec` treats any explicitly-passed flag as an
+    # override of the corresponding spec field.
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
-            "--pes", type=int, default=4096,
+            "--pes", type=int, default=None,
             help="total PE budget (default 4096)",
         )
-        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--seed", type=int, default=None)
         p.add_argument(
-            "--duration", type=float, default=1.0,
+            "--duration", type=float, default=None,
             help="streamed seconds per run (default 1.0)",
         )
         p.add_argument(
-            "--scheduler", default="latency_greedy",
+            "--scheduler", default=None,
             choices=["latency_greedy", "round_robin", "edf",
                      "rate_monotonic"],
         )
         p.add_argument(
-            "--frame-loss", type=float, default=0.0,
+            "--frame-loss", type=float, default=None,
             help="failure injection: sensor frame-loss probability",
+        )
+        p.add_argument(
+            "--score-preset", default=None,
+            help="named scoring preset (default 'default')",
         )
 
     run_p = sub.add_parser("run", help="run one scenario on one accelerator")
-    run_p.add_argument("scenario", choices=list(SCENARIO_ORDER))
-    run_p.add_argument("accelerator", choices=list(ACCELERATOR_IDS))
+    run_p.add_argument("scenario", nargs="?", default=None,
+                       choices=list(SCENARIO_ORDER))
+    run_p.add_argument("accelerator", nargs="?", default=None,
+                       choices=list(ACCELERATOR_IDS))
+    run_p.add_argument(
+        "--spec", default=None, metavar="SPEC.json",
+        help="load the RunSpec from a JSON file (mutually exclusive with "
+             "the positionals); flags set to non-default values override "
+             "the corresponding spec fields",
+    )
     run_p.add_argument("--timeline", action="store_true",
                        help="print the execution timeline")
     run_p.add_argument(
-        "--sessions", type=int, default=1,
+        "--sessions", type=int, default=None,
         help="concurrent tenant sessions multiplexed onto the system "
              "(distinct seeds; default 1)",
     )
     run_p.add_argument(
-        "--granularity", default="model", choices=["model", "segment"],
+        "--granularity", default=None, choices=["model", "segment"],
         help="dispatch whole models, or split models at segment "
              "boundaries so long inferences yield engines (default model)",
     )
     run_p.add_argument(
-        "--segments", type=int, default=2,
+        "--segments", type=int, default=None,
         help="target segments per model at --granularity segment "
              "(default 2)",
     )
@@ -78,6 +106,31 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p = sub.add_parser("suite", help="run the full scenario suite")
     suite_p.add_argument("accelerator", choices=list(ACCELERATOR_IDS))
     add_common(suite_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a cartesian scenario x accelerator grid"
+    )
+    sweep_p.add_argument(
+        "--scenario", action="append", choices=list(SCENARIO_ORDER),
+        help="repeatable; default: the full seven-scenario order",
+    )
+    sweep_p.add_argument(
+        "--accelerator", action="append", choices=list(ACCELERATOR_IDS),
+        help="repeatable; default: J",
+    )
+    sweep_p.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool workers (default 1: serial, shared cost cache)",
+    )
+    sweep_p.add_argument(
+        "--dry-run", action="store_true",
+        help="emit the expanded specs as JSON instead of executing",
+    )
+    sweep_p.add_argument(
+        "--progress", action="store_true",
+        help="stream per-spec progress events to stderr",
+    )
+    add_common(sweep_p)
 
     fig5_p = sub.add_parser("figure5", help="regenerate Figure 5")
     fig5_p.add_argument(
@@ -144,57 +197,185 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: run-subcommand flag -> (RunSpec field, default when the flag is not
+#: passed).  Shared by _spec_from_args and the `run --spec` overrides.
+_FLAG_FIELDS = {
+    "pes": ("pes", 4096),
+    "seed": ("seed", 0),
+    "duration": ("duration_s", 1.0),
+    "scheduler": ("scheduler", "latency_greedy"),
+    "frame_loss": ("frame_loss", 0.0),
+    "score_preset": ("score_preset", "default"),
+    "sessions": ("sessions", 1),
+    "granularity": ("granularity", "model"),
+    "segments": ("segments_per_model", 2),
+}
+
+
+def _flag(args: argparse.Namespace, name: str) -> object:
+    """One flag's value, falling back to its default when not passed."""
+    field, default = _FLAG_FIELDS[name]
+    value = getattr(args, name, None)
+    return default if value is None else value
+
+
+def _spec_from_args(args: argparse.Namespace, **overrides) -> RunSpec:
+    """Compile the common flags into a RunSpec, once, for every subcommand.
+
+    ``overrides`` supplies the subcommand-specific fields (scenario,
+    suite, sessions, ...); everything else comes from the shared flags.
+    """
+    return RunSpec(
+        accelerator=overrides.pop(
+            "accelerator", getattr(args, "accelerator", None) or "J"
+        ),
+        pes=_flag(args, "pes"),
+        scheduler=_flag(args, "scheduler"),
+        duration_s=_flag(args, "duration"),
+        seed=_flag(args, "seed"),
+        frame_loss=_flag(args, "frame_loss"),
+        score_preset=_flag(args, "score_preset"),
+        **overrides,
+    )
+
+
+def _explicit_flags(args: argparse.Namespace) -> dict:
+    """Explicitly-passed run flags, as RunSpec field overrides for --spec."""
+    return {
+        field: getattr(args, flag)
+        for flag, (field, _) in _FLAG_FIELDS.items()
+        if getattr(args, flag, None) is not None
+    }
+
+
 def _harness(args: argparse.Namespace) -> Harness:
+    """Config carrier for the figure drivers (facade over the funnel)."""
     return Harness(
         config=HarnessConfig(
-            duration_s=args.duration,
-            seed=args.seed,
-            scheduler=args.scheduler,
-            frame_loss_probability=getattr(args, "frame_loss", 0.0),
+            duration_s=_flag(args, "duration"),
+            seed=_flag(args, "seed"),
+            scheduler=_flag(args, "scheduler"),
+            frame_loss_probability=_flag(args, "frame_loss"),
         )
     )
 
 
+def _load_spec(path: str) -> RunSpec:
+    with open(path, encoding="utf-8") as fh:
+        return RunSpec.from_dict(json.load(fh))
+
+
+def _fail(exc: BaseException) -> int:
+    """Print a spec/run error cleanly to stderr and return exit code 2.
+
+    ``str(KeyError)`` is the repr of its argument, which would wrap the
+    registry's did-you-mean messages in stray quotes.
+    """
+    message = (
+        exc.args[0]
+        if isinstance(exc, KeyError) and exc.args
+        else str(exc)
+    )
+    print(message, file=sys.stderr)
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
 
     if args.command == "run":
-        harness = _harness(args)
-        system = build_accelerator(args.accelerator, args.pes)
-        if args.sessions < 1:
-            print(f"--sessions must be >= 1, got {args.sessions}",
-                  file=sys.stderr)
-            return 2
-        if args.segments < 1:
-            print(f"--segments must be >= 1, got {args.segments}",
-                  file=sys.stderr)
-            return 2
-        if args.sessions > 1 or args.granularity != "model":
-            multi = harness.run_sessions(
-                args.scenario,
-                system,
-                num_sessions=args.sessions,
-                granularity=args.granularity,
-                segments_per_model=args.segments,
-            )
-            print(multi.summary())
-            if args.timeline:
-                from repro.runtime import render_timeline
-
-                for session in multi.result.sessions:
-                    print(f"-- session {session.session_id} --")
-                    print(render_timeline(session))
-            return 0
-        report = harness.run_scenario(args.scenario, system)
+        try:
+            if args.spec is not None:
+                if args.scenario is not None or args.accelerator is not None:
+                    print("--spec replaces the scenario/accelerator "
+                          "positionals; pass one or the other",
+                          file=sys.stderr)
+                    return 2
+                spec = _load_spec(args.spec)
+                overrides = _explicit_flags(args)
+                if overrides:
+                    spec = spec.replace(**overrides)
+            else:
+                if args.scenario is None or args.accelerator is None:
+                    parser.error(
+                        "run needs a scenario and an accelerator "
+                        "(or --spec SPEC.json)"
+                    )
+                spec = _spec_from_args(
+                    args,
+                    scenario=args.scenario,
+                    accelerator=args.accelerator,
+                    sessions=_flag(args, "sessions"),
+                    granularity=_flag(args, "granularity"),
+                    segments_per_model=_flag(args, "segments"),
+                )
+            report = execute(spec)
+        except (KeyError, ValueError, OSError) as exc:
+            return _fail(exc)
         print(report.summary())
         if args.timeline:
-            print(report.timeline())
+            if spec.mode == "sessions":
+                from repro.runtime import render_timeline
+
+                for session in report.result.sessions:
+                    print(f"-- session {session.session_id} --")
+                    print(render_timeline(session))
+            elif spec.mode == "suite":
+                for scenario_report in report.scenario_reports:
+                    name = scenario_report.simulation.scenario.name
+                    print(f"-- {name} --")
+                    print(scenario_report.timeline())
+            else:
+                print(report.timeline())
         return 0
 
     if args.command == "suite":
-        harness = _harness(args)
-        system = build_accelerator(args.accelerator, args.pes)
-        print(harness.run_suite(system).summary())
+        try:
+            report = execute(_spec_from_args(args, suite=True))
+        except (KeyError, ValueError) as exc:
+            return _fail(exc)
+        print(report.summary())
+        return 0
+
+    if args.command == "sweep":
+        if args.workers < 1:
+            parser.error(f"--workers must be >= 1, got {args.workers}")
+        scenarios = tuple(args.scenario or SCENARIO_ORDER)
+        accelerators = tuple(args.accelerator or ("J",))
+        try:
+            base = _spec_from_args(
+                args, scenario=scenarios[0], accelerator=accelerators[0]
+            )
+            sweep = Sweep(
+                base=base,
+                grid={"scenario": scenarios, "accelerator": accelerators},
+            )
+            specs = sweep.expand()
+        except (KeyError, ValueError) as exc:
+            return _fail(exc)
+        if args.dry_run:
+            print(json.dumps(
+                {
+                    "sweep": sweep.to_dict(),
+                    "specs": [spec.to_dict() for spec in specs],
+                },
+                indent=2,
+            ))
+            return 0
+        sinks = [StreamSink(sys.stderr)] if args.progress else []
+        experiment = Experiment(name="cli-sweep", specs=tuple(specs))
+        try:
+            reports = experiment.run(workers=args.workers, sinks=sinks)
+        except (KeyError, ValueError) as exc:
+            return _fail(exc)
+        print(f"{'scenario':<22s}{'acc':>4s}{'pes':>6s}{'overall':>9s}"
+              f"{'rt':>7s}{'qoe':>7s}")
+        for spec, report in zip(specs, reports):
+            s = report.score
+            print(f"{spec.scenario:<22s}{spec.accelerator:>4s}"
+                  f"{spec.pes:>6d}{s.overall:>9.3f}{s.rt:>7.3f}"
+                  f"{s.qoe:>7.3f}")
         return 0
 
     if args.command == "figure5":
@@ -317,27 +498,28 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "stats":
-        from repro.eval import run_seed_sweep
+        from repro.eval import seed_sweep
 
-        harness = _harness(args)
-        system = build_accelerator(args.accelerator, args.pes)
-        sweep = run_seed_sweep(harness, args.scenario, system,
-                               seeds=args.seeds)
+        try:
+            spec = _spec_from_args(
+                args, scenario=args.scenario, accelerator=args.accelerator
+            )
+            sweep = seed_sweep(spec, seeds=args.seeds)
+        except (KeyError, ValueError) as exc:
+            return _fail(exc)
         print(sweep.describe())
         return 0
 
     if args.command == "export":
         from repro.core import benchmark_to_dict, submission, to_csv
 
-        harness = _harness(args)
-        report = harness.run_suite(
-            build_accelerator(args.accelerator, args.pes)
-        )
+        try:
+            report = execute(_spec_from_args(args, suite=True))
+        except (KeyError, ValueError) as exc:
+            return _fail(exc)
         if args.format == "submission":
             print(submission(report, include_breakdowns=args.breakdowns))
         elif args.format == "json":
-            import json
-
             print(json.dumps(benchmark_to_dict(report), indent=2))
         else:
             print(to_csv(report), end="")

@@ -8,7 +8,12 @@ from .aggregate import (
     score_sessions,
     score_simulation,
 )
-from .config import HarnessConfig, ScoreConfig
+from .config import (
+    HarnessConfig,
+    ScoreConfig,
+    get_score_preset,
+    register_score_preset,
+)
 from .export import benchmark_to_dict, scenario_to_dict, submission, to_csv
 from .harness import Harness
 from .report import BenchmarkReport, MultiSessionReport, ScenarioReport
@@ -37,9 +42,11 @@ __all__ = [
     "accuracy_score",
     "benchmark_score",
     "energy_score",
+    "get_score_preset",
     "inference_score",
     "qoe_score",
     "realtime_score",
+    "register_score_preset",
     "score_sessions",
     "score_simulation",
 ]

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.registry import score_presets as SCORE_PRESET_REGISTRY
+
 RT_SCORE_K: float = 15.0
 ENERGY_MAX_MJ: float = 1500.0
 ACC_EPSILON: float = 1e-6
@@ -59,6 +61,26 @@ class ScoreConfig:
             raise ValueError(
                 f"acc_epsilon must be > 0, got {self.acc_epsilon}"
             )
+
+
+def register_score_preset(
+    name: str, config: ScoreConfig | None = None, *, overwrite: bool = False
+):
+    """Name-address a :class:`ScoreConfig` for ``RunSpec.score_preset``."""
+    return SCORE_PRESET_REGISTRY.register(name, config, overwrite=overwrite)
+
+
+def get_score_preset(name: str) -> ScoreConfig:
+    """Look up a scoring preset by name."""
+    return SCORE_PRESET_REGISTRY.get(name)
+
+
+#: The paper's defaults, plus the sensitivity points its Figure 8 / the
+#: Enmax ablation explore, name-addressable for serializable specs.
+register_score_preset("default", ScoreConfig())
+register_score_preset("strict_rt", ScoreConfig(rt_k=30.0))
+register_score_preset("lenient_rt", ScoreConfig(rt_k=5.0))
+register_score_preset("low_power", ScoreConfig(energy_max_mj=750.0))
 
 
 @dataclass(frozen=True)

@@ -1,17 +1,23 @@
-"""The benchmark harness: the paper's top-level entry point.
+"""The benchmark harness: a compatibility facade over ``repro.api``.
 
-Couples the workload layer (scenarios + load generation), the runtime
-(discrete-event simulation with a pluggable scheduler) and the scoring
-module into single calls:
+Historically the top-level entry point, :class:`Harness` is now a thin
+shim over the single execution funnel in :mod:`repro.api.execute` —
+``run_scenario``/``run_sessions``/``run_suite`` delegate to the same
+helpers that :func:`repro.api.execute` routes specs through, so both
+surfaces produce byte-identical results by construction.
 
-    harness = Harness()
-    report = harness.run_scenario("ar_gaming", build_accelerator("J"))
-    suite = harness.run_suite(build_accelerator("J"))
+Prefer the declarative API for new code::
 
-Results come back as :class:`repro.core.report.ScenarioReport` /
-:class:`repro.core.report.BenchmarkReport`, which carry the score
-breakdowns, drop/deadline statistics and the raw simulation for deeper
-inspection (timelines, per-request records).
+    from repro.api import RunSpec, execute
+
+    report = execute(RunSpec(scenario="ar_gaming", accelerator="J"))
+
+The facade stays for callers that hold live objects a serializable spec
+cannot carry (a pre-built :class:`~repro.hardware.AcceleratorSystem`, a
+mutated :class:`~repro.workload.UsageScenario`, measured quality maps).
+Deprecation policy: the facade is maintained indefinitely as an API
+layer, but new execution features (sweeps, workers, progress events)
+land only on the ``RunSpec`` path.
 """
 
 from __future__ import annotations
@@ -19,17 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.costmodel import CachedCostTable, CostTable
+from repro.costmodel import CostTable
 from repro.hardware import AcceleratorSystem
-from repro.runtime import (
-    MultiScenarioSimulator,
-    SessionSpec,
-    Simulator,
-    make_scheduler,
-)
-from repro.workload import UsageScenario, benchmark_suite, get_scenario
+from repro.workload import UsageScenario
 
-from .aggregate import score_sessions, score_simulation
 from .config import HarnessConfig
 from .report import BenchmarkReport, MultiSessionReport, ScenarioReport
 
@@ -56,20 +55,19 @@ class Harness:
         measured_quality: dict[str, float] | None = None,
     ) -> ScenarioReport:
         """Simulate and score one scenario on one system."""
-        if isinstance(scenario, str):
-            scenario = get_scenario(scenario)
-        simulator = Simulator(
-            scenario=scenario,
-            system=system,
-            scheduler=make_scheduler(self.config.scheduler),
+        from repro.api.execute import run_single_scenario
+
+        return run_single_scenario(
+            scenario,
+            system,
+            scheduler=self.config.scheduler,
             duration_s=self.config.duration_s,
             seed=self.config.seed if seed is None else seed,
+            score=self.config.score,
+            frame_loss=self.config.frame_loss_probability,
             costs=self.costs,
-            frame_loss_probability=self.config.frame_loss_probability,
+            measured_quality=measured_quality,
         )
-        result = simulator.run()
-        score = score_simulation(result, self.config.score, measured_quality)
-        return ScenarioReport(simulation=result, score=score)
 
     def run_sessions(
         self,
@@ -86,45 +84,28 @@ class Harness:
         ``scenario`` may be a single scenario (or name) replicated across
         ``num_sessions`` tenants with consecutive seeds, or a sequence of
         per-session scenarios (whose length then sets the session count).
-        Dispatch-path costs flow through a :class:`CachedCostTable`
-        layered over the harness-wide table, so repeated runs share the
-        analytical results while the hot loop stays a dict probe.
         """
+        from repro.api.execute import run_session_group
+
         if isinstance(scenario, (str, UsageScenario)):
-            scenarios = [scenario] * num_sessions
+            scenarios: Sequence[UsageScenario | str] = (
+                [scenario] * num_sessions
+            )
         else:
             scenarios = list(scenario)
-        if not scenarios:
-            raise ValueError("at least one session is required")
-        resolved = [
-            get_scenario(s) if isinstance(s, str) else s for s in scenarios
-        ]
-        base_seed = self.config.seed if seed is None else seed
-        specs = [
-            SessionSpec(
-                session_id=i,
-                scenario=sc,
-                seed=base_seed + i,
-                frame_loss_probability=self.config.frame_loss_probability,
-            )
-            for i, sc in enumerate(resolved)
-        ]
-        simulator = MultiScenarioSimulator(
-            sessions=specs,
-            system=system,
-            scheduler=make_scheduler(self.config.scheduler),
+        return run_session_group(
+            scenarios,
+            system,
+            scheduler=self.config.scheduler,
             duration_s=self.config.duration_s,
-            costs=CachedCostTable(base=self.costs),
+            base_seed=self.config.seed if seed is None else seed,
+            score=self.config.score,
+            frame_loss=self.config.frame_loss_probability,
+            costs=self.costs,
             granularity=granularity,
             segments_per_model=segments_per_model,
+            measured_quality=measured_quality,
         )
-        result = simulator.run()
-        scores = score_sessions(result, self.config.score, measured_quality)
-        reports = tuple(
-            ScenarioReport(simulation=session, score=score)
-            for session, score in zip(result.sessions, scores)
-        )
-        return MultiSessionReport(result=result, session_reports=reports)
 
     def run_suite(
         self,
@@ -132,8 +113,14 @@ class Harness:
         seed: int | None = None,
     ) -> BenchmarkReport:
         """Run the full seven-scenario suite (Definition 5's Omega)."""
-        reports = [
-            self.run_scenario(scenario, system, seed=seed)
-            for scenario in benchmark_suite()
-        ]
-        return BenchmarkReport(system=system, scenario_reports=reports)
+        from repro.api.execute import run_full_suite
+
+        return run_full_suite(
+            system,
+            scheduler=self.config.scheduler,
+            duration_s=self.config.duration_s,
+            seed=self.config.seed if seed is None else seed,
+            score=self.config.score,
+            frame_loss=self.config.frame_loss_probability,
+            costs=self.costs,
+        )

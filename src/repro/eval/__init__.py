@@ -11,7 +11,7 @@ from .ablations import (
 )
 from .observations import Observation, format_observations, verify_observations
 from .pareto import DesignPoint, evaluate_designs, pareto_frontier
-from .stats import ScoreStatistics, SeedSweep, run_seed_sweep
+from .stats import ScoreStatistics, SeedSweep, run_seed_sweep, seed_sweep
 
 from .figure3 import Figure3Row, format_figure3, run_figure3
 from .figure5 import Figure5Row, best_accelerator, format_figure5, run_figure5
@@ -34,6 +34,7 @@ __all__ = [
     "ScoreStatistics",
     "SeedSweep",
     "run_seed_sweep",
+    "seed_sweep",
     "Observation",
     "format_observations",
     "verify_observations",

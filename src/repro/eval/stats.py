@@ -13,10 +13,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.api import RunSpec, execute
 from repro.core import Harness
+from repro.costmodel import CostTable
 from repro.hardware import AcceleratorSystem
 
-__all__ = ["ScoreStatistics", "SeedSweep", "run_seed_sweep"]
+__all__ = ["ScoreStatistics", "SeedSweep", "run_seed_sweep", "seed_sweep"]
 
 #: Two-sided z values for the confidence levels we expose.
 _Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
@@ -96,30 +98,78 @@ def _summarise(name: str, values: list[float]) -> ScoreStatistics:
     )
 
 
-def run_seed_sweep(
-    harness: Harness,
-    scenario: str,
-    system: AcceleratorSystem,
+def seed_sweep(
+    spec: RunSpec,
     seeds: int = 20,
+    *,
+    system: AcceleratorSystem | None = None,
+    costs: CostTable | None = None,
+    score=None,
 ) -> SeedSweep:
-    """Run ``scenario`` on ``system`` across ``seeds`` and summarise."""
+    """Run ``spec`` across ``seeds`` consecutive seeds and summarise.
+
+    The declarative funnel path: the spec's own ``seed`` field is
+    replaced by 0..seeds-1, everything else re-executes unchanged.  A
+    pre-built ``system``/shared ``costs`` table may be supplied when the
+    caller sweeps many systems.
+    """
     if seeds < 1:
         raise ValueError(f"seeds must be >= 1, got {seeds}")
+    if spec.mode != "single":
+        raise ValueError(
+            f"seed sweeps need a single-scenario spec, got mode "
+            f"{spec.mode!r}"
+        )
+    costs = costs if costs is not None else CostTable()
     samples: dict[str, list[float]] = {
         "overall": [], "rt": [], "energy": [], "qoe": [], "drop_rate": [],
     }
+    described = None
     for seed in range(seeds):
-        report = harness.run_scenario(scenario, system, seed=seed)
+        report = execute(
+            spec.replace(seed=seed), system=system, costs=costs,
+            score=score,
+        )
+        described = report.simulation.system.describe()
         samples["overall"].append(report.score.overall)
         samples["rt"].append(report.score.rt)
         samples["energy"].append(report.score.energy)
         samples["qoe"].append(report.score.qoe)
         samples["drop_rate"].append(report.simulation.frame_drop_rate())
     return SeedSweep(
-        scenario=scenario,
-        system=system.describe(),
+        scenario=spec.scenario,
+        system=described,
         statistics={
             name: _summarise(name, values)
             for name, values in samples.items()
         },
+    )
+
+
+def run_seed_sweep(
+    harness: Harness,
+    scenario: str,
+    system: AcceleratorSystem,
+    seeds: int = 20,
+) -> SeedSweep:
+    """Facade-compatible wrapper: sweep seeds for a harness + system."""
+    from repro import registry
+
+    config = harness.config
+    # The pre-built system overrides the spec's accelerator fields in
+    # execute(); the name is a carrier only, so an unregistered custom
+    # system falls back to a registered placeholder instead of failing
+    # spec validation.
+    acc_id = system.acc_id if system.acc_id in registry.accelerators else "J"
+    spec = RunSpec(
+        scenario=scenario,
+        accelerator=acc_id,
+        pes=system.total_pes,
+        scheduler=config.scheduler,
+        duration_s=config.duration_s,
+        frame_loss=config.frame_loss_probability,
+    )
+    return seed_sweep(
+        spec, seeds, system=system, costs=harness.costs,
+        score=config.score,
     )

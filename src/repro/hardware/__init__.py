@@ -6,6 +6,7 @@ from .configs import (
     PE_BUDGETS,
     all_accelerators,
     build_accelerator,
+    register_accelerator,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "SubAccelerator",
     "all_accelerators",
     "build_accelerator",
+    "register_accelerator",
 ]

@@ -16,7 +16,10 @@ as in Section 4.1.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.costmodel import Dataflow
+from repro.registry import accelerators as ACCELERATOR_REGISTRY
 
 from .accelerator import AcceleratorStyle, AcceleratorSystem, SubAccelerator
 
@@ -24,6 +27,7 @@ __all__ = [
     "ACCELERATOR_IDS",
     "PE_BUDGETS",
     "build_accelerator",
+    "register_accelerator",
     "all_accelerators",
 ]
 
@@ -52,29 +56,55 @@ _LAYOUTS: dict[str, tuple[str, list[tuple[Dataflow, int]]]] = {
 }
 
 
-def build_accelerator(acc_id: str, total_pes: int = 4096) -> AcceleratorSystem:
-    """Instantiate accelerator ``acc_id`` ("A".."M") with ``total_pes``."""
-    try:
-        style, layout = _LAYOUTS[acc_id]
-    except KeyError:
-        raise KeyError(
-            f"unknown accelerator id {acc_id!r}; "
-            f"available: {''.join(ACCELERATOR_IDS)}"
-        ) from None
-    total_shares = sum(share for _, share in layout)
-    if total_pes % total_shares:
-        raise ValueError(
-            f"total_pes={total_pes} not divisible by partition "
-            f"{total_shares} for accelerator {acc_id}"
+def _layout_factory(
+    acc_id: str, style: str, layout: list[tuple[Dataflow, int]]
+) -> Callable[[int], AcceleratorSystem]:
+    """A registry factory building one Table-5 layout at any PE budget."""
+
+    def build(total_pes: int) -> AcceleratorSystem:
+        total_shares = sum(share for _, share in layout)
+        if total_pes % total_shares:
+            raise ValueError(
+                f"total_pes={total_pes} not divisible by partition "
+                f"{total_shares} for accelerator {acc_id}"
+            )
+        unit = total_pes // total_shares
+        subs = tuple(
+            SubAccelerator(index=i, dataflow=df, num_pes=unit * share)
+            for i, (df, share) in enumerate(layout)
         )
-    unit = total_pes // total_shares
-    subs = tuple(
-        SubAccelerator(index=i, dataflow=df, num_pes=unit * share)
-        for i, (df, share) in enumerate(layout)
-    )
-    return AcceleratorSystem(
-        acc_id=acc_id, style=style, total_pes=total_pes, subs=subs
-    )
+        return AcceleratorSystem(
+            acc_id=acc_id, style=style, total_pes=total_pes, subs=subs
+        )
+
+    return build
+
+
+def register_accelerator(
+    acc_id: str,
+    factory: Callable[[int], AcceleratorSystem] | None = None,
+    *,
+    overwrite: bool = False,
+):
+    """Name-address an accelerator design; usable as a decorator.
+
+    ``factory`` takes a total PE budget and returns the built
+    :class:`AcceleratorSystem`.  Registered designs are buildable
+    everywhere an accelerator name is accepted — ``build_accelerator``,
+    ``RunSpec.accelerator`` and the CLI (via ``--spec``).
+    """
+    return ACCELERATOR_REGISTRY.register(acc_id, factory, overwrite=overwrite)
+
+
+for _acc_id, (_style, _layout) in _LAYOUTS.items():
+    register_accelerator(_acc_id, _layout_factory(_acc_id, _style, _layout))
+
+
+def build_accelerator(acc_id: str, total_pes: int = 4096) -> AcceleratorSystem:
+    """Instantiate accelerator ``acc_id`` ("A".."M", or any registered
+    design) with ``total_pes``."""
+    factory = ACCELERATOR_REGISTRY.get(acc_id)
+    return factory(total_pes)
 
 
 def all_accelerators(total_pes: int = 4096) -> list[AcceleratorSystem]:

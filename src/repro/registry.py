@@ -1,0 +1,192 @@
+"""Unified name registries: one lookup mechanism for every pluggable axis.
+
+Before this module existed, each layer grew its own ad-hoc lookup: the
+workload kept a ``SCENARIOS`` dict, the runtime a ``SCHEDULERS`` dict and
+the hardware layer a private ``_LAYOUTS`` table — three mechanisms with
+three error-message styles and no third-party registration story.  Every
+name a :class:`repro.api.RunSpec` can mention now resolves through one of
+the four :class:`Registry` instances below, and user code extends any of
+them through the same two-line decorator idiom::
+
+    from repro.registry import scenarios
+
+    @scenarios.register("my_scenario")
+    def _build():  # or register the object directly
+        ...
+
+Domain-specific helpers (``register_scenario``, ``register_scheduler``,
+``register_accelerator``, ``register_score_preset``) live next to the
+types they register; the instances here are the shared substrate.
+
+Lookups raise ``KeyError`` messages that list the valid names and, when
+``difflib`` finds one, the nearest match — so a typo like
+``"latency_greddy"`` answers with ``did you mean 'latency_greedy'?``.
+
+Registries bootstrap lazily: the first read triggers an import of the
+module that registers the built-in entries, so ``repro.registry`` itself
+depends on nothing and can be imported from anywhere in the package
+without cycles.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "Registry",
+    "scenarios",
+    "schedulers",
+    "accelerators",
+    "score_presets",
+    "all_registries",
+]
+
+
+class Registry:
+    """A named mapping with registration, suggestions and lazy bootstrap.
+
+    ``kind`` names what is stored ("scenario", "scheduler", ...) and
+    prefixes every error message.  ``bootstrap`` is a zero-argument
+    callable (typically importing the module that registers the
+    built-ins) invoked once before the first read or registration.
+    """
+
+    def __init__(
+        self, kind: str, *, bootstrap: Callable[[], None] | None = None
+    ) -> None:
+        self.kind = kind
+        self._items: dict[str, Any] = {}
+        self._bootstrap = bootstrap
+        self._booted = bootstrap is None
+
+    # -- population ----------------------------------------------------------
+
+    def _ensure(self) -> None:
+        if not self._booted:
+            # Flag first: the bootstrap import re-enters register().
+            self._booted = True
+            try:
+                self._bootstrap()
+            except BaseException:
+                # Leave the registry re-bootstrappable and let the real
+                # import error surface instead of masking it as empty-
+                # registry KeyErrors on every later lookup.
+                self._booted = False
+                raise
+
+    def register(
+        self, name: str, obj: Any = None, *, overwrite: bool = False
+    ):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        ``registry.register("x", thing)`` registers directly and returns
+        ``thing``; ``@registry.register("x")`` decorates.  Duplicate
+        names raise ``ValueError`` unless ``overwrite=True``.
+        """
+        if obj is None:
+            def _decorate(target: Any) -> Any:
+                return self.register(name, target, overwrite=overwrite)
+
+            return _decorate
+        self._ensure()
+        if name in self._items and not overwrite:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered "
+                f"(pass overwrite=True to replace it)"
+            )
+        self._items[name] = obj
+        return obj
+
+    def unregister(self, name: str) -> Any:
+        """Remove and return one entry (mainly for tests/plugins)."""
+        self._ensure()
+        try:
+            return self._items.pop(name)
+        except KeyError:
+            raise KeyError(self._unknown(name)) from None
+
+    # -- lookups -------------------------------------------------------------
+
+    def _unknown(self, name: Any) -> str:
+        names = sorted(self._items)
+        message = f"unknown {self.kind} {name!r}; available: {names}"
+        close = difflib.get_close_matches(str(name), names, n=1)
+        if not close:
+            # difflib is case-sensitive; catch pure case mismatches too.
+            folded = str(name).casefold()
+            close = [n for n in names if n.casefold() == folded][:1]
+        if close:
+            message += f" (did you mean {close[0]!r}?)"
+        return message
+
+    def get(self, name: str) -> Any:
+        """Look up a name; unknown names raise a suggesting ``KeyError``."""
+        self._ensure()
+        try:
+            return self._items[name]
+        except KeyError:
+            raise KeyError(self._unknown(name)) from None
+
+    def names(self) -> tuple[str, ...]:
+        self._ensure()
+        return tuple(sorted(self._items))
+
+    @property
+    def backing(self) -> dict[str, Any]:
+        """The live backing dict, exposed for the legacy module-level
+        mappings (``SCENARIOS``, ``SCHEDULERS``) that alias it."""
+        self._ensure()
+        return self._items
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure()
+        return name in self._items
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure()
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {len(self)} entries)"
+
+
+def _boot_scenarios() -> None:
+    import repro.workload.scenarios  # noqa: F401  (registers built-ins)
+
+
+def _boot_schedulers() -> None:
+    import repro.runtime.scheduler  # noqa: F401
+
+
+def _boot_accelerators() -> None:
+    import repro.hardware.configs  # noqa: F401
+
+
+def _boot_score_presets() -> None:
+    import repro.core.config  # noqa: F401
+
+
+#: Usage scenarios (Table 2) — :class:`repro.workload.UsageScenario`.
+scenarios = Registry("scenario", bootstrap=_boot_scenarios)
+
+#: Scheduler policy classes — instantiable via ``make_scheduler``.
+schedulers = Registry("scheduler", bootstrap=_boot_schedulers)
+
+#: Accelerator factories — ``Callable[[int], AcceleratorSystem]`` keyed
+#: by the Table-5 ids (and any user-registered designs).
+accelerators = Registry("accelerator", bootstrap=_boot_accelerators)
+
+#: Named :class:`repro.core.ScoreConfig` presets for ``RunSpec.score_preset``.
+score_presets = Registry("score preset", bootstrap=_boot_score_presets)
+
+
+def all_registries() -> dict[str, Registry]:
+    """Every registry keyed by its kind (introspection/docs helper)."""
+    return {
+        r.kind: r
+        for r in (scenarios, schedulers, accelerators, score_presets)
+    }

@@ -20,6 +20,7 @@ from .scheduler import (
     SegmentScheduler,
     as_segment_scheduler,
     make_scheduler,
+    register_scheduler,
 )
 from .segmentation import SegmentedCostTable, segment_scenario, split_graph
 from .simulator import SimulationResult, Simulator
@@ -55,5 +56,7 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "extract_timeline",
+    "make_scheduler",
+    "register_scheduler",
     "render_timeline",
 ]

@@ -32,6 +32,7 @@ from typing import Protocol
 
 from repro.costmodel import CostTable
 from repro.hardware import AcceleratorSystem
+from repro.registry import schedulers as SCHEDULER_REGISTRY
 from repro.workload import InferenceRequest
 
 from .engine import ExecutionEngine, WorkItem
@@ -46,6 +47,7 @@ __all__ = [
     "EarliestDeadlineScheduler",
     "RateMonotonicScheduler",
     "make_scheduler",
+    "register_scheduler",
     "SCHEDULERS",
 ]
 
@@ -261,12 +263,27 @@ class RateMonotonicScheduler:
         return request, _best_engine(request, idle_engines, system, costs)
 
 
-SCHEDULERS: dict[str, type] = {
-    "latency_greedy": LatencyGreedyScheduler,
-    "round_robin": RoundRobinScheduler,
-    "edf": EarliestDeadlineScheduler,
-    "rate_monotonic": RateMonotonicScheduler,
-}
+def register_scheduler(
+    name: str, cls: type | None = None, *, overwrite: bool = False
+):
+    """Name-address a scheduler policy class; usable as a decorator.
+
+    ``register_scheduler("my_policy", MyPolicy)`` registers directly;
+    ``@register_scheduler("my_policy")`` decorates a class.  Registered
+    policies are constructible everywhere a policy name is accepted —
+    ``make_scheduler``, ``RunSpec.scheduler`` and the CLI ``--scheduler``
+    flag (via ``--spec``).
+    """
+    return SCHEDULER_REGISTRY.register(name, cls, overwrite=overwrite)
+
+
+register_scheduler("latency_greedy", LatencyGreedyScheduler)
+register_scheduler("round_robin", RoundRobinScheduler)
+register_scheduler("edf", EarliestDeadlineScheduler)
+register_scheduler("rate_monotonic", RateMonotonicScheduler)
+
+#: Live view of the scheduler registry, kept for the original dict API.
+SCHEDULERS: dict[str, type] = SCHEDULER_REGISTRY.backing
 
 
 def make_scheduler(name: str, **kwargs) -> Scheduler:
@@ -275,10 +292,5 @@ def make_scheduler(name: str, **kwargs) -> Scheduler:
     Keyword arguments are forwarded to the policy's constructor, e.g.
     ``make_scheduler("rate_monotonic", periods={"HT": 1 / 45})``.
     """
-    try:
-        cls = SCHEDULERS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scheduler {name!r}; available: {sorted(SCHEDULERS)}"
-        ) from None
+    cls = SCHEDULER_REGISTRY.get(name)
     return cls(**kwargs)

@@ -13,6 +13,7 @@ from .scenarios import (
     UsageScenario,
     benchmark_suite,
     get_scenario,
+    register_scenario,
 )
 from .sensors import CAMERA, LIDAR, MICROPHONE, SENSORS, InputSource, get_sensor
 from .taxonomy import MtmmClass, classify, is_dynamic, pipelines
@@ -50,4 +51,5 @@ __all__ = [
     "get_model",
     "get_scenario",
     "get_sensor",
+    "register_scenario",
 ]

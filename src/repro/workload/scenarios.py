@@ -21,6 +21,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, replace
 
+from repro.registry import scenarios as SCENARIO_REGISTRY
+
 from .models import UNIT_MODELS, UnitModel
 
 __all__ = [
@@ -31,6 +33,7 @@ __all__ = [
     "SCENARIOS",
     "SCENARIO_ORDER",
     "get_scenario",
+    "register_scenario",
     "benchmark_suite",
 ]
 
@@ -218,9 +221,21 @@ def _speech_dep(p: float) -> Dependency:
     return Dependency("KD", "SR", DependencyKind.CONTROL, p)
 
 
-SCENARIOS: dict[str, UsageScenario] = {
-    s.name: s
-    for s in (
+def register_scenario(
+    scenario: UsageScenario, *, overwrite: bool = False
+) -> UsageScenario:
+    """Name-address a scenario for ``RunSpec``, the CLI and ``execute()``.
+
+    Registered scenarios resolve through :func:`get_scenario` exactly
+    like the seven built-ins, so third-party workloads plug into every
+    front end without touching this module.
+    """
+    return SCENARIO_REGISTRY.register(
+        scenario.name, scenario, overwrite=overwrite
+    )
+
+
+for _builtin in (
         _scenario(
             "social_interaction_a",
             "AR messaging with AR object rendering",
@@ -262,8 +277,12 @@ SCENARIOS: dict[str, UsageScenario] = {
             {"HT": 45, "ES": 60, "GE": 60},
             (_eye_dep(),),
         ),
-    )
-}
+):
+    register_scenario(_builtin)
+
+#: Live view of the scenario registry (built-ins plus any registered
+#: third-party scenarios), kept for the original dict-style API.
+SCENARIOS: dict[str, UsageScenario] = SCENARIO_REGISTRY.backing
 
 #: Presentation order used by Figure 5 (a)-(g).
 SCENARIO_ORDER: tuple[str, ...] = (
@@ -278,13 +297,8 @@ SCENARIO_ORDER: tuple[str, ...] = (
 
 
 def get_scenario(name: str) -> UsageScenario:
-    """Look up a scenario by name."""
-    try:
-        return SCENARIOS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
-        ) from None
+    """Look up a scenario by name (built-in or registered)."""
+    return SCENARIO_REGISTRY.get(name)
 
 
 def benchmark_suite() -> list[UsageScenario]:

@@ -1,0 +1,138 @@
+"""Tests for the unified registry subsystem (repro.registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import registry
+from repro.registry import Registry
+from repro.hardware import build_accelerator, register_accelerator
+from repro.runtime import make_scheduler, register_scheduler
+from repro.workload import get_scenario, register_scenario
+
+
+class TestRegistryCore:
+    def test_register_get_roundtrip(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        assert reg.get("a") == 1
+        assert "a" in reg and len(reg) == 1
+        assert reg.names() == ("a",)
+
+    def test_decorator_form(self):
+        reg = Registry("widget")
+
+        @reg.register("fn")
+        def fn():
+            return 42
+
+        assert reg.get("fn") is fn
+
+    def test_duplicate_rejected_unless_overwrite(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("a", 2)
+        reg.register("a", 2, overwrite=True)
+        assert reg.get("a") == 2
+
+    def test_unknown_lists_names_and_suggests(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        with pytest.raises(KeyError) as exc:
+            reg.get("alpah")
+        message = str(exc.value)
+        assert "unknown widget 'alpah'" in message
+        assert "'alpha'" in message and "'beta'" in message
+        assert "did you mean 'alpha'?" in message
+
+    def test_no_suggestion_when_nothing_close(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1)
+        with pytest.raises(KeyError) as exc:
+            reg.get("zzzzzz")
+        assert "did you mean" not in str(exc.value)
+
+    def test_unregister(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        assert reg.unregister("a") == 1
+        with pytest.raises(KeyError, match="unknown widget"):
+            reg.unregister("a")
+
+
+class TestDomainRegistries:
+    def test_all_registries_enumerates_four(self):
+        kinds = set(registry.all_registries())
+        assert kinds == {
+            "scenario", "scheduler", "accelerator", "score preset"
+        }
+
+    def test_builtins_present(self):
+        assert "ar_gaming" in registry.scenarios
+        assert "latency_greedy" in registry.schedulers
+        assert "J" in registry.accelerators
+        assert "default" in registry.score_presets
+
+    def test_scenario_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'vr_gaming'"):
+            get_scenario("vr_gamign")
+
+    def test_scheduler_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'edf'"):
+            make_scheduler("edff")
+
+    def test_accelerator_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'J'"):
+            build_accelerator("j")
+
+
+class TestThirdPartyRegistration:
+    def test_registered_scenario_resolves_everywhere(self):
+        from dataclasses import replace
+
+        base = get_scenario("ar_gaming")
+        custom = replace(base, name="custom_gaming")
+        register_scenario(custom)
+        try:
+            assert get_scenario("custom_gaming") is custom
+            # And it is addressable from a serializable spec.
+            from repro.api import RunSpec
+
+            spec = RunSpec(scenario="custom_gaming", duration_s=0.4)
+            assert spec.scenario == "custom_gaming"
+        finally:
+            registry.scenarios.unregister("custom_gaming")
+
+    def test_registered_scheduler_constructible_by_name(self):
+        from repro.runtime import LatencyGreedyScheduler
+
+        @register_scheduler("test_greedy")
+        class TestGreedy(LatencyGreedyScheduler):
+            pass
+
+        try:
+            assert isinstance(make_scheduler("test_greedy"), TestGreedy)
+        finally:
+            registry.schedulers.unregister("test_greedy")
+
+    def test_registered_accelerator_buildable(self):
+        base_factory = registry.accelerators.get("J")
+
+        register_accelerator("J2", base_factory)
+        try:
+            system = build_accelerator("J2", 4096)
+            assert system.total_pes == 4096
+        finally:
+            registry.accelerators.unregister("J2")
+
+    def test_score_preset_registrable(self):
+        from repro.core import ScoreConfig, get_score_preset
+        from repro.core import register_score_preset
+
+        register_score_preset("test_k20", ScoreConfig(rt_k=20.0))
+        try:
+            assert get_score_preset("test_k20").rt_k == 20.0
+        finally:
+            registry.score_presets.unregister("test_k20")

@@ -1,0 +1,204 @@
+"""Tests for the declarative RunSpec and the execute funnel.
+
+The satellite contract: ``RunSpec -> to_dict -> from_dict -> execute``
+is byte-identical in results to direct ``Harness`` calls across all four
+schedulers and both granularities.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import CollectingSink, RunSpec, execute
+from repro.core import Harness, HarnessConfig
+from repro.runtime import SCHEDULERS
+
+
+ALL_SCHEDULERS = sorted(SCHEDULERS)
+
+
+class TestValidation:
+    def test_defaults_build(self):
+        spec = RunSpec(scenario="ar_gaming")
+        assert spec.mode == "single"
+        assert spec.accelerator == "J"
+
+    def test_list_scenario_normalised_to_tuple(self):
+        spec = RunSpec(scenario=["vr_gaming", "ar_gaming"])
+        assert spec.scenario == ("vr_gaming", "ar_gaming")
+        assert spec.sessions == 2
+        assert spec.mode == "sessions"
+
+    def test_session_count_contradiction_rejected(self):
+        with pytest.raises(ValueError, match="contradicts"):
+            RunSpec(scenario=("vr_gaming", "ar_gaming"), sessions=3)
+
+    def test_suite_takes_no_scenario(self):
+        with pytest.raises(ValueError, match="suite"):
+            RunSpec(scenario="ar_gaming", suite=True)
+        assert RunSpec.for_suite("A").mode == "suite"
+
+    def test_scenario_required_without_suite(self):
+        with pytest.raises(ValueError, match="scenario"):
+            RunSpec()
+
+    def test_unknown_names_raise_with_suggestion(self):
+        with pytest.raises(KeyError, match="did you mean 'ar_gaming'"):
+            RunSpec(scenario="ar_gamign")
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            RunSpec(scenario="ar_gaming", scheduler="edff")
+        with pytest.raises(KeyError, match="unknown accelerator"):
+            RunSpec(scenario="ar_gaming", accelerator="Z")
+        with pytest.raises(KeyError, match="unknown score preset"):
+            RunSpec(scenario="ar_gaming", score_preset="defualt")
+
+    def test_numeric_validation(self):
+        with pytest.raises(ValueError, match="sessions"):
+            RunSpec(scenario="ar_gaming", sessions=0)
+        with pytest.raises(ValueError, match="duration"):
+            RunSpec(scenario="ar_gaming", duration_s=0)
+        with pytest.raises(ValueError, match="granularity"):
+            RunSpec(scenario="ar_gaming", granularity="layer")
+        with pytest.raises(ValueError, match="frame_loss"):
+            RunSpec(scenario="ar_gaming", frame_loss=1.0)
+
+
+class TestSerialization:
+    SPECS = [
+        RunSpec(scenario="ar_gaming"),
+        RunSpec(scenario="vr_gaming", accelerator="A", pes=8192,
+                scheduler="edf", seed=7, duration_s=0.5),
+        RunSpec(scenario=("vr_gaming", "ar_assistant"),
+                granularity="segment", segments_per_model=3),
+        RunSpec.for_suite("M", frame_loss=0.1, score_preset="strict_rt"),
+    ]
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.mode)
+    def test_dict_round_trip(self, spec):
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.mode)
+    def test_json_round_trip(self, spec):
+        text = spec.to_json()
+        assert json.loads(text) == spec.to_dict()
+        assert RunSpec.from_json(text) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown RunSpec fields"):
+            RunSpec.from_dict({"scenario": "ar_gaming", "warp": 9})
+
+    def test_replace_revalidates(self):
+        spec = RunSpec(scenario="ar_gaming")
+        with pytest.raises(KeyError, match="unknown scenario"):
+            spec.replace(scenario="nope")
+
+
+class TestExecuteEquivalence:
+    """Round-tripped specs reproduce Harness results exactly."""
+
+    @pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+    def test_single_scenario_matches_harness(
+        self, scheduler, cost_table, hda_j_4k
+    ):
+        spec = RunSpec.from_dict(RunSpec(
+            scenario="ar_gaming", accelerator="J",
+            scheduler=scheduler, duration_s=0.4, seed=3,
+        ).to_dict())
+        harness = Harness(
+            config=HarnessConfig(duration_s=0.4, scheduler=scheduler),
+            costs=cost_table,
+        )
+        via_spec = execute(spec, costs=cost_table)
+        via_harness = harness.run_scenario("ar_gaming", hda_j_4k, seed=3)
+        assert via_spec.score.overall == via_harness.score.overall
+        assert via_spec.score.rt == via_harness.score.rt
+        assert via_spec.score.qoe == via_harness.score.qoe
+        assert len(via_spec.simulation.requests) == (
+            len(via_harness.simulation.requests)
+        )
+
+    @pytest.mark.parametrize("granularity", ["model", "segment"])
+    @pytest.mark.parametrize("scheduler", ALL_SCHEDULERS)
+    def test_sessions_match_harness(
+        self, scheduler, granularity, cost_table, hda_j_4k
+    ):
+        spec = RunSpec.from_dict(RunSpec(
+            scenario="vr_gaming", accelerator="J",
+            scheduler=scheduler, duration_s=0.4, sessions=2,
+            granularity=granularity,
+        ).to_dict())
+        harness = Harness(
+            config=HarnessConfig(duration_s=0.4, scheduler=scheduler),
+            costs=cost_table,
+        )
+        via_spec = execute(spec, costs=cost_table)
+        via_harness = harness.run_sessions(
+            "vr_gaming", hda_j_4k, num_sessions=2, granularity=granularity
+        )
+        assert [r.score.overall for r in via_spec.session_reports] == (
+            [r.score.overall for r in via_harness.session_reports]
+        )
+        assert via_spec.result.busy_time_s == via_harness.result.busy_time_s
+
+    def test_suite_matches_harness(self, cost_table, fda_ws_4k):
+        spec = RunSpec.from_json(
+            RunSpec.for_suite("A", duration_s=0.4).to_json()
+        )
+        harness = Harness(
+            config=HarnessConfig(duration_s=0.4), costs=cost_table
+        )
+        via_spec = execute(spec, costs=cost_table)
+        via_harness = harness.run_suite(fda_ws_4k)
+        assert via_spec.xrbench_score == via_harness.xrbench_score
+        assert [r.overall for r in via_spec.scenario_reports] == (
+            [r.overall for r in via_harness.scenario_reports]
+        )
+
+    def test_same_spec_is_deterministic(self, cost_table):
+        spec = RunSpec(scenario="outdoor_activity_a", accelerator="A",
+                       duration_s=0.4, seed=11)
+        a = execute(spec, costs=cost_table)
+        b = execute(spec, costs=cost_table)
+        assert a.score.overall == b.score.overall
+
+
+class TestExecuteRouting:
+    def test_single_returns_scenario_report(self, cost_table):
+        spec = RunSpec(scenario="ar_gaming", accelerator="A",
+                       duration_s=0.4)
+        report = execute(spec, costs=cost_table)
+        assert report.simulation.scenario.name == "ar_gaming"
+
+    def test_segment_granularity_routes_to_sessions(self, cost_table):
+        spec = RunSpec(scenario="ar_gaming", accelerator="J",
+                       duration_s=0.4, granularity="segment")
+        report = execute(spec, costs=cost_table)
+        assert report.result.num_sessions == 1
+
+    def test_score_preset_is_applied(self, cost_table):
+        base = RunSpec(scenario="ar_gaming", accelerator="A",
+                       duration_s=0.4)
+        default = execute(base, costs=cost_table)
+        lenient = execute(
+            base.replace(score_preset="lenient_rt"), costs=cost_table
+        )
+        # A different sigmoid steepness must change the RT score, and
+        # only the scoring — the simulation itself is untouched.
+        assert lenient.score.rt != default.score.rt
+        assert len(lenient.simulation.requests) == (
+            len(default.simulation.requests)
+        )
+
+    def test_events_are_emitted(self, cost_table):
+        sink = CollectingSink()
+        execute(RunSpec.for_suite("A", duration_s=0.4),
+                costs=cost_table, sinks=[sink])
+        kinds = sink.kinds()
+        assert kinds[0] == "spec_started"
+        assert kinds[-1] == "spec_finished"
+        assert kinds.count("scenario_finished") == 7
+        finished = [e for e in sink.events if e.kind == "scenario_finished"]
+        assert finished[0].payload["scenario"] == "social_interaction_a"
+        assert "overall" in finished[0].payload

@@ -76,6 +76,20 @@ class TestRunSeedSweep:
                 build_accelerator("A", 4096), seeds=0,
             )
 
+    def test_accepts_unregistered_custom_system(self, short_harness):
+        # The facade exists for callers holding pre-built systems a
+        # spec cannot name; an unregistered acc_id must not fail spec
+        # validation inside the wrapper.
+        import dataclasses
+
+        system = dataclasses.replace(
+            build_accelerator("A", 4096), acc_id="custom_a"
+        )
+        sweep = run_seed_sweep(
+            short_harness, "vr_gaming", system, seeds=2
+        )
+        assert "custom_a" in sweep.system
+
     def test_dynamic_scenarios_vary_more_than_static(self, short_harness):
         # Outdoor A's KD->SR trigger is probabilistic; Social B has only
         # jitter randomness.  The dynamic scenario's spread dominates.

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
+from repro.api import RunSpec
 from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 class TestParser:
@@ -153,3 +159,140 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert out.startswith("system,scenario,model")
+
+
+class TestSpecFile:
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        spec = RunSpec(scenario="vr_gaming", accelerator="A",
+                       duration_s=0.5)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json(indent=2))
+        assert main(["run", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "vr_gaming" in out and "overall=" in out
+
+    def test_run_from_multi_session_spec_file(self, tmp_path, capsys):
+        spec = RunSpec(scenario="vr_gaming", accelerator="J",
+                       duration_s=0.5, sessions=2)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert main(["run", "--spec", str(path)]) == 0
+        assert "2 sessions of vr_gaming" in capsys.readouterr().out
+
+    def test_spec_and_positionals_conflict(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(RunSpec(scenario="vr_gaming").to_json())
+        assert main(["run", "vr_gaming", "A", "--spec", str(path)]) == 2
+
+    def test_missing_positionals_without_spec(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_invalid_spec_file_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"scenario": "nope"}))
+        assert main(["run", "--spec", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("unknown scenario")  # no KeyError-repr quotes
+
+    def test_explicit_flags_override_spec_fields(self, tmp_path, capsys):
+        spec = RunSpec(scenario="vr_gaming", accelerator="J",
+                       duration_s=0.5)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert main(["run", "--spec", str(path), "--sessions", "2"]) == 0
+        assert "2 sessions of vr_gaming" in capsys.readouterr().out
+
+    def test_explicit_default_value_still_overrides_spec(
+        self, tmp_path, capsys
+    ):
+        spec = RunSpec(scenario="vr_gaming", accelerator="J",
+                       duration_s=0.5, sessions=4)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        # --sessions 1 equals the flag default but was passed explicitly,
+        # so it must override the spec's sessions=4.
+        assert main(["run", "--spec", str(path), "--sessions", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario 'vr_gaming'" in out
+        assert "sessions of" not in out
+
+    def test_suite_spec_with_timeline(self, tmp_path, capsys):
+        path = tmp_path / "suite.json"
+        path.write_text(
+            RunSpec.for_suite("A", duration_s=0.5).to_json()
+        )
+        assert main(["run", "--spec", str(path), "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "XRBench SCORE" in out
+        assert "-- ar_gaming --" in out and "ms/char" in out
+
+
+class TestSweepCommand:
+    def test_dry_run_emits_expanded_specs(self, capsys):
+        assert main(
+            ["sweep", "--dry-run",
+             "--scenario", "ar_gaming", "--scenario", "vr_gaming",
+             "--accelerator", "A", "--accelerator", "J"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["specs"]) == 4
+        cells = [
+            (spec["scenario"], spec["accelerator"])
+            for spec in document["specs"]
+        ]
+        assert cells == [
+            ("ar_gaming", "A"), ("ar_gaming", "J"),
+            ("vr_gaming", "A"), ("vr_gaming", "J"),
+        ]
+        # Every emitted spec must round-trip through RunSpec.
+        for spec_dict in document["specs"]:
+            assert RunSpec.from_dict(spec_dict).to_dict() == spec_dict
+
+    def test_dry_run_validates_against_checked_in_schema(self, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        assert main(
+            ["sweep", "--dry-run",
+             "--scenario", "ar_gaming", "--scenario", "vr_gaming",
+             "--accelerator", "A", "--accelerator", "J"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        schema = json.loads(
+            (REPO_ROOT / "schema" / "runspec.schema.json").read_text()
+        )
+        jsonschema.validate(document, schema)
+
+    def test_sweep_rejects_bad_workers(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scenario", "vr_gaming", "--workers", "0"])
+
+    def test_sweep_reports_bad_duration_cleanly(self, capsys):
+        assert main(
+            ["sweep", "--scenario", "vr_gaming", "--duration", "-1"]
+        ) == 2
+        assert "duration" in capsys.readouterr().err
+
+    def test_suite_reports_bad_duration_cleanly(self, capsys):
+        assert main(["suite", "A", "--duration", "-1"]) == 2
+        assert "duration" in capsys.readouterr().err
+
+    def test_sweep_execution_error_is_clean(self, capsys):
+        # 1001 PEs divide accelerator A's 1-way partition but not J's
+        # 2-way one, so the failure happens mid-execution, not at spec
+        # construction; it must still exit 2 with a message.
+        assert main(
+            ["sweep", "--scenario", "vr_gaming",
+             "--accelerator", "A", "--accelerator", "J",
+             "--pes", "1001", "--duration", "0.5"]
+        ) == 2
+        assert "not divisible" in capsys.readouterr().err
+
+    def test_sweep_executes_grid(self, capsys):
+        assert main(
+            ["sweep", "--scenario", "vr_gaming",
+             "--accelerator", "A", "--accelerator", "J",
+             "--duration", "0.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "vr_gaming" in out
+        assert out.count("\n") >= 3  # header + two result rows
