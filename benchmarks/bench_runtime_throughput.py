@@ -1,19 +1,29 @@
-"""Runtime-throughput microbenchmark: what the cost cache buys.
+"""Runtime-throughput benchmark: single-cell mode and the sweep suite.
 
-Compiles the workload flags into one declarative
-:class:`repro.api.RunSpec` and runs it twice through the single
-:func:`repro.api.execute` funnel — once pricing every dispatch with
-:class:`UncachedCostTable` (full analytical re-evaluation per query, the
-naive baseline) and once with :class:`CachedCostTable` (dict-probe
-dispatch path) — and emits a JSON blob with simulated-requests/sec and
-the cost-cache hit rate, to seed the performance trajectory of future
-PRs.
+Two modes share one workload definition:
+
+* **Single cell** (default): compiles the workload flags into one
+  declarative :class:`repro.api.RunSpec` and runs it twice through the
+  single :func:`repro.api.execute` funnel — once pricing every dispatch
+  with :class:`UncachedCostTable` (full analytical re-evaluation per
+  query, the naive baseline) and once with :class:`CachedCostTable`
+  (dict-probe dispatch path) — and prints a JSON blob with
+  simulated-requests/sec and the cost-cache hit rate.
+
+* **Suite** (``--suite``): sweeps sessions x granularity (defaults:
+  {1, 4, 16} x {model, segment}) over the cached dispatch path and
+  writes ``BENCH_runtime.json``, the repo's runtime perf trajectory.
+  Passing ``--baseline FILE`` (a previous suite emission) adds
+  per-cell ``baseline_requests_per_sec`` and ``speedup`` fields, which
+  is how before/after numbers for a PR are produced.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_runtime_throughput.py
     PYTHONPATH=src python benchmarks/bench_runtime_throughput.py \
         --scenario ar_gaming --sessions 8 --repeat 5
+    PYTHONPATH=src python benchmarks/bench_runtime_throughput.py \
+        --suite --output BENCH_runtime.json --baseline BENCH_runtime.json
 """
 
 from __future__ import annotations
@@ -29,17 +39,20 @@ from repro.costmodel import CachedCostTable, CostTable, UncachedCostTable
 from repro.hardware import ACCELERATOR_IDS
 from repro.workload import SCENARIO_ORDER
 
+SUITE_SESSIONS = (1, 4, 16)
+SUITE_GRANULARITIES = ("model", "segment")
 
-def build_spec(args) -> RunSpec:
+
+def build_spec(args, sessions=None, granularity=None) -> RunSpec:
     # A per-session scenario tuple (even of length 1) routes the spec
     # through the multi-tenant engine, so --sessions 1 still benchmarks
     # the dispatch path this file's numbers have always measured.
     return RunSpec(
-        scenario=(args.scenario,) * args.sessions,
+        scenario=(args.scenario,) * (sessions or args.sessions),
         accelerator=args.accelerator,
         pes=args.pes,
         scheduler=args.scheduler,
-        granularity=args.granularity,
+        granularity=granularity or args.granularity,
         duration_s=args.duration,
         seed=args.seed,
     )
@@ -71,6 +84,83 @@ def measure(spec: RunSpec, repeat: int, make_table):
     }, result
 
 
+def run_single(args) -> dict:
+    """Uncached-vs-cached comparison at one (sessions, granularity)."""
+    spec = build_spec(args)
+    uncached, _ = measure(spec, args.repeat, UncachedCostTable)
+    cached, cached_result = measure(
+        spec, args.repeat, lambda: CachedCostTable(base=CostTable())
+    )
+    stats = cached_result.cost_stats
+    return {
+        "workload": spec.to_dict(),
+        "uncached": uncached,
+        "cached": cached,
+        "speedup": round(
+            cached["requests_per_sec"] / uncached["requests_per_sec"], 2
+        ),
+        "cost_cache_hit_rate": round(stats.hit_rate, 4) if stats else None,
+    }
+
+
+def run_suite(args) -> dict:
+    """Sessions x granularity sweep over the cached dispatch path."""
+    baseline_cells: dict[tuple[int, str], dict] = {}
+    if args.baseline:
+        with open(args.baseline) as fh:
+            previous = json.load(fh)
+        baseline_cells = {
+            (c["sessions"], c["granularity"]): c
+            for c in previous.get("cells", [])
+        }
+    cells = []
+    for granularity in args.suite_granularities:
+        for sessions in args.suite_sessions:
+            spec = build_spec(args, sessions=sessions,
+                              granularity=granularity)
+            cached, result = measure(
+                spec, args.repeat,
+                lambda: CachedCostTable(base=CostTable()),
+            )
+            stats = result.cost_stats
+            cell = {
+                "sessions": sessions,
+                "granularity": granularity,
+                **cached,
+                "cost_cache_hit_rate": (
+                    round(stats.hit_rate, 4) if stats else None
+                ),
+            }
+            before = baseline_cells.get((sessions, granularity))
+            if before:
+                cell["baseline_requests_per_sec"] = (
+                    before["requests_per_sec"]
+                )
+                cell["speedup"] = round(
+                    cell["requests_per_sec"] / before["requests_per_sec"], 2
+                )
+            cells.append(cell)
+            print(
+                f"  {granularity:>7s} x {sessions:>2d} sessions: "
+                f"{cell['requests_per_sec']:>9.1f} req/s"
+                + (f"  ({cell['speedup']}x vs baseline)"
+                   if "speedup" in cell else ""),
+                file=sys.stderr,
+            )
+    # The workload block records everything the cells share; sessions
+    # and granularity are per-cell, so the spec shown is per-cell too.
+    shared = build_spec(args, sessions=1, granularity="model").to_dict()
+    for swept in ("scenario", "sessions", "granularity"):
+        shared.pop(swept, None)
+    shared["scenario"] = args.scenario
+    return {
+        "benchmark": "runtime_throughput",
+        "workload": shared,
+        "repeat": args.repeat,
+        "cells": cells,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scenario", default="vr_gaming",
@@ -86,28 +176,39 @@ def main(argv=None) -> int:
                         choices=["model", "segment"])
     parser.add_argument("--repeat", type=int, default=3,
                         help="take the best of N runs (default 3)")
+    parser.add_argument("--suite", action="store_true",
+                        help="sweep sessions x granularity and write "
+                             "the BENCH_runtime.json trajectory file")
+    parser.add_argument("--suite-sessions", type=int, nargs="+",
+                        default=list(SUITE_SESSIONS), metavar="N",
+                        help="session counts the suite sweeps")
+    parser.add_argument("--suite-granularities", nargs="+",
+                        default=list(SUITE_GRANULARITIES),
+                        choices=["model", "segment"], metavar="G",
+                        help="granularities the suite sweeps")
+    parser.add_argument("--output", default="BENCH_runtime.json",
+                        help="suite mode: where to write the JSON")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="suite mode: previous suite JSON to "
+                             "compute per-cell speedups against")
     args = parser.parse_args(argv)
     if args.sessions < 1:
         parser.error(f"--sessions must be >= 1, got {args.sessions}")
     if args.repeat < 1:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
+    if any(s < 1 for s in args.suite_sessions):
+        parser.error("--suite-sessions values must be >= 1")
 
-    spec = build_spec(args)
-    uncached, _ = measure(spec, args.repeat, UncachedCostTable)
-    cached, cached_result = measure(
-        spec, args.repeat, lambda: CachedCostTable(base=CostTable())
-    )
-    stats = cached_result.cost_stats
-    payload = {
-        "workload": spec.to_dict(),
-        "uncached": uncached,
-        "cached": cached,
-        "speedup": round(
-            cached["requests_per_sec"] / uncached["requests_per_sec"], 2
-        ),
-        "cost_cache_hit_rate": round(stats.hit_rate, 4) if stats else None,
-    }
-    print(json.dumps(payload, indent=2))
+    if args.suite:
+        payload = run_suite(args)
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.output} ({len(payload['cells'])} cells)",
+              file=sys.stderr)
+        print(json.dumps(payload, indent=2))
+    else:
+        print(json.dumps(run_single(args), indent=2))
     return 0
 
 

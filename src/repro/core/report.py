@@ -9,6 +9,7 @@ drop, execution timeline, and so on" (Section 3.5).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.runtime import MultiSessionResult, SimulationResult, render_timeline
 
@@ -133,11 +134,18 @@ class MultiSessionReport:
         reports = self.session_reports
         return sum(r.overall for r in reports) / len(reports)
 
+    @cached_property
+    def _reports_by_id(self) -> dict[int, ScenarioReport]:
+        return {r.simulation.session_id: r for r in self.session_reports}
+
     def session(self, session_id: int) -> ScenarioReport:
-        for report in self.session_reports:
-            if report.simulation.session_id == session_id:
-                return report
-        raise KeyError(f"no session {session_id} in this report")
+        """The session's report — an id-indexed dict probe, not a scan."""
+        try:
+            return self._reports_by_id[session_id]
+        except KeyError:
+            raise KeyError(
+                f"no session {session_id} in this report"
+            ) from None
 
     def summary(self) -> str:
         """Multi-line report: system totals, then one line per session."""

@@ -1,6 +1,6 @@
 """Discrete-event benchmark runtime (Figure 2), multi-tenant edition."""
 
-from .engine import ExecutionEngine, ExecutionRecord, WorkItem
+from .engine import EngineFleet, ExecutionEngine, ExecutionRecord, WorkItem
 from .events import Event, EventKind, EventQueue
 from .multisim import (
     GRANULARITIES,
@@ -8,7 +8,12 @@ from .multisim import (
     MultiSessionResult,
     SessionSpec,
 )
-from .queues import ActiveInferenceTable, DependencyTracker, PendingQueue
+from .queues import (
+    ActiveInferenceTable,
+    DependencyTracker,
+    PendingQueue,
+    WaitingQueue,
+)
 from .scheduler import (
     SCHEDULERS,
     EarliestDeadlineScheduler,
@@ -30,6 +35,7 @@ __all__ = [
     "ActiveInferenceTable",
     "DependencyTracker",
     "EarliestDeadlineScheduler",
+    "EngineFleet",
     "Event",
     "EventKind",
     "EventQueue",
@@ -49,6 +55,7 @@ __all__ = [
     "SegmentScheduler",
     "SegmentedCostTable",
     "SessionSpec",
+    "WaitingQueue",
     "WorkItem",
     "as_segment_scheduler",
     "segment_scenario",

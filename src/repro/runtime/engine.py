@@ -16,13 +16,15 @@ request).
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field, replace
+from typing import Iterator
 
 from repro.costmodel import DvfsPoint, ModelCost
 from repro.hardware import SubAccelerator
 from repro.workload import InferenceRequest
 
-__all__ = ["WorkItem", "ExecutionRecord", "ExecutionEngine"]
+__all__ = ["WorkItem", "ExecutionRecord", "ExecutionEngine", "EngineFleet"]
 
 
 @dataclass(frozen=True)
@@ -177,3 +179,57 @@ class ExecutionEngine:
     def describe(self) -> str:
         point = f" [{self.dvfs.name}]" if self.dvfs else ""
         return f"{self.sub.describe()}{point}"
+
+
+def _engine_index(engine: ExecutionEngine) -> int:
+    return engine.index
+
+
+@dataclass
+class EngineFleet:
+    """The system's engines plus an incrementally-maintained idle set.
+
+    All occupancy transitions flow through :meth:`begin`/:meth:`finish`,
+    which keep ``idle`` — the index-ordered list of free engines — exact
+    at all times.  The event loop therefore reads idleness in O(1)
+    instead of scanning every engine on every dispatch pass, and
+    schedulers receive the maintained list directly.  The list is *live*:
+    it mutates as work starts and finishes, so schedulers must not hold
+    on to it across calls.
+    """
+
+    engines: list[ExecutionEngine]
+    _idle: list[ExecutionEngine] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._idle = sorted(
+            (e for e in self.engines if e.idle), key=_engine_index
+        )
+
+    @property
+    def idle(self) -> list[ExecutionEngine]:
+        """Free engines, index-ordered.  Live view — do not mutate."""
+        return self._idle
+
+    def begin(self, engine: ExecutionEngine, item: WorkItem,
+              now_s: float, cost: ModelCost) -> float:
+        """Occupy ``engine`` with ``item``; returns the completion time."""
+        end_s = engine.begin(item, now_s, cost)
+        self._idle.remove(engine)
+        return end_s
+
+    def finish(self, sub_index: int, now_s: float) -> WorkItem:
+        """Release the engine at ``sub_index``; returns its work item."""
+        engine = self.engines[sub_index]
+        item = engine.finish(now_s)
+        insort(self._idle, engine, key=_engine_index)
+        return item
+
+    def __len__(self) -> int:
+        return len(self.engines)
+
+    def __getitem__(self, index: int) -> ExecutionEngine:
+        return self.engines[index]
+
+    def __iter__(self) -> Iterator[ExecutionEngine]:
+        return iter(self.engines)

@@ -32,19 +32,32 @@ Key properties:
 * **Determinism**: sessions are iterated in id order, merged queues are
   sorted with session-id tie-breaks, and all randomness flows through the
   per-session seeds — two runs with the same specs are bit-identical.
+* **Incremental dispatch state**: the event loop never recomputes what it
+  can maintain.  Waiting work lives in one
+  :class:`~repro.runtime.queues.WaitingQueue` updated on arrival/dispatch
+  (work items are built — and their segment plans resolved — once per
+  request, not once per scheduler call); resumable segments sit in a
+  heap; engine idleness is a set maintained by
+  :class:`~repro.runtime.engine.EngineFleet` on begin/finish; and
+  per-session record partitioning is a single pass at result-build time.
+  Scheduling decisions are bit-identical to the recompute-everything
+  formulation — only the bookkeeping cost changed, making wall time scale
+  linearly with session count.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass, field
 
 from repro.costmodel import CachedCostTable, CostCacheStats, CostTable, DvfsPoint
 from repro.hardware import AcceleratorSystem
 from repro.workload import InferenceRequest, LoadGenerator, UsageScenario
 
-from .engine import ExecutionEngine, ExecutionRecord, WorkItem
+from .engine import EngineFleet, ExecutionEngine, ExecutionRecord, WorkItem
 from .events import EventKind, EventQueue
-from .queues import DependencyTracker, PendingQueue
+from .queues import DependencyTracker, WaitingQueue
 from .scheduler import Scheduler, SegmentScheduler, as_segment_scheduler
 from .segmentation import dispatch_segment_code, split_graph
 from .simulator import SimulationResult
@@ -78,12 +91,16 @@ class SessionSpec:
 
 @dataclass
 class _SessionState:
-    """Mutable runtime state of one session."""
+    """Mutable runtime state of one session.
+
+    Waiting work is *not* per-session state: all sessions share the
+    event loop's single :class:`~repro.runtime.queues.WaitingQueue`,
+    which keys its drop policy on (session, model).
+    """
 
     spec: SessionSpec
     loadgen: LoadGenerator
     deps: DependencyTracker
-    pending: PendingQueue
     requests: list[InferenceRequest]
     busy_time_s: dict[int, float]
     spawned: dict[str, int]
@@ -107,16 +124,40 @@ class MultiSessionResult:
     records: list[ExecutionRecord]
     busy_time_s: dict[int, float]
     cost_stats: CostCacheStats | None = None
+    #: Lazy id index: (the sessions list it was built from, the index).
+    #: ``init=False`` keeps ``dataclasses.replace`` from copying a cache
+    #: built against another instance's sessions.
+    _session_index: tuple[
+        list[SimulationResult], dict[int, SimulationResult]
+    ] | None = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def num_sessions(self) -> int:
         return len(self.sessions)
 
     def session(self, session_id: int) -> SimulationResult:
-        for result in self.sessions:
-            if result.session_id == session_id:
-                return result
-        raise KeyError(f"no session {session_id} in this result")
+        """The session with ``session_id`` — a dict probe, not a scan.
+
+        The id index is built lazily and rebuilt whenever ``sessions``
+        is a different list (or a different size) than the one it was
+        built from; raises ``KeyError`` for unknown ids.
+        """
+        cached = self._session_index
+        if (
+            cached is None
+            or cached[0] is not self.sessions
+            or len(cached[1]) != len(self.sessions)
+        ):
+            index = {s.session_id: s for s in self.sessions}
+            self._session_index = (self.sessions, index)
+        else:
+            index = cached[1]
+        try:
+            return index[session_id]
+        except KeyError:
+            raise KeyError(
+                f"no session {session_id} in this result"
+            ) from None
 
     def all_requests(self) -> list[InferenceRequest]:
         return [r for s in self.sessions for r in s.requests]
@@ -253,11 +294,13 @@ class MultiScenarioSimulator:
         ):
             costs = CachedCostTable(base=costs)
         plans = self._plan_segments(costs)
+        whole_model: list[str | None] = [None]
 
-        engines = [
+        fleet = EngineFleet([
             ExecutionEngine(sub=sub, dvfs=self.engine_dvfs.get(sub.index))
             for sub in self.system.subs
-        ]
+        ])
+        idle = fleet.idle  # live, index-ordered; maintained by the fleet
         events = EventQueue()
         states: dict[int, _SessionState] = {}
         for spec in sorted(self.sessions, key=lambda s: s.session_id):
@@ -273,7 +316,6 @@ class MultiScenarioSimulator:
                 spec=spec,
                 loadgen=loadgen,
                 deps=DependencyTracker(spec.scenario),
-                pending=PendingQueue(),
                 requests=[],
                 busy_time_s={i: 0.0 for i in range(self.system.num_subs)},
                 spawned=spawned,
@@ -287,14 +329,34 @@ class MultiScenarioSimulator:
                     session_id=spec.session_id,
                 )
 
-        #: In-flight requests waiting for their next segment.  Resumed
-        #: ahead of fresh work (a started request is never dropped), which
-        #: also makes single-engine segment runs schedule-identical to
+        #: In-flight requests waiting for their next segment, as a heap
+        #: ordered like the waiting queue (oldest data first, session and
+        #: model tie-breaks, then insertion order).  Resumed ahead of
+        #: fresh work (a started request is never dropped), which also
+        #: makes single-engine segment runs schedule-identical to
         #: whole-model runs.
-        resumable: list[WorkItem] = []
+        resumable: list[tuple[float, int, str, int, WorkItem]] = []
+        resume_seq = itertools.count()
 
-        def piece_codes(model_code: str) -> list[str | None]:
-            return plans.get(model_code, [None])
+        #: Every session's waiting work, maintained in dispatch order on
+        #: offer/take — schedulers read this view directly.
+        waiting = WaitingQueue()
+
+        def fresh_item(request: InferenceRequest,
+                       session_id: int) -> WorkItem:
+            """The first schedulable piece of a newly-arrived request.
+
+            Segment plans are resolved exactly once, here, and ride on
+            the work item for the rest of the request's life.
+            """
+            codes = plans.get(request.model_code, whole_model)
+            return WorkItem(
+                request=request,
+                session_id=session_id,
+                segment_index=0,
+                num_segments=len(codes),
+                task_code=codes[0],
+            )
 
         def start(item: WorkItem, engine: ExecutionEngine,
                   now_s: float) -> None:
@@ -311,7 +373,7 @@ class MultiScenarioSimulator:
             # up as the *final* segment's engine.  Exact per-segment
             # attribution lives in the ExecutionRecords.
             request.accelerator_id = engine.index
-            end_s = engine.begin(item, now_s, cost)
+            end_s = fleet.begin(engine, item, now_s, cost)
             state.busy_time_s[engine.index] += cost.latency_s
             if item.is_final_segment:
                 request.end_time_s = end_s
@@ -323,8 +385,7 @@ class MultiScenarioSimulator:
                 session_id=item.session_id,
             )
 
-        def best_engine_for(item: WorkItem,
-                            idle: list[ExecutionEngine]) -> ExecutionEngine:
+        def best_engine_for(item: WorkItem) -> ExecutionEngine:
             return min(
                 idle,
                 key=lambda e: (
@@ -335,39 +396,13 @@ class MultiScenarioSimulator:
                 ),
             )
 
-        def item_order(item: WorkItem) -> tuple:
-            return (
-                item.request.request_time_s,
-                item.session_id,
-                item.request.model_code,
-            )
-
         def dispatch(now_s: float) -> None:
             # Pass 1: resume in-flight segmented requests, oldest first.
-            while resumable:
-                idle = [e for e in engines if e.idle]
-                if not idle:
-                    return
-                resumable.sort(key=item_order)
-                item = resumable.pop(0)
-                start(item, best_engine_for(item, idle), now_s)
+            while resumable and idle:
+                item = heapq.heappop(resumable)[4]
+                start(item, best_engine_for(item), now_s)
             # Pass 2: let the scheduler fill remaining idle engines.
-            while True:
-                idle = [e for e in engines if e.idle]
-                if not idle:
-                    return
-                waiting = [
-                    WorkItem(
-                        request=request,
-                        session_id=sid,
-                        segment_index=0,
-                        num_segments=len(piece_codes(request.model_code)),
-                        task_code=piece_codes(request.model_code)[0],
-                    )
-                    for sid, state in states.items()
-                    for request in state.pending.waiting()
-                ]
-                waiting.sort(key=item_order)
+            while idle:
                 choice = scheduler.select(
                     now_s, waiting, idle, self.system, costs
                 )
@@ -379,7 +414,7 @@ class MultiScenarioSimulator:
                         f"scheduler chose busy engine {engine.index} "
                         f"(idle: {[e.index for e in idle]})"
                     )
-                states[item.session_id].pending.take(item.request)
+                waiting.take(item)
                 start(item, engine, now_s)
 
         while events:
@@ -391,10 +426,9 @@ class MultiScenarioSimulator:
                 state.requests.append(request)
                 if request.model_code not in state.root_codes:
                     state.spawned[request.model_code] += 1
-                state.pending.offer(request)
+                waiting.offer(fresh_item(request, event.session_id))
             else:  # COMPLETION
-                engine = engines[event.sub_index]
-                item = engine.finish(now_s)
+                item = fleet.finish(event.sub_index, now_s)
                 if item.request is not event.request:
                     raise AssertionError(
                         "completion event does not match active inference"
@@ -414,16 +448,30 @@ class MultiScenarioSimulator:
                                 session_id=event.session_id,
                             )
                 else:
-                    codes = piece_codes(item.request.model_code)
-                    resumable.append(
-                        item.successor(codes[item.segment_index + 1])
+                    codes = plans.get(item.request.model_code, whole_model)
+                    successor = item.successor(
+                        codes[item.segment_index + 1]
                     )
+                    heapq.heappush(resumable, (
+                        successor.request.request_time_s,
+                        successor.session_id,
+                        successor.request.model_code,
+                        next(resume_seq),
+                        successor,
+                    ))
             dispatch(now_s)
 
         records = sorted(
-            (record for engine in engines for record in engine.records),
+            (record for engine in fleet for record in engine.records),
             key=lambda r: (r.start_s, r.sub_index),
         )
+        # One pass partitions the global log per session (the global sort
+        # is stable, so each slice stays (start_s, sub_index)-ordered).
+        records_by_session: dict[int, list[ExecutionRecord]] = {
+            sid: [] for sid in states
+        }
+        for record in records:
+            records_by_session[record.session_id].append(record)
         session_results = [
             SimulationResult(
                 scenario=state.spec.scenario,
@@ -432,9 +480,7 @@ class MultiScenarioSimulator:
                 requests=state.requests,
                 busy_time_s=state.busy_time_s,
                 spawned_frames=state.spawned,
-                records=[
-                    r for r in records if r.session_id == sid
-                ],
+                records=records_by_session[sid],
                 session_id=sid,
             )
             for sid, state in sorted(states.items())
@@ -444,6 +490,6 @@ class MultiScenarioSimulator:
             duration_s=self.duration_s,
             sessions=session_results,
             records=records,
-            busy_time_s={e.index: e.busy_time_s for e in engines},
+            busy_time_s={e.index: e.busy_time_s for e in fleet},
             cost_stats=getattr(costs, "stats", None),
         )

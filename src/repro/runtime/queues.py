@@ -7,20 +7,42 @@ one is still waiting to start, the stale frame is dropped — processing it
 could no longer contribute to the target rate (its successor has already
 arrived), and real XR runtimes prefer the fresh frame.  Requests that have
 *started* are never aborted.
+
+:class:`WaitingQueue` is the multi-tenant generalisation: one structure
+spanning every session, holding session-tagged
+:class:`~repro.runtime.engine.WorkItem` values in dispatch order and
+applying the same drop policy per (session, model).  It is maintained
+incrementally on offer/take, so the event loop hands schedulers a
+ready-sorted view instead of rebuilding and re-sorting a list on every
+scheduler call.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.workload import Dependency, InferenceRequest, UsageScenario
 
-__all__ = ["PendingQueue", "ActiveInferenceTable", "DependencyTracker"]
+from .engine import WorkItem
+
+__all__ = [
+    "PendingQueue",
+    "WaitingQueue",
+    "ActiveInferenceTable",
+    "DependencyTracker",
+]
 
 
 @dataclass
 class PendingQueue:
-    """At-most-one waiting request per model; stale frames are dropped."""
+    """At-most-one waiting request per model; stale frames are dropped.
+
+    Legacy single-tenant structure, kept as public API alongside
+    :class:`ActiveInferenceTable`; the multi-tenant event loop's live
+    waiting state is :class:`WaitingQueue` below.
+    """
 
     _waiting: dict[str, InferenceRequest] = field(default_factory=dict)
     dropped: list[InferenceRequest] = field(default_factory=list)
@@ -52,6 +74,86 @@ class PendingQueue:
 
     def __len__(self) -> int:
         return len(self._waiting)
+
+
+def _dispatch_order(item: WorkItem) -> tuple[float, int, str]:
+    """Global dispatch order: oldest data first, session/model tie-breaks."""
+    return (
+        item.request.request_time_s,
+        item.session_id,
+        item.request.model_code,
+    )
+
+
+@dataclass
+class WaitingQueue:
+    """All sessions' waiting work, maintained in dispatch order.
+
+    The multi-tenant counterpart of :class:`PendingQueue`: at most one
+    waiting :class:`WorkItem` per (session, model); offering a fresh
+    frame drops the stale one (frame-freshness policy).  Items are kept
+    sorted by ``(request_time_s, session_id, model_code)`` — inserted and
+    removed by bisection — so reading the queue is free for the event
+    loop and for schedulers, which receive this object directly as their
+    waiting view.  Treat it as read-only inside a scheduler: only the
+    event loop offers and takes.
+    """
+
+    _items: list[WorkItem] = field(default_factory=list)
+    _by_key: dict[tuple[int, str], WorkItem] = field(default_factory=dict)
+    dropped: list[InferenceRequest] = field(default_factory=list)
+
+    def offer(self, item: WorkItem) -> WorkItem | None:
+        """Add a fresh work item; returns the displaced stale item, if any.
+
+        The stale item's request is marked dropped, exactly like
+        :meth:`PendingQueue.offer`.
+        """
+        key = (item.session_id, item.request.model_code)
+        stale = self._by_key.get(key)
+        if stale is not None:
+            del self._items[self._locate(stale)]
+            stale.request.dropped = True
+            self.dropped.append(stale.request)
+        self._by_key[key] = item
+        insort(self._items, item, key=_dispatch_order)
+        return stale
+
+    def take(self, item: WorkItem) -> None:
+        """Remove an item that is about to be dispatched."""
+        key = (item.session_id, item.request.model_code)
+        current = self._by_key.get(key)
+        if current is not item:
+            raise ValueError(
+                f"work item {item!r} is not waiting "
+                f"(queue holds {current!r})"
+            )
+        del self._items[self._locate(item)]
+        del self._by_key[key]
+
+    def _locate(self, item: WorkItem) -> int:
+        """Index of ``item`` in the sorted list (identity match)."""
+        index = bisect_left(self._items, _dispatch_order(item),
+                            key=_dispatch_order)
+        while index < len(self._items):
+            if self._items[index] is item:
+                return index
+            index += 1
+        raise ValueError(f"work item {item!r} is not in the queue")
+
+    # -- read-only sequence view (what schedulers see) -----------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __getitem__(self, index) -> WorkItem:
+        return self._items[index]
+
+    def __iter__(self) -> Iterator[WorkItem]:
+        return iter(self._items)
 
 
 @dataclass

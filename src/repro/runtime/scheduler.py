@@ -28,7 +28,7 @@ session multiplexing and segment-level dispatch.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Protocol, Sequence
 
 from repro.costmodel import CostTable
 from repro.hardware import AcceleratorSystem
@@ -68,13 +68,22 @@ class Scheduler(Protocol):
 
 
 class SegmentScheduler(Protocol):
-    """Session- and segment-aware dispatch interface."""
+    """Session- and segment-aware dispatch interface.
+
+    ``waiting`` is the event loop's *maintained* waiting view (a
+    :class:`~repro.runtime.queues.WaitingQueue`): a read-only sequence of
+    work items already sorted oldest-data-first with (session, model)
+    tie-breaks, updated incrementally as frames arrive and dispatch —
+    never rebuilt per call.  ``idle_engines`` is likewise the maintained
+    index-ordered idle list.  Both are live views owned by the event
+    loop: read them, never mutate or retain them across calls.
+    """
 
     def select(
         self,
         now_s: float,
-        waiting: list[WorkItem],
-        idle_engines: list[ExecutionEngine],
+        waiting: Sequence[WorkItem],
+        idle_engines: Sequence[ExecutionEngine],
         system: AcceleratorSystem,
         costs: CostTable,
     ) -> tuple[WorkItem, ExecutionEngine] | None:
@@ -87,10 +96,12 @@ class SchedulerAdapter:
     """Presents segment-granular, session-tagged work to a legacy policy.
 
     The wrapped scheduler sees plain request/engine-index lists exactly as
-    before; the adapter maps its choice back onto the work item and the
-    engine object.  Engine-fit heuristics keep pricing by the *whole*
-    model code — an acceptable approximation for a segment, whose
-    relative engine affinity matches its parent model's.
+    before (materialised fresh per call from the maintained views, so the
+    legacy policy can never corrupt the event loop's state); the adapter
+    maps its choice back onto the work item and the engine object.
+    Engine-fit heuristics keep pricing by the *whole* model code — an
+    acceptable approximation for a segment, whose relative engine
+    affinity matches its parent model's.
     """
 
     inner: Scheduler
@@ -98,8 +109,8 @@ class SchedulerAdapter:
     def select(
         self,
         now_s: float,
-        waiting: list[WorkItem],
-        idle_engines: list[ExecutionEngine],
+        waiting: Sequence[WorkItem],
+        idle_engines: Sequence[ExecutionEngine],
         system: AcceleratorSystem,
         costs: CostTable,
     ) -> tuple[WorkItem, ExecutionEngine] | None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import cached_property
 
 from .scenarios import ScenarioModel
 
@@ -32,11 +33,16 @@ _request_ids = itertools.count()
 
 @dataclass(frozen=True)
 class FramePlan:
-    """Maps a model's frame index onto sensor frames and deadlines."""
+    """Maps a model's frame index onto sensor frames and deadlines.
+
+    ``effective_fps`` and ``stride`` are cached: both are pure functions
+    of the (frozen) scenario model, and the runtime asks for them once
+    per frame mapping — thousands of times per run.
+    """
 
     scenario_model: ScenarioModel
 
-    @property
+    @cached_property
     def effective_fps(self) -> float:
         """Achievable processing rate: the target, capped by the sensor.
 
@@ -46,7 +52,7 @@ class FramePlan:
         sensor_fps = self.scenario_model.model.primary_sensor.fps
         return min(self.scenario_model.target_fps, sensor_fps)
 
-    @property
+    @cached_property
     def stride(self) -> float:
         """Sensor frames consumed per model frame (>= 1)."""
         sensor_fps = self.scenario_model.model.primary_sensor.fps

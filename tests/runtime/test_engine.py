@@ -6,7 +6,7 @@ import pytest
 
 from repro.costmodel import CachedCostTable, CostTable, DvfsPoint
 from repro.hardware import build_accelerator
-from repro.runtime import ExecutionEngine, WorkItem
+from repro.runtime import EngineFleet, ExecutionEngine, WorkItem
 from repro.workload import InferenceRequest
 
 
@@ -119,3 +119,56 @@ class TestExecutionEngine:
         engine = ExecutionEngine(sub=system.subs[0],
                                  dvfs=DvfsPoint("eco", 0.5))
         assert "eco" in engine.describe()
+
+
+class TestEngineFleet:
+    @pytest.fixture()
+    def fleet(self):
+        system = build_accelerator("H", 4096)  # four engines
+        return EngineFleet(
+            [ExecutionEngine(sub=sub) for sub in system.subs]
+        )
+
+    def test_all_idle_initially_index_ordered(self, fleet):
+        assert [e.index for e in fleet.idle] == [0, 1, 2, 3]
+        assert len(fleet) == 4
+
+    def test_begin_removes_from_idle(self, fleet, table):
+        engine = fleet[2]
+        cost = table.cost("HT", engine.sub.dataflow, engine.sub.num_pes)
+        end = fleet.begin(engine, WorkItem(request=req()), 0.0, cost)
+        assert end == pytest.approx(cost.latency_s)
+        assert [e.index for e in fleet.idle] == [0, 1, 3]
+        assert not engine.idle
+
+    def test_finish_reinserts_in_index_order(self, fleet, table):
+        cost = table.cost("HT", fleet[0].sub.dataflow, fleet[0].sub.num_pes)
+        for frame, engine in enumerate(list(fleet)):
+            fleet.begin(engine, WorkItem(request=req(frame=frame)), 0.0,
+                        cost)
+        assert fleet.idle == []
+        # Release out of order; the idle list comes back index-sorted.
+        for index in (3, 0, 2, 1):
+            fleet.finish(index, 1.0)
+        assert [e.index for e in fleet.idle] == [0, 1, 2, 3]
+
+    def test_idle_list_is_live(self, fleet, table):
+        # The event loop holds one reference for the whole run.
+        idle = fleet.idle
+        cost = table.cost("HT", fleet[0].sub.dataflow, fleet[0].sub.num_pes)
+        fleet.begin(fleet[0], WorkItem(request=req()), 0.0, cost)
+        assert [e.index for e in idle] == [1, 2, 3]
+        fleet.finish(0, 1.0)
+        assert [e.index for e in idle] == [0, 1, 2, 3]
+
+    def test_busy_begin_keeps_idle_set_consistent(self, fleet, table):
+        cost = table.cost("HT", fleet[0].sub.dataflow, fleet[0].sub.num_pes)
+        fleet.begin(fleet[0], WorkItem(request=req()), 0.0, cost)
+        with pytest.raises(ValueError, match="hardware-occupancy"):
+            fleet.begin(fleet[0], WorkItem(request=req(frame=1)), 0.1, cost)
+        assert [e.index for e in fleet.idle] == [1, 2, 3]
+
+    def test_finish_idle_engine_raises_without_corruption(self, fleet):
+        with pytest.raises(ValueError, match="idle"):
+            fleet.finish(1, 0.0)
+        assert [e.index for e in fleet.idle] == [0, 1, 2, 3]

@@ -133,6 +133,48 @@ class TestMultiplexing:
         assert result.session(1).scenario.name == "ar_assistant"
         assert all(len(s.completed()) > 0 for s in result.sessions)
 
+    def test_session_lookup_by_id(self, four_sessions):
+        for sid in range(4):
+            assert four_sessions.session(sid).session_id == sid
+
+    def test_session_lookup_unknown_id_raises(self, four_sessions):
+        with pytest.raises(KeyError, match="no session 99"):
+            four_sessions.session(99)
+        with pytest.raises(KeyError, match="no session -1"):
+            four_sessions.session(-1)
+
+    def test_session_index_tracks_mutation(self, four_sessions):
+        # The id index is rebuilt if the sessions list changes size
+        # (results are plain dataclasses; callers may extend them).
+        import copy
+
+        result = copy.copy(four_sessions)
+        result.sessions = list(result.sessions)
+        extra = copy.copy(result.sessions[0])
+        extra.session_id = 42
+        result.session(0)  # build the index
+        result.sessions.append(extra)
+        assert result.session(42) is extra
+
+    def test_session_index_not_stale_after_replace(self, four_sessions):
+        # dataclasses.replace with a same-size sessions list must not
+        # inherit the original's id index.
+        import copy
+        import dataclasses
+
+        four_sessions.session(0)  # ensure the index is built
+        renumbered = []
+        for offset, session in enumerate(four_sessions.sessions):
+            clone = copy.copy(session)
+            clone.session_id = 100 + offset
+            renumbered.append(clone)
+        swapped = dataclasses.replace(four_sessions, sessions=renumbered)
+        assert swapped.session(100) is renumbered[0]
+        with pytest.raises(KeyError, match="no session 0"):
+            swapped.session(0)
+        # The original is untouched.
+        assert four_sessions.session(0).session_id == 0
+
 
 class TestDeterminism:
     def test_same_seeds_same_outcome(self):

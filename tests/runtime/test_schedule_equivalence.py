@@ -1,0 +1,153 @@
+"""Golden-schedule equivalence: the incremental dispatch path is
+bit-identical to the recompute-everything formulation it replaced.
+
+The checksums below were generated from the pre-refactor event loop
+(which rebuilt the waiting list, re-sorted the resumable list and
+re-scanned engine idleness on every scheduler pass) over every
+registered scheduler x both granularities x 1/4/16 sessions.  The
+maintained-state dispatch path must reproduce every schedule exactly:
+each checksum hashes the full ``(start_s, sub_index, task_code)``
+execution log, so any reordering, timing drift, or dropped/duplicated
+dispatch changes the digest.
+
+If a deliberate scheduling-semantics change ever invalidates these,
+regenerate with ``checksum_of(run_case(...))`` and say so loudly in the
+commit message — this file is the contract that perf work does not move
+schedules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.hardware import build_accelerator
+from repro.runtime import MultiScenarioSimulator, make_scheduler
+from repro.runtime.segmentation import dispatch_segment_code
+from repro.workload import get_scenario
+
+#: One workload fixed forever: vr_gaming on accelerator J at 8192 PEs,
+#: 0.25 streamed seconds, base seed 0, default 2-way splits.
+SCENARIO = "vr_gaming"
+ACCELERATOR = "J"
+PES = 8192
+DURATION_S = 0.25
+BASE_SEED = 0
+
+#: (scheduler, granularity, sessions) -> (record count, sha256 digest),
+#: generated from the pre-refactor dispatch loop.
+GOLDEN: dict[tuple[str, str, int], tuple[int, str]] = {
+    ("latency_greedy", "model", 1):
+        (42, "50a395771a3e90f3c3b255b27adde908db1b05128ec182d81a0d5b3df2c68381"),
+    ("latency_greedy", "model", 4):
+        (94, "9eb2c3d3ab1bfef2c54812278945f8a81e6c31249d1843a993087e5fcae019bb"),
+    ("latency_greedy", "model", 16):
+        (129, "7aeeb97cd83488dba582d207ec91c3c25ccde87724470d6e8973a9555b3ff33c"),
+    ("latency_greedy", "segment", 1):
+        (84, "adc70ad2afa83af9c3e4104cb8e8f8eaa8c20879ca057b36727af10384ea91a4"),
+    ("latency_greedy", "segment", 4):
+        (188, "8f960f35ebae561e6e28d46ee042f0a33e1825bc89344bb73f3432e8ca4e29fc"),
+    ("latency_greedy", "segment", 16):
+        (258, "9dd5ca29e0ceede2ad2f235a81501ae025bebf27f3f98fa93cdc92374499d4dc"),
+    ("round_robin", "model", 1):
+        (42, "d27f23b3db03e798d2888b010669a81ab6fce502b8eb5bb84f7d045d52ba7bd5"),
+    ("round_robin", "model", 4):
+        (94, "9eb2c3d3ab1bfef2c54812278945f8a81e6c31249d1843a993087e5fcae019bb"),
+    ("round_robin", "model", 16):
+        (129, "7aeeb97cd83488dba582d207ec91c3c25ccde87724470d6e8973a9555b3ff33c"),
+    ("round_robin", "segment", 1):
+        (84, "77efeaed135fecb9f00df37b7f11d1fbb0fe32fed7cb3bc5e3787aee90a5a67a"),
+    ("round_robin", "segment", 4):
+        (188, "8f960f35ebae561e6e28d46ee042f0a33e1825bc89344bb73f3432e8ca4e29fc"),
+    ("round_robin", "segment", 16):
+        (258, "9dd5ca29e0ceede2ad2f235a81501ae025bebf27f3f98fa93cdc92374499d4dc"),
+    ("edf", "model", 1):
+        (42, "50a395771a3e90f3c3b255b27adde908db1b05128ec182d81a0d5b3df2c68381"),
+    ("edf", "model", 4):
+        (97, "fe382b9338fc7639ec3efd4854152572e992193b2f091fd3ed579dc7e7c5f350"),
+    ("edf", "model", 16):
+        (139, "b06d7dc2ba994b5dfa9789486284131925194c0e4df047ef4fee700615579813"),
+    ("edf", "segment", 1):
+        (84, "adc70ad2afa83af9c3e4104cb8e8f8eaa8c20879ca057b36727af10384ea91a4"),
+    ("edf", "segment", 4):
+        (194, "0a672de99e6bb8e8828682e1e38d943201c40f869de34ae16b0c114037d98e60"),
+    ("edf", "segment", 16):
+        (278, "2ebdb33cef3a57084262b3748f431f0fdf33c0441fbcad4f597e030a82d76857"),
+    ("rate_monotonic", "model", 1):
+        (42, "50a395771a3e90f3c3b255b27adde908db1b05128ec182d81a0d5b3df2c68381"),
+    ("rate_monotonic", "model", 4):
+        (114, "5077a526d740ce000f9657955f680ad2520783367d9dc6f700424d2c6db8ea22"),
+    ("rate_monotonic", "model", 16):
+        (148, "2d35dc63efd6204b20d40091f2ac6a7d5647e63006d9c83e3e59e4a5817ab71f"),
+    ("rate_monotonic", "segment", 1):
+        (84, "adc70ad2afa83af9c3e4104cb8e8f8eaa8c20879ca057b36727af10384ea91a4"),
+    ("rate_monotonic", "segment", 4):
+        (228, "2f5cfe0aa7439703ebaafb8dbf6aace2e132947197371f5fef392af95480a3aa"),
+    ("rate_monotonic", "segment", 16):
+        (296, "11696056b7c19cd34193a213ab483976465433a8d86350c26c30ff0029173f38"),
+}
+
+
+def run_case(scheduler: str, granularity: str, sessions: int):
+    return MultiScenarioSimulator.replicate(
+        get_scenario(SCENARIO),
+        build_accelerator(ACCELERATOR, PES),
+        make_scheduler(scheduler),
+        sessions,
+        base_seed=BASE_SEED,
+        duration_s=DURATION_S,
+        granularity=granularity,
+    ).run()
+
+
+def checksum_of(result) -> tuple[int, str]:
+    """(record count, sha256 of the (start_s, sub_index, task_code) log).
+
+    ``start_s`` is rounded to a nanosecond so the digest survives
+    last-bit float formatting differences while still flagging any real
+    timing change.
+    """
+    rows = [
+        [
+            round(r.start_s, 9),
+            r.sub_index,
+            dispatch_segment_code(r.model_code, r.segment_index,
+                                  r.num_segments)
+            if r.num_segments > 1
+            else r.model_code,
+        ]
+        for r in result.records
+    ]
+    blob = json.dumps(rows, separators=(",", ":")).encode()
+    return len(rows), hashlib.sha256(blob).hexdigest()
+
+
+@pytest.mark.parametrize(
+    "scheduler,granularity,sessions",
+    sorted(GOLDEN),
+    ids=lambda v: str(v),
+)
+def test_schedule_matches_pre_refactor_golden(scheduler, granularity,
+                                              sessions):
+    result = run_case(scheduler, granularity, sessions)
+    assert checksum_of(result) == GOLDEN[(scheduler, granularity, sessions)]
+
+
+def test_golden_covers_every_registered_scheduler():
+    """New policies must be added to the golden table (or this reminds you)."""
+    from repro.runtime import SCHEDULERS
+
+    covered = {scheduler for scheduler, _, _ in GOLDEN}
+    assert covered == set(SCHEDULERS), (
+        "schedulers missing from the golden table: "
+        f"{sorted(set(SCHEDULERS) - covered)}"
+    )
+
+
+def test_checksum_is_schedule_sensitive():
+    """Sanity: the digest actually distinguishes different schedules."""
+    a = checksum_of(run_case("latency_greedy", "model", 4))
+    b = checksum_of(run_case("edf", "model", 4))
+    assert a != b
