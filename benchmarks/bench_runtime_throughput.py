@@ -10,12 +10,14 @@ Two modes share one workload definition:
   (dict-probe dispatch path) — and prints a JSON blob with
   simulated-requests/sec and the cost-cache hit rate.
 
-* **Suite** (``--suite``): sweeps sessions x granularity (defaults:
-  {1, 4, 16} x {model, segment}) over the cached dispatch path and
-  writes ``BENCH_runtime.json``, the repo's runtime perf trajectory.
-  Passing ``--baseline FILE`` (a previous suite emission) adds
-  per-cell ``baseline_requests_per_sec`` and ``speedup`` fields, which
-  is how before/after numbers for a PR are produced.
+* **Suite** (``--suite``): sweeps sessions x granularity x churn
+  (defaults: {1, 4, 16} x {model, segment} x {0.0}) over the cached
+  dispatch path and writes ``BENCH_runtime.json``, the repo's runtime
+  perf trajectory.  ``--suite-churn 0.0 0.25`` adds dynamic-session
+  cells, exercising the JOIN/LEAVE path under load.  Passing
+  ``--baseline FILE`` (a previous suite emission) adds per-cell
+  ``baseline_requests_per_sec`` and ``speedup`` fields, which is how
+  before/after numbers for a PR are produced.
 
 Usage::
 
@@ -43,7 +45,8 @@ SUITE_SESSIONS = (1, 4, 16)
 SUITE_GRANULARITIES = ("model", "segment")
 
 
-def build_spec(args, sessions=None, granularity=None) -> RunSpec:
+def build_spec(args, sessions=None, granularity=None,
+               churn=None) -> RunSpec:
     # A per-session scenario tuple (even of length 1) routes the spec
     # through the multi-tenant engine, so --sessions 1 still benchmarks
     # the dispatch path this file's numbers have always measured.
@@ -55,6 +58,7 @@ def build_spec(args, sessions=None, granularity=None) -> RunSpec:
         granularity=granularity or args.granularity,
         duration_s=args.duration,
         seed=args.seed,
+        churn=args.churn if churn is None else churn,
     )
 
 
@@ -104,53 +108,61 @@ def run_single(args) -> dict:
 
 
 def run_suite(args) -> dict:
-    """Sessions x granularity sweep over the cached dispatch path."""
-    baseline_cells: dict[tuple[int, str], dict] = {}
+    """Sessions x granularity x churn sweep over the cached path."""
+    baseline_cells: dict[tuple[int, str, float], dict] = {}
     if args.baseline:
         with open(args.baseline) as fh:
             previous = json.load(fh)
         baseline_cells = {
-            (c["sessions"], c["granularity"]): c
+            (c["sessions"], c["granularity"], c.get("churn", 0.0)): c
             for c in previous.get("cells", [])
         }
     cells = []
-    for granularity in args.suite_granularities:
-        for sessions in args.suite_sessions:
-            spec = build_spec(args, sessions=sessions,
-                              granularity=granularity)
-            cached, result = measure(
-                spec, args.repeat,
-                lambda: CachedCostTable(base=CostTable()),
-            )
-            stats = result.cost_stats
-            cell = {
-                "sessions": sessions,
-                "granularity": granularity,
-                **cached,
-                "cost_cache_hit_rate": (
-                    round(stats.hit_rate, 4) if stats else None
-                ),
-            }
-            before = baseline_cells.get((sessions, granularity))
-            if before:
-                cell["baseline_requests_per_sec"] = (
-                    before["requests_per_sec"]
+    for churn in args.suite_churn:
+        for granularity in args.suite_granularities:
+            for sessions in args.suite_sessions:
+                spec = build_spec(args, sessions=sessions,
+                                  granularity=granularity, churn=churn)
+                cached, result = measure(
+                    spec, args.repeat,
+                    lambda: CachedCostTable(base=CostTable()),
                 )
-                cell["speedup"] = round(
-                    cell["requests_per_sec"] / before["requests_per_sec"], 2
+                stats = result.cost_stats
+                cell = {
+                    "sessions": sessions,
+                    "granularity": granularity,
+                    "churn": churn,
+                    **cached,
+                    "cost_cache_hit_rate": (
+                        round(stats.hit_rate, 4) if stats else None
+                    ),
+                }
+                before = baseline_cells.get(
+                    (sessions, granularity, churn)
                 )
-            cells.append(cell)
-            print(
-                f"  {granularity:>7s} x {sessions:>2d} sessions: "
-                f"{cell['requests_per_sec']:>9.1f} req/s"
-                + (f"  ({cell['speedup']}x vs baseline)"
-                   if "speedup" in cell else ""),
-                file=sys.stderr,
-            )
-    # The workload block records everything the cells share; sessions
-    # and granularity are per-cell, so the spec shown is per-cell too.
-    shared = build_spec(args, sessions=1, granularity="model").to_dict()
-    for swept in ("scenario", "sessions", "granularity"):
+                if before:
+                    cell["baseline_requests_per_sec"] = (
+                        before["requests_per_sec"]
+                    )
+                    cell["speedup"] = round(
+                        cell["requests_per_sec"]
+                        / before["requests_per_sec"], 2
+                    )
+                cells.append(cell)
+                print(
+                    f"  {granularity:>7s} x {sessions:>2d} sessions"
+                    f" (churn {churn:g}): "
+                    f"{cell['requests_per_sec']:>9.1f} req/s"
+                    + (f"  ({cell['speedup']}x vs baseline)"
+                       if "speedup" in cell else ""),
+                    file=sys.stderr,
+                )
+    # The workload block records everything the cells share; sessions,
+    # granularity and churn are per-cell, so the spec shown is per-cell
+    # too.
+    shared = build_spec(args, sessions=1, granularity="model",
+                        churn=0.0).to_dict()
+    for swept in ("scenario", "sessions", "granularity", "churn"):
         shared.pop(swept, None)
     shared["scenario"] = args.scenario
     return {
@@ -174,6 +186,8 @@ def main(argv=None) -> int:
     parser.add_argument("--scheduler", default="latency_greedy")
     parser.add_argument("--granularity", default="model",
                         choices=["model", "segment"])
+    parser.add_argument("--churn", type=float, default=0.0,
+                        help="session churn fraction (0..0.5; default 0)")
     parser.add_argument("--repeat", type=int, default=3,
                         help="take the best of N runs (default 3)")
     parser.add_argument("--suite", action="store_true",
@@ -186,6 +200,10 @@ def main(argv=None) -> int:
                         default=list(SUITE_GRANULARITIES),
                         choices=["model", "segment"], metavar="G",
                         help="granularities the suite sweeps")
+    parser.add_argument("--suite-churn", type=float, nargs="+",
+                        default=[0.0], metavar="F",
+                        help="churn fractions the suite sweeps "
+                             "(default: just 0.0, the static case)")
     parser.add_argument("--output", default="BENCH_runtime.json",
                         help="suite mode: where to write the JSON")
     parser.add_argument("--baseline", default=None, metavar="FILE",
@@ -198,6 +216,8 @@ def main(argv=None) -> int:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
     if any(s < 1 for s in args.suite_sessions):
         parser.error("--suite-sessions values must be >= 1")
+    if any(not 0.0 <= c <= 0.5 for c in args.suite_churn):
+        parser.error("--suite-churn values must be in [0, 0.5]")
 
     if args.suite:
         payload = run_suite(args)

@@ -44,7 +44,12 @@ from repro.runtime import (
     Simulator,
     make_scheduler,
 )
-from repro.workload import UsageScenario, benchmark_suite, get_scenario
+from repro.workload import (
+    UsageScenario,
+    benchmark_suite,
+    churn_windows,
+    get_scenario,
+)
 
 from .events import EventSink, ProgressEvent, emit
 from .spec import RunSpec, Sweep
@@ -109,26 +114,37 @@ def run_session_group(
     dispatch_costs: CostTable | None = None,
     granularity: str = "model",
     segments_per_model: int = 2,
+    churn: float = 0.0,
+    preemptive: bool = False,
     measured_quality: dict[str, float] | None = None,
 ) -> MultiSessionReport:
     """Multiplex concurrent scenario sessions onto one system.
 
-    Sessions get consecutive seeds from ``base_seed``.  Dispatch-path
-    pricing flows through a :class:`CachedCostTable` layered over
-    ``costs`` unless ``dispatch_costs`` supplies the table directly
-    (the throughput benchmark uses that to compare cache flavours).
+    Sessions get consecutive seeds from ``base_seed``.  ``churn > 0``
+    gives each session a deterministic lifetime window from
+    :func:`repro.workload.churn_windows` (seeded by ``base_seed``), so
+    tenants arrive late and depart early; ``preemptive=True`` asks a
+    capable scheduler (edf, rate_monotonic) to displace resuming segment
+    chains with more urgent waiting work at segment boundaries.
+    Dispatch-path pricing flows through a :class:`CachedCostTable`
+    layered over ``costs`` unless ``dispatch_costs`` supplies the table
+    directly (the throughput benchmark uses that to compare cache
+    flavours).
     """
     if not scenarios:
         raise ValueError("at least one session is required")
     resolved = [_resolve(s) for s in scenarios]
+    windows = churn_windows(len(resolved), duration_s, churn, base_seed)
     specs = [
         SessionSpec(
             session_id=i,
             scenario=sc,
             seed=base_seed + i,
             frame_loss_probability=frame_loss,
+            arrival_s=window.arrival_s,
+            departure_s=window.departure_s,
         )
-        for i, sc in enumerate(resolved)
+        for i, (sc, window) in enumerate(zip(resolved, windows))
     ]
     if dispatch_costs is None:
         dispatch_costs = CachedCostTable(
@@ -137,7 +153,9 @@ def run_session_group(
     simulator = MultiScenarioSimulator(
         sessions=specs,
         system=system,
-        scheduler=make_scheduler(scheduler),
+        scheduler=make_scheduler(
+            scheduler, **({"preemptive": True} if preemptive else {})
+        ),
         duration_s=duration_s,
         costs=dispatch_costs,
         granularity=granularity,
@@ -164,17 +182,32 @@ def run_full_suite(
     costs: CostTable | None = None,
     sinks: Sequence[EventSink] = (),
     label: str = "",
+    churn: float = 0.0,
 ) -> BenchmarkReport:
-    """Run the full seven-scenario suite (Definition 5's Omega)."""
+    """Run the full seven-scenario suite (Definition 5's Omega).
+
+    ``churn > 0`` runs each scenario as one dynamically-arriving tenant
+    session (same deterministic lifetime plan as multi-session runs), so
+    suite-level exports carry per-session active-duration accounting.
+    """
     costs = costs if costs is not None else CostTable()
     suite = benchmark_suite()
     reports = []
     for i, scenario in enumerate(suite):
-        report = run_single_scenario(
-            scenario, system,
-            scheduler=scheduler, duration_s=duration_s, seed=seed,
-            score=score, frame_loss=frame_loss, costs=costs,
-        )
+        if churn > 0:
+            group = run_session_group(
+                [scenario], system,
+                scheduler=scheduler, duration_s=duration_s,
+                base_seed=seed, score=score, frame_loss=frame_loss,
+                costs=costs, churn=churn,
+            )
+            report = group.session_reports[0]
+        else:
+            report = run_single_scenario(
+                scenario, system,
+                scheduler=scheduler, duration_s=duration_s, seed=seed,
+                score=score, frame_loss=frame_loss, costs=costs,
+            )
         emit(sinks, ProgressEvent(
             kind="scenario_finished",
             label=label or scenario.name,
@@ -219,7 +252,7 @@ def execute(
             system,
             scheduler=spec.scheduler, duration_s=spec.duration_s,
             seed=spec.seed, score=score, frame_loss=spec.frame_loss,
-            costs=costs, sinks=sinks,
+            costs=costs, sinks=sinks, churn=spec.churn,
         )
     elif spec.mode == "sessions":
         names = (
@@ -234,6 +267,7 @@ def execute(
             costs=costs, dispatch_costs=dispatch_costs,
             granularity=spec.granularity,
             segments_per_model=spec.segments_per_model,
+            churn=spec.churn, preemptive=spec.preemptive,
             measured_quality=measured_quality,
         )
     else:

@@ -34,6 +34,11 @@ __all__ = ["RunSpec", "Sweep"]
 #: without importing the runtime at spec-construction time).
 _GRANULARITIES = ("model", "segment")
 
+#: Upper bound of the churn knob (mirrors ``repro.workload.MAX_CHURN``):
+#: arrivals and departures each fray over ``churn * duration`` seconds,
+#: and past one half the two bands would overlap.
+_MAX_CHURN = 0.5
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -58,6 +63,17 @@ class RunSpec:
     seed: int = 0
     frame_loss: float = 0.0
     score_preset: str = "default"
+    #: Session-churn intensity: arrivals spread over the first
+    #: ``churn * duration_s`` seconds and departures over the last, via
+    #: the deterministic plan in :func:`repro.workload.churn_windows`.
+    #: 0 (the default) is the static all-alive case.
+    churn: float = 0.0
+    #: Deadline-aware segment preemption: at segment boundaries the
+    #: scheduler may displace a resuming segment chain with more urgent
+    #: waiting work.  Requires ``granularity="segment"`` (the only place
+    #: preemption points exist) and a policy that implements the
+    #: ``should_preempt`` hook (edf, rate_monotonic).
+    preemptive: bool = False
 
     def __post_init__(self) -> None:
         scenario = self.scenario
@@ -110,13 +126,33 @@ class RunSpec:
             raise ValueError(
                 f"frame_loss must be in [0, 1), got {self.frame_loss}"
             )
+        if not 0.0 <= self.churn <= _MAX_CHURN:
+            raise ValueError(
+                f"churn must be in [0, {_MAX_CHURN}], got {self.churn}"
+            )
         # Resolve every name through the registries so typos fail at
         # construction time with did-you-mean errors, not mid-run.
         for name in self.scenario_names():
             registry.scenarios.get(name)
-        registry.schedulers.get(self.scheduler)
+        scheduler_cls = registry.schedulers.get(self.scheduler)
         registry.accelerators.get(self.accelerator)
         registry.score_presets.get(self.score_preset)
+        if self.preemptive:
+            # Preemption only ever acts at segment boundaries; accepting
+            # it elsewhere would be a silent no-op.
+            if self.suite or self.granularity != "segment":
+                raise ValueError(
+                    "preemptive=True only acts at segment boundaries; "
+                    "set granularity='segment' (and drop suite=True)"
+                )
+            if not callable(
+                getattr(scheduler_cls, "should_preempt", None)
+            ):
+                raise ValueError(
+                    f"preemptive=True needs a scheduler with a "
+                    f"should_preempt hook; {self.scheduler!r} has none "
+                    f"(edf and rate_monotonic do)"
+                )
 
     # -- derived views --------------------------------------------------------
 
@@ -141,7 +177,8 @@ class RunSpec:
         if (
             isinstance(self.scenario, tuple)
             or self.sessions > 1
-            or self.granularity != "model"
+            or self.granularity != "model"  # includes every preemptive spec
+            or self.churn > 0
         ):
             return "sessions"
         return "single"
@@ -159,6 +196,10 @@ class RunSpec:
             extra += f" x{self.sessions}"
         if self.granularity != "model":
             extra += f" [{self.granularity}]"
+        if self.churn > 0:
+            extra += f" churn={self.churn:g}"
+        if self.preemptive:
+            extra += " preemptive"
         return (
             f"{what}{extra} on {self.accelerator}@{self.pes}PE "
             f"({self.scheduler}, {self.duration_s}s, seed {self.seed})"

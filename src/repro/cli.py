@@ -73,6 +73,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="named scoring preset (default 'default')",
         )
 
+    def add_dynamics(p: argparse.ArgumentParser) -> None:
+        """Session-churn flag (run/suite/sweep/export)."""
+        p.add_argument(
+            "--churn", type=float, default=None, metavar="F",
+            help="session churn: arrivals spread over the first F and "
+                 "departures over the last F fraction of the duration "
+                 "(0..0.5; default 0 = static sessions)",
+        )
+
     run_p = sub.add_parser("run", help="run one scenario on one accelerator")
     run_p.add_argument("scenario", nargs="?", default=None,
                        choices=list(SCENARIO_ORDER))
@@ -101,11 +110,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="target segments per model at --granularity segment "
              "(default 2)",
     )
+    run_p.add_argument(
+        "--preemptive", action="store_const", const=True, default=None,
+        help="deadline-aware segment preemption at segment boundaries "
+             "(needs --granularity segment and --scheduler edf or "
+             "rate_monotonic)",
+    )
     add_common(run_p)
+    add_dynamics(run_p)
 
     suite_p = sub.add_parser("suite", help="run the full scenario suite")
     suite_p.add_argument("accelerator", choices=list(ACCELERATOR_IDS))
     add_common(suite_p)
+    add_dynamics(suite_p)
 
     sweep_p = sub.add_parser(
         "sweep", help="run a cartesian scenario x accelerator grid"
@@ -131,6 +148,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream per-spec progress events to stderr",
     )
     add_common(sweep_p)
+    add_dynamics(sweep_p)
 
     fig5_p = sub.add_parser("figure5", help="regenerate Figure 5")
     fig5_p.add_argument(
@@ -183,7 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.add_argument("scenario", choices=list(SCENARIO_ORDER))
     stats_p.add_argument("accelerator", choices=list(ACCELERATOR_IDS))
     stats_p.add_argument("--seeds", type=int, default=20)
-    add_common(stats_p)
+    add_common(stats_p)  # no dynamics flags: seed sweeps are single-mode
 
     export_p = sub.add_parser(
         "export", help="suite results as JSON submission or CSV"
@@ -193,6 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["submission", "json", "csv"])
     export_p.add_argument("--breakdowns", action="store_true")
     add_common(export_p)
+    add_dynamics(export_p)
 
     return parser
 
@@ -209,6 +228,8 @@ _FLAG_FIELDS = {
     "sessions": ("sessions", 1),
     "granularity": ("granularity", "model"),
     "segments": ("segments_per_model", 2),
+    "churn": ("churn", 0.0),
+    "preemptive": ("preemptive", False),
 }
 
 
@@ -235,6 +256,8 @@ def _spec_from_args(args: argparse.Namespace, **overrides) -> RunSpec:
         seed=_flag(args, "seed"),
         frame_loss=_flag(args, "frame_loss"),
         score_preset=_flag(args, "score_preset"),
+        churn=_flag(args, "churn"),
+        preemptive=_flag(args, "preemptive"),
         **overrides,
     )
 
@@ -372,10 +395,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"{'scenario':<22s}{'acc':>4s}{'pes':>6s}{'overall':>9s}"
               f"{'rt':>7s}{'qoe':>7s}")
         for spec, report in zip(specs, reports):
-            s = report.score
+            if spec.mode == "sessions":
+                # Churned/preemptive sweeps route through the
+                # multi-tenant engine: report session means.
+                scores = [r.score for r in report.session_reports]
+                overall = sum(s.overall for s in scores) / len(scores)
+                rt = sum(s.rt for s in scores) / len(scores)
+                qoe = sum(s.qoe for s in scores) / len(scores)
+            else:
+                s = report.score
+                overall, rt, qoe = s.overall, s.rt, s.qoe
             print(f"{spec.scenario:<22s}{spec.accelerator:>4s}"
-                  f"{spec.pes:>6d}{s.overall:>9.3f}{s.rt:>7.3f}"
-                  f"{s.qoe:>7.3f}")
+                  f"{spec.pes:>6d}{overall:>9.3f}{rt:>7.3f}"
+                  f"{qoe:>7.3f}")
         return 0
 
     if args.command == "figure5":

@@ -12,6 +12,15 @@ charged through the QoE factor instead, exactly as Section 3.7 specifies.
 The scenario-level unit-score *breakdowns* (the stacked bars of Figure 5)
 are per-model means averaged across models, keeping them consistent with
 the hierarchy.
+
+Dynamic sessions (late arrival, early departure, mid-run phase changes)
+need no special casing here because every denominator is *window-local*
+by construction: ``spawned_frames`` counts only the frames streamed
+while the session was online, so per-model QoE is normalised by the
+session's **active** duration, not the full streamed duration — a tenant
+online for half the run is not scored as if it dropped half its frames.
+Duration-relative rates (utilization) normalise through
+:attr:`~repro.runtime.SimulationResult.window_s` the same way.
 """
 
 from __future__ import annotations
@@ -236,7 +245,10 @@ def score_sessions(
     Each tenant session is scored exactly like a standalone run — its
     own requests, its own streamed-frame denominators — so contention on
     the shared accelerator shows up as per-session QoE and RT
-    degradation, ordered by session id.
+    degradation, ordered by session id.  Churned sessions carry
+    window-local denominators (frames streamed while online), so their
+    QoE is normalised by active duration; a phased session is scored
+    against the merged union of its phase scenarios.
     """
     return [
         score_simulation(session, config, measured_quality)

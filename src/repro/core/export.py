@@ -32,6 +32,14 @@ def scenario_to_dict(report: ScenarioReport) -> dict[str, Any]:
         "scenario": sim.scenario.name,
         "system": sim.system.describe(),
         "duration_s": sim.duration_s,
+        # Per-session lifetime accounting: every rate in this report is
+        # normalised by the *active* window, which equals the streamed
+        # duration for static sessions.
+        "session": {
+            "id": sim.session_id,
+            "active_duration_s": sim.window_s,
+            "dynamic": sim.active_duration_s is not None,
+        },
         "scores": {
             "overall": score.overall,
             "rt": score.rt,
@@ -87,18 +95,20 @@ def to_csv(report: BenchmarkReport) -> str:
     writer.writerow(
         ["system", "scenario", "model", "per_model", "qoe", "rt",
          "energy", "accuracy", "executed", "streamed", "dropped",
-         "missed_deadlines"]
+         "missed_deadlines", "session_id", "active_duration_s"]
     )
     system = report.system.describe()
     for scenario_report in report.scenario_reports:
         data = scenario_to_dict(scenario_report)
+        session = data["session"]
         for m in data["models"]:
             writer.writerow(
                 [system, data["scenario"], m["code"],
                  f"{m['per_model']:.6f}", f"{m['qoe']:.6f}",
                  f"{m['rt']:.6f}", f"{m['energy']:.6f}",
                  f"{m['accuracy']:.6f}", m["executed"], m["streamed"],
-                 m["dropped"], m["missed_deadlines"]]
+                 m["dropped"], m["missed_deadlines"],
+                 session["id"], f"{session['active_duration_s']:.6f}"]
             )
     return buf.getvalue()
 

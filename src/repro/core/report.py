@@ -46,6 +46,15 @@ class ScenarioReport:
         sim, score = self.simulation, self.score
         lines = [
             f"Scenario {sim.scenario.name!r} on {sim.system.describe()}",
+        ]
+        if sim.active_duration_s is not None:
+            # Dynamic session: say which slice of the run it was online
+            # for, since every per-session rate normalises by it.
+            lines.append(
+                f"  active window: {sim.active_duration_s:.3f}s of "
+                f"{sim.duration_s:.3f}s streamed"
+            )
+        lines += [
             (
                 f"  overall={score.overall:.3f}  rt={score.rt:.3f}  "
                 f"energy={score.energy:.3f}  acc={score.accuracy:.3f}  "
@@ -172,11 +181,16 @@ class MultiSessionReport:
             )
         for report in self.session_reports:
             sim, score = report.simulation, report.score
+            window = (
+                f" active={sim.active_duration_s:.2f}s"
+                if sim.active_duration_s is not None
+                else ""
+            )
             lines.append(
                 f"    session {sim.session_id}: "
                 f"overall={score.overall:.3f} rt={score.rt:.3f} "
                 f"qoe={score.qoe:.3f} frames={len(sim.requests)} "
                 f"dropped={len(sim.dropped())} "
-                f"missed={score.total_missed_deadlines}"
+                f"missed={score.total_missed_deadlines}{window}"
             )
         return "\n".join(lines)

@@ -6,6 +6,7 @@ from .multisim import (
     GRANULARITIES,
     MultiScenarioSimulator,
     MultiSessionResult,
+    SessionPhase,
     SessionSpec,
 )
 from .queues import (
@@ -54,6 +55,7 @@ __all__ = [
     "Segment",
     "SegmentScheduler",
     "SegmentedCostTable",
+    "SessionPhase",
     "SessionSpec",
     "WaitingQueue",
     "WorkItem",

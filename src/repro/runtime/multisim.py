@@ -20,29 +20,51 @@ Key properties:
   system the schedule — and therefore every completion count — is
   identical to whole-model dispatch (per-layer costs are additive across
   split points).
+* **Dynamic sessions**: every session has a lifetime window
+  (``arrival_s`` to ``departure_s``) and an optional sequence of
+  mid-run :class:`SessionPhase` activity changes.  SESSION_JOIN /
+  SESSION_LEAVE / SESSION_PHASE events admit and retire sessions
+  incrementally in the maintained waiting/fleet state: a joining
+  session's request stream starts at its arrival, a departing session's
+  waiting work is retired (marked dropped — it was streamed but will
+  never run), and a phase change swaps the session's scenario from that
+  instant, retiring the previous activity's waiting work and pending
+  segment chains.  Work is only ever *dispatched* inside a session's
+  active window; a segment already running on an engine is never aborted
+  (it drains, but spawns no successors or cascades once the session is
+  gone or has switched activity).  Static sessions
+  (arrive at 0, never leave, no phases) take exactly the historical code
+  path — the golden schedule checksums pin this bit-identically.
+* **Deadline-aware segment preemption** (opt-in): a scheduler exposing
+  ``preemptive=True`` and ``should_preempt(...)`` is consulted at each
+  segment boundary before a waiting segment chain resumes; EDF and
+  rate-monotonic can displace the stale chain when fresher work is more
+  urgent.  Preemption points stay at segment boundaries — never
+  mid-segment — preserving the paper's preemption-point semantics.
 * **Per-session accounting**: each session yields its own
   :class:`~repro.runtime.simulator.SimulationResult`, so existing scoring
   (:func:`repro.core.aggregate.score_simulation`) applies per session
-  unchanged; system-level busy time and the execution-record log live on
-  the :class:`MultiSessionResult`.
+  unchanged; dynamic sessions carry their active window so QoE-style
+  rates normalise by *active* (not streamed) duration.  System-level busy
+  time and the execution-record log live on the
+  :class:`MultiSessionResult`.
 * **Cost caching**: dispatch-path pricing flows through
   :meth:`repro.hardware.AcceleratorSystem.engine_cost`, which answers
   from a :class:`~repro.costmodel.CachedCostTable` keyed on
   (task, engine, DVFS state) when one is supplied.
 * **Determinism**: sessions are iterated in id order, merged queues are
-  sorted with session-id tie-breaks, and all randomness flows through the
-  per-session seeds — two runs with the same specs are bit-identical.
+  sorted with session-id tie-breaks, lifecycle events are scheduled at
+  build time (so they outrank same-instant work events), and all
+  randomness — including the churn plan — flows through the per-session
+  seeds: two runs with the same specs are bit-identical.
 * **Incremental dispatch state**: the event loop never recomputes what it
   can maintain.  Waiting work lives in one
-  :class:`~repro.runtime.queues.WaitingQueue` updated on arrival/dispatch
-  (work items are built — and their segment plans resolved — once per
-  request, not once per scheduler call); resumable segments sit in a
-  heap; engine idleness is a set maintained by
-  :class:`~repro.runtime.engine.EngineFleet` on begin/finish; and
+  :class:`~repro.runtime.queues.WaitingQueue` updated on
+  arrival/dispatch/retirement (work items are built — and their segment
+  plans resolved — once per request, not once per scheduler call);
+  resumable segments sit in a heap; engine idleness is a set maintained
+  by :class:`~repro.runtime.engine.EngineFleet` on begin/finish; and
   per-session record partitioning is a single pass at result-build time.
-  Scheduling decisions are bit-identical to the recompute-everything
-  formulation — only the bookkeeping cost changed, making wall time scale
-  linearly with session count.
 """
 
 from __future__ import annotations
@@ -53,7 +75,12 @@ from dataclasses import dataclass, field
 
 from repro.costmodel import CachedCostTable, CostCacheStats, CostTable, DvfsPoint
 from repro.hardware import AcceleratorSystem
-from repro.workload import InferenceRequest, LoadGenerator, UsageScenario
+from repro.workload import (
+    Dependency,
+    InferenceRequest,
+    LoadGenerator,
+    UsageScenario,
+)
 
 from .engine import EngineFleet, ExecutionEngine, ExecutionRecord, WorkItem
 from .events import EventKind, EventQueue
@@ -64,6 +91,7 @@ from .simulator import SimulationResult
 
 __all__ = [
     "GRANULARITIES",
+    "SessionPhase",
     "SessionSpec",
     "MultiSessionResult",
     "MultiScenarioSimulator",
@@ -74,19 +102,120 @@ GRANULARITIES: tuple[str, ...] = ("model", "segment")
 
 
 @dataclass(frozen=True)
+class SessionPhase:
+    """A mid-run activity change: from ``at_s`` the session streams
+    ``scenario`` instead of whatever it streamed before.
+
+    Phase boundaries mirror the departure semantics: the session's
+    waiting work *and* its pending segment chains are retired (the
+    previous activity's frames are stale), while a segment already
+    running on an engine finishes — its chain just stops at the next
+    segment boundary.
+    """
+
+    at_s: float
+    scenario: UsageScenario
+
+    def __post_init__(self) -> None:
+        if self.at_s <= 0:
+            raise ValueError(
+                f"phase transitions must happen mid-run (at_s > 0), "
+                f"got {self.at_s}"
+            )
+
+
+@dataclass(frozen=True)
 class SessionSpec:
-    """One tenant: a scenario instance bound to a seed (a distinct user)."""
+    """One tenant: a scenario instance bound to a seed (a distinct user).
+
+    ``arrival_s``/``departure_s`` bound the session's lifetime within the
+    run: its request stream starts at arrival and no work of this session
+    is dispatched at or after departure.  The defaults — arrive at 0,
+    never depart, no phases — describe a static session and reproduce the
+    historical behaviour exactly.  ``departure_s=None`` additionally
+    means the session's in-flight work may drain past the streamed
+    duration, as single-tenant runs always allowed.
+    """
 
     session_id: int
     scenario: UsageScenario
     seed: int = 0
     frame_loss_probability: float = 0.0
+    arrival_s: float = 0.0
+    departure_s: float | None = None
+    phases: tuple[SessionPhase, ...] = ()
 
     def __post_init__(self) -> None:
         if self.session_id < 0:
             raise ValueError(
                 f"session_id must be >= 0, got {self.session_id}"
             )
+        if self.arrival_s < 0:
+            raise ValueError(
+                f"arrival_s must be >= 0, got {self.arrival_s}"
+            )
+        if self.departure_s is not None and self.departure_s <= self.arrival_s:
+            raise ValueError(
+                f"session {self.session_id} departs at {self.departure_s} "
+                f"but only arrives at {self.arrival_s}"
+            )
+        if isinstance(self.phases, list):
+            object.__setattr__(self, "phases", tuple(self.phases))
+        previous = self.arrival_s
+        for phase in self.phases:
+            if phase.at_s <= previous:
+                raise ValueError(
+                    f"session {self.session_id} phase transitions must be "
+                    f"strictly increasing and after arrival "
+                    f"({self.arrival_s}); got at_s={phase.at_s}"
+                )
+            previous = phase.at_s
+        if self.departure_s is not None and previous >= self.departure_s:
+            raise ValueError(
+                f"session {self.session_id} has a phase transition at "
+                f"{previous} at or after its departure ({self.departure_s})"
+            )
+
+    @property
+    def dynamic(self) -> bool:
+        """Whether this session has any lifetime dynamics at all."""
+        return (
+            self.arrival_s > 0
+            or self.departure_s is not None
+            or bool(self.phases)
+        )
+
+
+def _merged_scenario(scenarios: list[UsageScenario]) -> UsageScenario:
+    """The union scenario a phased session is scored against.
+
+    Models are deduplicated by code (first phase wins — the rates only
+    feed per-phase load generation, which already ran); dependencies are
+    deduplicated structurally.  Single-phase sessions pass through
+    untouched.
+    """
+    if len(scenarios) == 1:
+        return scenarios[0]
+    models = {}
+    for scenario in scenarios:
+        for sm in scenario.models:
+            models.setdefault(sm.code, sm)
+    dependencies: dict[Dependency, None] = {}
+    for scenario in scenarios:
+        for dep in scenario.dependencies:
+            dependencies.setdefault(dep)
+    names = []
+    for scenario in scenarios:
+        if scenario.name not in names:
+            names.append(scenario.name)
+    return UsageScenario(
+        name="+".join(names),
+        description=(
+            "phased session: " + ", then ".join(s.name for s in scenarios)
+        ),
+        models=tuple(models.values()),
+        dependencies=tuple(dependencies),
+    )
 
 
 @dataclass
@@ -95,16 +224,30 @@ class _SessionState:
 
     Waiting work is *not* per-session state: all sessions share the
     event loop's single :class:`~repro.runtime.queues.WaitingQueue`,
-    which keys its drop policy on (session, model).
+    which keys its drop policy on (session, model).  ``windows`` is the
+    session's phase plan — ``(start_s, stop_s, scenario)`` triples
+    covering its active lifetime; ``phase`` indexes the current one.
+    ``loadgen``/``deps`` belong to the current phase and work in
+    *phase-local* time (``offset_s`` translates to absolute run time).
+    ``phase_of`` maps request ids to the phase that generated them, so
+    completions of stale-phase work spawn no cascades.
     """
 
     spec: SessionSpec
-    loadgen: LoadGenerator
-    deps: DependencyTracker
+    windows: list[tuple[float, float, UsageScenario]]
     requests: list[InferenceRequest]
     busy_time_s: dict[int, float]
     spawned: dict[str, int]
-    root_codes: set[str]
+    phase: int = -1
+    loadgen: LoadGenerator | None = None
+    deps: DependencyTracker | None = None
+    offset_s: float = 0.0
+    active: bool = False
+    phase_of: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def active_duration_s(self) -> float:
+        return sum(stop - start for start, stop, _ in self.windows)
 
 
 @dataclass
@@ -177,10 +320,16 @@ class MultiScenarioSimulator:
 
     Attributes:
         sessions: the tenant sessions to multiplex (ids must be unique).
+            Each may carry an ``(arrival_s, departure_s)`` lifetime and
+            mid-run :class:`SessionPhase` changes; the defaults are the
+            static all-alive case.
         system: the shared accelerator system.
         scheduler: a legacy :class:`Scheduler` (adapted automatically) or
-            a session-aware :class:`SegmentScheduler`.
-        duration_s: streamed seconds per session.
+            a session-aware :class:`SegmentScheduler`.  If the policy
+            keeps cross-run state it should expose ``reset()``, which is
+            invoked at the start of every run so a shared instance gives
+            order-independent results.
+        duration_s: streamed seconds per session (must be positive).
         costs: the cost table; for segment granularity a table without a
             graph registry is wrapped in a :class:`CachedCostTable` so
             virtual segment codes are priceable.
@@ -205,9 +354,22 @@ class MultiScenarioSimulator:
     def __post_init__(self) -> None:
         if not self.sessions:
             raise ValueError("at least one session is required")
+        if self.duration_s <= 0:
+            raise ValueError(
+                f"duration_s must be > 0, got {self.duration_s} "
+                f"(a zero-length run has no streamed frames and no "
+                f"utilization denominator)"
+            )
         ids = [spec.session_id for spec in self.sessions]
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate session ids: {ids}")
+        for spec in self.sessions:
+            if spec.arrival_s >= self.duration_s:
+                raise ValueError(
+                    f"session {spec.session_id} arrives at "
+                    f"{spec.arrival_s}, at or after the streamed duration "
+                    f"{self.duration_s} — it would never be offered work"
+                )
         if self.granularity not in GRANULARITIES:
             raise ValueError(
                 f"granularity must be one of {GRANULARITIES}, "
@@ -234,19 +396,58 @@ class MultiScenarioSimulator:
         num_sessions: int,
         base_seed: int = 0,
         frame_loss_probability: float = 0.0,
+        windows=None,
         **kwargs,
     ) -> MultiScenarioSimulator:
-        """N sessions of the same scenario with consecutive seeds."""
+        """N sessions of the same scenario with consecutive seeds.
+
+        ``windows`` optionally supplies one
+        :class:`~repro.workload.SessionWindow` (or any object with
+        ``arrival_s``/``departure_s``) per session — the churn plan.
+        """
         if num_sessions < 1:
             raise ValueError(
                 f"num_sessions must be >= 1, got {num_sessions}"
             )
-        specs = [
-            SessionSpec(i, scenario, base_seed + i, frame_loss_probability)
-            for i in range(num_sessions)
-        ]
+        if windows is not None and len(windows) != num_sessions:
+            raise ValueError(
+                f"got {len(windows)} lifetime windows for "
+                f"{num_sessions} sessions"
+            )
+        specs = []
+        for i in range(num_sessions):
+            window = windows[i] if windows is not None else None
+            specs.append(SessionSpec(
+                i, scenario, base_seed + i, frame_loss_probability,
+                arrival_s=window.arrival_s if window else 0.0,
+                departure_s=window.departure_s if window else None,
+            ))
         return cls(sessions=specs, system=system, scheduler=scheduler,
                    **kwargs)
+
+    # -- session lifetime planning -------------------------------------------
+
+    def _phase_windows(
+        self, spec: SessionSpec
+    ) -> list[tuple[float, float, UsageScenario]]:
+        """The session's active life as (start, stop, scenario) triples.
+
+        Stops are clipped to the streamed duration; phases that start at
+        or after the effective end are skipped (nothing would stream).
+        """
+        end = self.duration_s
+        if spec.departure_s is not None:
+            end = min(spec.departure_s, self.duration_s)
+        starts = [spec.arrival_s] + [p.at_s for p in spec.phases]
+        scenarios = [spec.scenario] + [p.scenario for p in spec.phases]
+        windows = []
+        for i, (start, scenario) in enumerate(zip(starts, scenarios)):
+            stop = starts[i + 1] if i + 1 < len(starts) else end
+            stop = min(stop, end)
+            if start >= stop:
+                continue
+            windows.append((start, stop, scenario))
+        return windows
 
     # -- segment planning ----------------------------------------------------
 
@@ -254,14 +455,19 @@ class MultiScenarioSimulator:
         """Per-model segment task codes, registering segment graphs.
 
         Models that cannot be split (too few layers, no residual-safe
-        cuts) map to a single whole-model piece.
+        cuts) map to a single whole-model piece.  Phase scenarios'
+        models are planned too — a session may only stream them mid-run.
         """
         plans: dict[str, list[str | None]] = {}
         if self.granularity != "segment" or self.segments_per_model < 2:
             return plans
         seen: set[str] = set()
+        scenarios = []
         for spec in self.sessions:
-            for sm in spec.scenario.models:
+            scenarios.append(spec.scenario)
+            scenarios.extend(p.scenario for p in spec.phases)
+        for scenario in scenarios:
+            for sm in scenario.models:
                 if sm.code in seen:
                     continue
                 seen.add(sm.code)
@@ -287,7 +493,14 @@ class MultiScenarioSimulator:
     # -- the event loop ------------------------------------------------------
 
     def run(self) -> MultiSessionResult:
+        # Stateful policies (rotors, inferred periods) start every run
+        # clean, so back-to-back runs through one shared instance are
+        # order-independent.
+        reset = getattr(self.scheduler, "reset", None)
+        if callable(reset):
+            reset()
         scheduler = as_segment_scheduler(self.scheduler)
+        preemptive = bool(getattr(scheduler, "preemptive", False))
         costs = self.costs
         if self.granularity == "segment" and not hasattr(
             costs, "register_graph"
@@ -304,43 +517,98 @@ class MultiScenarioSimulator:
         events = EventQueue()
         states: dict[int, _SessionState] = {}
         for spec in sorted(self.sessions, key=lambda s: s.session_id):
-            loadgen = LoadGenerator(
-                spec.scenario,
-                self.duration_s,
-                spec.seed,
-                frame_loss_probability=spec.frame_loss_probability,
-            )
-            spawned = {sm.code: 0 for sm in spec.scenario.models}
-            spawned.update(loadgen.expected_frames())
+            # Non-empty by construction: arrival_s < duration_s is
+            # validated, and departures/phases are validated after it.
+            windows = self._phase_windows(spec)
             states[spec.session_id] = _SessionState(
                 spec=spec,
-                loadgen=loadgen,
-                deps=DependencyTracker(spec.scenario),
+                windows=windows,
                 requests=[],
                 busy_time_s={i: 0.0 for i in range(self.system.num_subs)},
-                spawned=spawned,
-                root_codes=set(loadgen.expected_frames()),
+                spawned={},
             )
-            for request in loadgen.root_requests():
+            # Lifecycle events are scheduled up front: their low sequence
+            # numbers give them priority over same-instant work events.
+            events.push(
+                windows[0][0], EventKind.SESSION_JOIN,
+                session_id=spec.session_id,
+            )
+            for start, _, _ in windows[1:]:
                 events.push(
-                    request.request_time_s,
-                    EventKind.ARRIVAL,
-                    request,
+                    start, EventKind.SESSION_PHASE,
+                    session_id=spec.session_id,
+                )
+            if spec.departure_s is not None:
+                events.push(
+                    min(spec.departure_s, self.duration_s),
+                    EventKind.SESSION_LEAVE,
                     session_id=spec.session_id,
                 )
 
         #: In-flight requests waiting for their next segment, as a heap
         #: ordered like the waiting queue (oldest data first, session and
         #: model tie-breaks, then insertion order).  Resumed ahead of
-        #: fresh work (a started request is never dropped), which also
-        #: makes single-engine segment runs schedule-identical to
-        #: whole-model runs.
+        #: fresh work (a started request is never dropped mid-flight —
+        #: only a session departure retires its chain), which also makes
+        #: single-engine segment runs schedule-identical to whole-model
+        #: runs.
         resumable: list[tuple[float, int, str, int, WorkItem]] = []
         resume_seq = itertools.count()
 
         #: Every session's waiting work, maintained in dispatch order on
         #: offer/take — schedulers read this view directly.
         waiting = WaitingQueue()
+
+        def enter_phase(state: _SessionState, phase: int) -> None:
+            """Swap the session onto phase ``phase`` and stream its roots.
+
+            The phase's load generator works in phase-local time;
+            request and deadline times are shifted to absolute run time
+            here, once, as the requests are scheduled.
+            """
+            start, stop, scenario = state.windows[phase]
+            loadgen = LoadGenerator(
+                scenario,
+                stop - start,
+                state.spec.seed,
+                frame_loss_probability=state.spec.frame_loss_probability,
+            )
+            state.phase = phase
+            state.loadgen = loadgen
+            state.deps = DependencyTracker(scenario)
+            state.offset_s = start
+            for sm in scenario.models:
+                state.spawned.setdefault(sm.code, 0)
+            for code, count in loadgen.expected_frames().items():
+                state.spawned[code] += count
+            sid = state.spec.session_id
+            for request in loadgen.root_requests():
+                request.request_time_s += start
+                request.deadline_s += start
+                state.phase_of[request.request_id] = phase
+                events.push(
+                    request.request_time_s,
+                    EventKind.ARRIVAL,
+                    request,
+                    session_id=sid,
+                )
+
+        def retire_waiting(session_id: int,
+                           include_resumable: bool) -> None:
+            """Purge a departed/phase-changed session's pending work."""
+            waiting.purge_session(session_id)
+            if not include_resumable:
+                return
+            kept = [
+                entry for entry in resumable
+                if entry[4].session_id != session_id
+            ]
+            if len(kept) != len(resumable):
+                for entry in resumable:
+                    if entry[4].session_id == session_id:
+                        entry[4].request.dropped = True
+                resumable[:] = kept
+                heapq.heapify(resumable)
 
         def fresh_item(request: InferenceRequest,
                        session_id: int) -> WorkItem:
@@ -398,7 +666,27 @@ class MultiScenarioSimulator:
 
         def dispatch(now_s: float) -> None:
             # Pass 1: resume in-flight segmented requests, oldest first.
+            # A preemptive scheduler is consulted at each such segment
+            # boundary and may displace the resuming chain with fresher,
+            # more urgent waiting work (never mid-segment).
             while resumable and idle:
+                if preemptive and waiting and scheduler.should_preempt(
+                    now_s, resumable[0][4], waiting, self.system, costs
+                ):
+                    choice = scheduler.select(
+                        now_s, waiting, idle, self.system, costs
+                    )
+                    if choice is not None:
+                        item, engine = choice
+                        if not engine.idle:
+                            raise ValueError(
+                                f"scheduler chose busy engine "
+                                f"{engine.index} "
+                                f"(idle: {[e.index for e in idle]})"
+                            )
+                        waiting.take(item)
+                        start(item, engine, now_s)
+                        continue
                 item = heapq.heappop(resumable)[4]
                 start(item, best_engine_for(item), now_s)
             # Pass 2: let the scheduler fill remaining idle engines.
@@ -424,30 +712,56 @@ class MultiScenarioSimulator:
             if event.kind is EventKind.ARRIVAL:
                 request = event.request
                 state.requests.append(request)
-                if request.model_code not in state.root_codes:
-                    state.spawned[request.model_code] += 1
-                waiting.offer(fresh_item(request, event.session_id))
-            else:  # COMPLETION
+                if (
+                    not state.active
+                    or state.phase_of.get(request.request_id, state.phase)
+                    != state.phase
+                ):
+                    # Streamed, but the session departed (or switched
+                    # activity) before the frame could even queue: it
+                    # counts against QoE like any other drop.
+                    request.dropped = True
+                else:
+                    waiting.offer(fresh_item(request, event.session_id))
+            elif event.kind is EventKind.COMPLETION:
                 item = fleet.finish(event.sub_index, now_s)
                 if item.request is not event.request:
                     raise AssertionError(
                         "completion event does not match active inference"
                     )
                 if item.is_final_segment:
-                    for dep in state.deps.downstream_of(
-                        item.request.model_code
-                    ):
-                        child = state.loadgen.spawn_dependent(
-                            dep, item.request.model_frame, now_s
-                        )
-                        if child is not None:
-                            events.push(
-                                now_s,
-                                EventKind.ARRIVAL,
-                                child,
-                                session_id=event.session_id,
+                    stale = (
+                        not state.active
+                        or state.phase_of.get(item.request.request_id)
+                        != state.phase
+                    )
+                    if not stale:
+                        for dep in state.deps.downstream_of(
+                            item.request.model_code
+                        ):
+                            child = state.loadgen.spawn_dependent(
+                                dep,
+                                item.request.model_frame,
+                                now_s - state.offset_s,
                             )
-                else:
+                            if child is not None:
+                                child.request_time_s += state.offset_s
+                                child.deadline_s += state.offset_s
+                                state.phase_of[child.request_id] = (
+                                    state.phase
+                                )
+                                # Triggered work is "streamed" for QoE
+                                # purposes the moment it spawns.
+                                state.spawned[child.model_code] += 1
+                                events.push(
+                                    child.request_time_s,
+                                    EventKind.ARRIVAL,
+                                    child,
+                                    session_id=event.session_id,
+                                )
+                elif state.active and state.phase_of.get(
+                    item.request.request_id
+                ) == state.phase:
                     codes = plans.get(item.request.model_code, whole_model)
                     successor = item.successor(
                         codes[item.segment_index + 1]
@@ -459,6 +773,23 @@ class MultiScenarioSimulator:
                         next(resume_seq),
                         successor,
                     ))
+                else:
+                    # The session left — or switched activity — while
+                    # this segment ran: the chain stops here (no stale
+                    # dispatch) and the request never completes.
+                    item.request.dropped = True
+            elif event.kind is EventKind.SESSION_JOIN:
+                state.active = True
+                enter_phase(state, 0)
+            elif event.kind is EventKind.SESSION_PHASE:
+                if state.active:
+                    retire_waiting(
+                        event.session_id, include_resumable=True
+                    )
+                    enter_phase(state, state.phase + 1)
+            else:  # SESSION_LEAVE
+                state.active = False
+                retire_waiting(event.session_id, include_resumable=True)
             dispatch(now_s)
 
         records = sorted(
@@ -474,7 +805,9 @@ class MultiScenarioSimulator:
             records_by_session[record.session_id].append(record)
         session_results = [
             SimulationResult(
-                scenario=state.spec.scenario,
+                scenario=_merged_scenario(
+                    [scenario for _, _, scenario in state.windows]
+                ),
                 system=self.system,
                 duration_s=self.duration_s,
                 requests=state.requests,
@@ -482,6 +815,9 @@ class MultiScenarioSimulator:
                 spawned_frames=state.spawned,
                 records=records_by_session[sid],
                 session_id=sid,
+                active_duration_s=(
+                    state.active_duration_s if state.spec.dynamic else None
+                ),
             )
             for sid, state in sorted(states.items())
         ]

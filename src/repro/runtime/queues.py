@@ -131,6 +131,28 @@ class WaitingQueue:
         del self._items[self._locate(item)]
         del self._by_key[key]
 
+    def purge_session(self, session_id: int) -> list[WorkItem]:
+        """Retire every waiting item of one session (departure / phase end).
+
+        The retired items' requests are marked dropped and appended to
+        ``dropped``: they were streamed while the session was online but
+        will never run, so they degrade QoE exactly like freshness drops
+        do.  Returns the retired items, oldest data first.
+        """
+        retired = [
+            item for item in self._items if item.session_id == session_id
+        ]
+        if not retired:
+            return []
+        self._items = [
+            item for item in self._items if item.session_id != session_id
+        ]
+        for item in retired:
+            del self._by_key[(session_id, item.request.model_code)]
+            item.request.dropped = True
+            self.dropped.append(item.request)
+        return retired
+
     def _locate(self, item: WorkItem) -> int:
         """Index of ``item`` in the sorted list (identity match)."""
         index = bisect_left(self._items, _dispatch_order(item),

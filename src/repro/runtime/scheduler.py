@@ -23,6 +23,20 @@ Two interfaces coexist:
 :class:`SchedulerAdapter` lifts any legacy scheduler into the new
 protocol, so the four registered policies keep working unchanged under
 session multiplexing and segment-level dispatch.
+
+Two optional protocol extensions (both forwarded by the adapter):
+
+* ``reset()`` — clear any cross-run state (a round-robin rotor, lazily
+  inferred periods).  The event loop calls it at the start of every run,
+  so back-to-back runs through one shared policy object are
+  order-independent.
+* ``preemptive`` / ``should_preempt(...)`` — deadline-aware segment
+  preemption.  Under segment granularity, a completed segment's
+  successors normally resume ahead of all fresh work; a scheduler with
+  ``preemptive = True`` is consulted at each such segment boundary and
+  may displace the waiting stale segment chain when fresher work is more
+  urgent.  Preemption points stay at segment boundaries only — a running
+  segment is never aborted, preserving the paper's semantics.
 """
 
 from __future__ import annotations
@@ -143,6 +157,40 @@ class SchedulerAdapter:
             )
         return item, engine
 
+    @property
+    def preemptive(self) -> bool:
+        """Whether the wrapped policy opted into segment preemption."""
+        return bool(getattr(self.inner, "preemptive", False))
+
+    def should_preempt(
+        self,
+        now_s: float,
+        resuming: WorkItem,
+        waiting: Sequence[WorkItem],
+        system: AcceleratorSystem,
+        costs: CostTable,
+    ) -> bool:
+        """Forward the segment-boundary preemption query to the policy.
+
+        The legacy hook sees plain requests, mirroring ``pick``.
+        """
+        hook = getattr(self.inner, "should_preempt", None)
+        if hook is None:
+            return False
+        return hook(
+            now_s,
+            resuming.request,
+            [item.request for item in waiting],
+            system,
+            costs,
+        )
+
+    def reset(self) -> None:
+        """Clear the wrapped policy's cross-run state, if it keeps any."""
+        reset = getattr(self.inner, "reset", None)
+        if callable(reset):
+            reset()
+
 
 def as_segment_scheduler(
     scheduler: Scheduler | SegmentScheduler,
@@ -208,21 +256,35 @@ class RoundRobinScheduler:
         if not waiting or not idle_engines:
             return None
         request = waiting[0]
-        # Advance the rotor to the next idle engine.
+        # Advance the rotor to the next idle engine.  The probe set makes
+        # each membership test O(1) without changing the probe order, so
+        # picks are identical to the original list-scan formulation.
+        idle = set(idle_engines)
         for offset in range(system.num_subs):
             candidate = (self._next_engine + offset) % system.num_subs
-            if candidate in idle_engines:
+            if candidate in idle:
                 self._next_engine = (candidate + 1) % system.num_subs
                 return request, candidate
         return None
 
     def reset(self) -> None:
+        """Rewind the rotor so runs sharing this instance are independent."""
         self._next_engine = 0
 
 
 @dataclass
 class EarliestDeadlineScheduler:
-    """EDF: most urgent request first, fastest idle engine."""
+    """EDF: most urgent request first, fastest idle engine.
+
+    With ``preemptive=True`` the policy also answers the runtime's
+    segment-boundary preemption query: a resuming segment chain is
+    displaced whenever some waiting request's deadline is strictly
+    earlier than the resuming request's.
+    """
+
+    #: Opt into deadline-aware segment preemption (off by default: the
+    #: resume-first order is pinned by the golden schedule checksums).
+    preemptive: bool = False
 
     def pick(
         self,
@@ -237,6 +299,18 @@ class EarliestDeadlineScheduler:
         request = min(waiting, key=lambda r: (r.deadline_s, r.request_time_s))
         return request, _best_engine(request, idle_engines, system, costs)
 
+    def should_preempt(
+        self,
+        now_s: float,
+        resuming: InferenceRequest,
+        waiting: list[InferenceRequest],
+        system: AcceleratorSystem,
+        costs: CostTable,
+    ) -> bool:
+        if not self.preemptive or not waiting:
+            return False
+        return min(r.deadline_s for r in waiting) < resuming.deadline_s
+
 
 @dataclass
 class RateMonotonicScheduler:
@@ -245,18 +319,43 @@ class RateMonotonicScheduler:
     The classic real-time policy: shorter-period tasks preempt (here:
     pre-empt the *queue*, not running inferences) longer-period ones.
     Ties break on request age; the engine choice is latency-greedy.
+    With ``preemptive=True`` the policy answers the runtime's
+    segment-boundary preemption query, displacing a resuming chain when
+    a strictly shorter-period model is waiting.
     """
 
-    #: model code -> target period in seconds, provided at construction or
-    #: inferred lazily from request deadlines.
+    #: model code -> target period in seconds.  Entries provided at
+    #: construction pin a model's priority for good (and survive
+    #: ``reset()``).  For other codes the period is inferred from the
+    #: request as ``deadline_s - request_time_s``; with
+    #: ``memoize_periods=True`` the first inference per model code is
+    #: memoized here and reused — classic static RM priorities.  Off by
+    #: default: per-request inference is the historical behaviour pinned
+    #: by the golden schedule checksums (inferred slack varies with
+    #: sensor jitter and cascade timing, so memoizing is a deliberate
+    #: semantic choice, not a pure optimisation).
     periods: dict[str, float] = field(default_factory=dict)
+    memoize_periods: bool = False
+    #: Opt into deadline-aware segment preemption (off by default).
+    preemptive: bool = False
+
+    def __post_init__(self) -> None:
+        # Own a copy of the caller's dict (memoization must never write
+        # inferred, jitter-dependent values into it) and remember which
+        # periods were pinned: reset() clears lazily-inferred entries
+        # but never the provided ones.
+        self.periods = dict(self.periods)
+        self._provided = dict(self.periods)
 
     def _period(self, request: InferenceRequest) -> float:
         known = self.periods.get(request.model_code)
         if known is not None:
             return known
         # Deadline - request time approximates the frame period.
-        return max(1e-6, request.deadline_s - request.request_time_s)
+        inferred = max(1e-6, request.deadline_s - request.request_time_s)
+        if self.memoize_periods:
+            self.periods[request.model_code] = inferred
+        return inferred
 
     def pick(
         self,
@@ -272,6 +371,30 @@ class RateMonotonicScheduler:
             waiting, key=lambda r: (self._period(r), r.request_time_s)
         )
         return request, _best_engine(request, idle_engines, system, costs)
+
+    def should_preempt(
+        self,
+        now_s: float,
+        resuming: InferenceRequest,
+        waiting: list[InferenceRequest],
+        system: AcceleratorSystem,
+        costs: CostTable,
+    ) -> bool:
+        if not self.preemptive or not waiting:
+            return False
+        return (
+            min(self._period(r) for r in waiting) < self._period(resuming)
+        )
+
+    def reset(self) -> None:
+        """Drop inferred periods; keep the construction-provided ones.
+
+        Without this, a shared instance leaks one run's inferred periods
+        (which depend on that run's jitter and cascade timing) into the
+        next — runs through one policy object would not be
+        order-independent.
+        """
+        self.periods = dict(self._provided)
 
 
 def register_scheduler(

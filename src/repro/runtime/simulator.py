@@ -54,8 +54,21 @@ class SimulationResult:
     records: list[ExecutionRecord] = field(default_factory=list)
     #: The tenant session this result belongs to (0 in single runs).
     session_id: int = 0
+    #: Seconds of the streamed duration this session was online for.
+    #: ``None`` (the default) means the whole run — the static case.
+    #: Dynamic sessions (late arrival, early departure) carry their
+    #: actual window here so per-session rates normalise by *active*
+    #: rather than streamed duration.
+    active_duration_s: float | None = None
 
     # -- derived statistics --------------------------------------------------
+
+    @property
+    def window_s(self) -> float:
+        """The session's active window: its QoE/utilization denominator."""
+        if self.active_duration_s is None:
+            return self.duration_s
+        return self.active_duration_s
 
     def completed(self, model_code: str | None = None) -> list[InferenceRequest]:
         return [
@@ -82,13 +95,15 @@ class SimulationResult:
         return len([r for r in self.requests if r.dropped]) / total
 
     def utilization(self, sub_index: int) -> float:
-        """Raw busy fraction of one engine over the streamed duration.
+        """Raw busy fraction of one engine over the session's window.
 
-        May exceed 1.0 when in-flight work drains past ``duration_s`` —
-        overload is signal, so it is *not* clamped here; reports clamp
-        when formatting for display.
+        Normalised by the *active* duration (= the streamed duration for
+        static sessions), so a tenant online for half the run is not
+        reported at half its true utilization.  May exceed 1.0 when
+        in-flight work drains past the window — overload is signal, so it
+        is *not* clamped here; reports clamp when formatting for display.
         """
-        return self.busy_time_s.get(sub_index, 0.0) / self.duration_s
+        return self.busy_time_s.get(sub_index, 0.0) / self.window_s
 
     def missed_deadlines(self, model_code: str | None = None) -> int:
         return sum(

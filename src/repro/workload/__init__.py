@@ -1,5 +1,6 @@
 """Workload descriptions: sensors, models, scenarios, requests, load."""
 
+from .churn import MAX_CHURN, SessionWindow, churn_windows
 from .loadgen import LoadGenerator
 from .models import UNIT_MODELS, TaskCategory, UnitModel, get_model
 from .quality import MetricType, QualityGoal
@@ -20,7 +21,10 @@ from .taxonomy import MtmmClass, classify, is_dynamic, pipelines
 from .variants import activate, deactivate, retarget, scale_rates
 
 __all__ = [
+    "MAX_CHURN",
     "MtmmClass",
+    "SessionWindow",
+    "churn_windows",
     "activate",
     "classify",
     "is_dynamic",

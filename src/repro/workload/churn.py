@@ -1,0 +1,103 @@
+"""Deterministic session-churn plans: who is online when.
+
+The paper frames the runtime as serving *dynamically arriving* XR
+workloads — users join mid-run, leave before the stream ends, and switch
+activities.  This module is the workload-layer source of that dynamism:
+:func:`churn_windows` turns a single ``churn`` knob into a deterministic
+per-session :class:`SessionWindow` plan, seeded exactly like every other
+random draw in the workload layer (a pure hash of a stable string key),
+so two runs of the same spec produce bit-identical plans.
+
+``churn`` is the fraction of the run duration over which lifetimes
+fray at both ends: session arrivals spread uniformly over the *first*
+``churn * duration`` seconds and departures over the *last*
+``churn * duration`` seconds.  ``churn = 0`` is the static case — every
+window is ``(0.0, None)``, i.e. "alive for the whole run", which the
+runtime treats exactly like a pre-churn session (the golden schedule
+checksums pin this).  ``churn`` is capped at 0.5 so the arrival band and
+the departure band cannot overlap: every session's window is non-empty
+by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .loadgen import _unit_roll
+
+__all__ = ["MAX_CHURN", "SessionWindow", "churn_windows"]
+
+#: Arrivals and departures each spread over ``churn * duration`` seconds;
+#: above one half the two bands would overlap and windows could invert.
+MAX_CHURN = 0.5
+
+
+@dataclass(frozen=True)
+class SessionWindow:
+    """One session's lifetime within a run.
+
+    ``departure_s is None`` means the session stays for the whole run
+    (including the drain past the streamed duration) — the static
+    behaviour every pre-churn run had.
+    """
+
+    arrival_s: float = 0.0
+    departure_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError(
+                f"arrival_s must be >= 0, got {self.arrival_s}"
+            )
+        if self.departure_s is not None and self.departure_s <= self.arrival_s:
+            raise ValueError(
+                f"departure_s ({self.departure_s}) must be after "
+                f"arrival_s ({self.arrival_s})"
+            )
+
+    def active_duration_s(self, duration_s: float) -> float:
+        """Seconds of the streamed window this session is online for."""
+        end = (
+            duration_s
+            if self.departure_s is None
+            else min(self.departure_s, duration_s)
+        )
+        return max(0.0, end - self.arrival_s)
+
+
+def churn_windows(
+    num_sessions: int,
+    duration_s: float,
+    churn: float,
+    seed: int = 0,
+) -> list[SessionWindow]:
+    """A deterministic lifetime window per session.
+
+    Session ``i``'s arrival is drawn uniformly from
+    ``[0, churn * duration_s)`` and its departure from
+    ``(duration_s * (1 - churn), duration_s]``, both as pure functions of
+    ``(i, seed)``.  Times are rounded to a nanosecond so plans survive
+    float formatting round-trips (the same convention the golden schedule
+    checksums use).
+    """
+    if num_sessions < 1:
+        raise ValueError(f"num_sessions must be >= 1, got {num_sessions}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    if not 0.0 <= churn <= MAX_CHURN:
+        raise ValueError(
+            f"churn must be in [0, {MAX_CHURN}], got {churn}"
+        )
+    if churn == 0.0:
+        return [SessionWindow() for _ in range(num_sessions)]
+    band = churn * duration_s
+    windows = []
+    for i in range(num_sessions):
+        arrival = round(
+            _unit_roll(f"churn:arrival:{i}:{seed}") * band, 9
+        )
+        departure = round(
+            duration_s - _unit_roll(f"churn:departure:{i}:{seed}") * band, 9
+        )
+        windows.append(SessionWindow(arrival, departure))
+    return windows

@@ -160,6 +160,92 @@ class TestCommands:
         out = capsys.readouterr().out
         assert out.startswith("system,scenario,model")
 
+    def test_run_with_churn(self, capsys):
+        assert main(
+            ["run", "vr_gaming", "J", "--duration", "0.5",
+             "--sessions", "3", "--churn", "0.4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 sessions of vr_gaming" in out
+        assert "active=" in out  # per-session active-duration accounting
+
+    def test_run_preemptive_needs_capable_scheduler(self, capsys):
+        assert main(
+            ["run", "vr_gaming", "J", "--duration", "0.5",
+             "--granularity", "segment", "--preemptive"]
+        ) == 2
+        assert "should_preempt" in capsys.readouterr().err
+
+    def test_run_preemptive_edf(self, capsys):
+        assert main(
+            ["run", "vr_gaming", "J", "--duration", "0.5",
+             "--sessions", "2", "--granularity", "segment",
+             "--scheduler", "edf", "--preemptive"]
+        ) == 0
+        assert "2 sessions of vr_gaming" in capsys.readouterr().out
+
+    def test_churned_sweep_prints_session_means(self, capsys):
+        # Churned sweep specs route through the multi-tenant engine
+        # (MultiSessionReport), which the table printer must handle.
+        assert main(
+            ["sweep", "--scenario", "vr_gaming", "--accelerator", "J",
+             "--duration", "0.3", "--churn", "0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert lines[0].startswith("scenario")
+        assert lines[1].startswith("vr_gaming")
+
+
+class TestChurnedExport:
+    """CLI ``export`` across all three formats on a churned suite."""
+
+    CHURN_ARGS = ["export", "A", "--duration", "0.5", "--churn", "0.3"]
+
+    def test_submission_round_trips(self, capsys):
+        assert main(self.CHURN_ARGS + ["--breakdowns"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "XRBench"
+        assert 0.0 <= payload["xrbench_score"] <= 1.0
+        assert len(payload["breakdowns"]) == 7
+
+    def test_json_round_trips_with_active_duration(self, capsys):
+        assert main(self.CHURN_ARGS + ["--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["scenarios"]) == 7
+        for scenario in payload["scenarios"]:
+            session = scenario["session"]
+            assert session["dynamic"] is True
+            # Churned: strictly inside the streamed duration.
+            assert 0.0 < session["active_duration_s"] < 0.5
+        # The whole document survives a JSON round-trip.
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_csv_parses_with_active_duration_fields(self, capsys):
+        import csv as csv_mod
+        import io
+
+        assert main(self.CHURN_ARGS + ["--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        rows = list(csv_mod.DictReader(io.StringIO(out)))
+        assert rows
+        header = out.splitlines()[0].split(",")
+        assert "session_id" in header
+        assert "active_duration_s" in header
+        for row in rows:
+            assert 0.0 < float(row["active_duration_s"]) < 0.5
+            assert int(row["session_id"]) == 0
+
+    def test_static_export_reports_full_window(self, capsys):
+        assert main(
+            ["export", "A", "--duration", "0.5", "--format", "json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for scenario in payload["scenarios"]:
+            session = scenario["session"]
+            assert session["dynamic"] is False
+            assert session["active_duration_s"] == 0.5
+
 
 class TestSpecFile:
     def test_run_from_spec_file(self, tmp_path, capsys):

@@ -1,0 +1,66 @@
+"""Tests for the deterministic session-churn plan."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import MAX_CHURN, SessionWindow, churn_windows
+
+
+class TestSessionWindow:
+    def test_defaults_are_static(self):
+        window = SessionWindow()
+        assert window.arrival_s == 0.0
+        assert window.departure_s is None
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValueError, match="arrival_s"):
+            SessionWindow(arrival_s=-0.1)
+
+    def test_rejects_departure_before_arrival(self):
+        with pytest.raises(ValueError, match="departure_s"):
+            SessionWindow(arrival_s=0.5, departure_s=0.5)
+
+    def test_active_duration(self):
+        assert SessionWindow().active_duration_s(2.0) == 2.0
+        assert SessionWindow(0.5, 1.5).active_duration_s(2.0) == 1.0
+        # Departure past the streamed duration clips to it.
+        assert SessionWindow(0.5, 9.0).active_duration_s(2.0) == 1.5
+
+
+class TestChurnWindows:
+    def test_zero_churn_is_static(self):
+        windows = churn_windows(8, 1.0, 0.0, seed=3)
+        assert windows == [SessionWindow()] * 8
+
+    def test_deterministic(self):
+        assert churn_windows(16, 1.0, 0.3, seed=7) == churn_windows(
+            16, 1.0, 0.3, seed=7
+        )
+
+    def test_seed_changes_plan(self):
+        assert churn_windows(16, 1.0, 0.3, seed=0) != churn_windows(
+            16, 1.0, 0.3, seed=1
+        )
+
+    def test_windows_respect_bands(self):
+        duration, churn = 2.0, 0.4
+        for window in churn_windows(32, duration, churn, seed=0):
+            assert 0.0 <= window.arrival_s < churn * duration
+            assert window.departure_s > duration * (1 - churn)
+            assert window.departure_s <= duration
+            assert window.arrival_s < window.departure_s
+
+    def test_max_churn_still_produces_valid_windows(self):
+        for window in churn_windows(32, 1.0, MAX_CHURN, seed=5):
+            assert window.arrival_s < window.departure_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_sessions"):
+            churn_windows(0, 1.0, 0.2)
+        with pytest.raises(ValueError, match="duration_s"):
+            churn_windows(1, 0.0, 0.2)
+        with pytest.raises(ValueError, match="churn"):
+            churn_windows(1, 1.0, 0.6)
+        with pytest.raises(ValueError, match="churn"):
+            churn_windows(1, 1.0, -0.1)
