@@ -10,14 +10,18 @@ Two modes share one workload definition:
   (dict-probe dispatch path) — and prints a JSON blob with
   simulated-requests/sec and the cost-cache hit rate.
 
-* **Suite** (``--suite``): sweeps sessions x granularity x churn
-  (defaults: {1, 4, 16} x {model, segment} x {0.0}) over the cached
-  dispatch path and writes ``BENCH_runtime.json``, the repo's runtime
-  perf trajectory.  ``--suite-churn 0.0 0.25`` adds dynamic-session
-  cells, exercising the JOIN/LEAVE path under load.  Passing
-  ``--baseline FILE`` (a previous suite emission) adds per-cell
-  ``baseline_requests_per_sec`` and ``speedup`` fields, which is how
-  before/after numbers for a PR are produced.
+* **Suite** (``--suite``): sweeps sessions x granularity x churn x DVFS
+  policy (defaults: {1, 2, 4, 16} x {model, segment} x {0.0} x
+  {static, slack}) over the cached dispatch path and writes
+  ``BENCH_runtime.json``, the repo's runtime perf trajectory.
+  ``--suite-churn 0.0 0.25`` adds dynamic-session cells, exercising the
+  JOIN/LEAVE path under load; ``--suite-dvfs static slack`` (the
+  default) records each cell's total energy and deadline misses per
+  governor policy, so the trajectory file shows the energy saved by
+  slack-aware DVFS at fixed QoE.  Passing ``--baseline FILE`` (a
+  previous suite emission) adds per-cell ``baseline_requests_per_sec``
+  and ``speedup`` fields, which is how before/after numbers for a PR
+  are produced.
 
 Usage::
 
@@ -35,18 +39,19 @@ import json
 import sys
 import time
 
-from repro.api import RunSpec, execute
+from repro.api import DVFS_POLICIES, RunSpec, execute
 from repro.core import MultiSessionReport
 from repro.costmodel import CachedCostTable, CostTable, UncachedCostTable
 from repro.hardware import ACCELERATOR_IDS
 from repro.workload import SCENARIO_ORDER
 
-SUITE_SESSIONS = (1, 4, 16)
+SUITE_SESSIONS = (1, 2, 4, 16)
 SUITE_GRANULARITIES = ("model", "segment")
+SUITE_DVFS = ("static", "slack")
 
 
 def build_spec(args, sessions=None, granularity=None,
-               churn=None) -> RunSpec:
+               churn=None, dvfs=None) -> RunSpec:
     # A per-session scenario tuple (even of length 1) routes the spec
     # through the multi-tenant engine, so --sessions 1 still benchmarks
     # the dispatch path this file's numbers have always measured.
@@ -59,7 +64,22 @@ def build_spec(args, sessions=None, granularity=None,
         duration_s=args.duration,
         seed=args.seed,
         churn=args.churn if churn is None else churn,
+        dvfs_policy=dvfs if dvfs is not None else args.dvfs,
     )
+
+
+def energy_and_deadlines(result) -> dict:
+    """Per-cell energy/QoE facts: what the dvfs axis trades."""
+    completed = sum(len(s.completed()) for s in result.sessions)
+    missed = sum(s.missed_deadlines() for s in result.sessions)
+    return {
+        "total_energy_mj": round(result.total_energy_mj(), 3),
+        "completed_requests": completed,
+        "missed_deadlines": missed,
+        "deadline_miss_rate": round(
+            missed / completed if completed else 0.0, 4
+        ),
+    }
 
 
 def run_once(spec: RunSpec, costs):
@@ -108,61 +128,69 @@ def run_single(args) -> dict:
 
 
 def run_suite(args) -> dict:
-    """Sessions x granularity x churn sweep over the cached path."""
-    baseline_cells: dict[tuple[int, str, float], dict] = {}
+    """Sessions x granularity x churn x DVFS sweep over the cached path."""
+    baseline_cells: dict[tuple[int, str, float, str], dict] = {}
     if args.baseline:
         with open(args.baseline) as fh:
             previous = json.load(fh)
         baseline_cells = {
-            (c["sessions"], c["granularity"], c.get("churn", 0.0)): c
+            (c["sessions"], c["granularity"], c.get("churn", 0.0),
+             c.get("dvfs_policy", "static")): c
             for c in previous.get("cells", [])
         }
     cells = []
-    for churn in args.suite_churn:
-        for granularity in args.suite_granularities:
-            for sessions in args.suite_sessions:
-                spec = build_spec(args, sessions=sessions,
-                                  granularity=granularity, churn=churn)
-                cached, result = measure(
-                    spec, args.repeat,
-                    lambda: CachedCostTable(base=CostTable()),
-                )
-                stats = result.cost_stats
-                cell = {
-                    "sessions": sessions,
-                    "granularity": granularity,
-                    "churn": churn,
-                    **cached,
-                    "cost_cache_hit_rate": (
-                        round(stats.hit_rate, 4) if stats else None
-                    ),
-                }
-                before = baseline_cells.get(
-                    (sessions, granularity, churn)
-                )
-                if before:
-                    cell["baseline_requests_per_sec"] = (
-                        before["requests_per_sec"]
+    for dvfs in args.suite_dvfs:
+        for churn in args.suite_churn:
+            for granularity in args.suite_granularities:
+                for sessions in args.suite_sessions:
+                    spec = build_spec(args, sessions=sessions,
+                                      granularity=granularity,
+                                      churn=churn, dvfs=dvfs)
+                    cached, result = measure(
+                        spec, args.repeat,
+                        lambda: CachedCostTable(base=CostTable()),
                     )
-                    cell["speedup"] = round(
-                        cell["requests_per_sec"]
-                        / before["requests_per_sec"], 2
+                    stats = result.cost_stats
+                    cell = {
+                        "sessions": sessions,
+                        "granularity": granularity,
+                        "churn": churn,
+                        "dvfs_policy": dvfs,
+                        **cached,
+                        **energy_and_deadlines(result),
+                        "cost_cache_hit_rate": (
+                            round(stats.hit_rate, 4) if stats else None
+                        ),
+                    }
+                    before = baseline_cells.get(
+                        (sessions, granularity, churn, dvfs)
                     )
-                cells.append(cell)
-                print(
-                    f"  {granularity:>7s} x {sessions:>2d} sessions"
-                    f" (churn {churn:g}): "
-                    f"{cell['requests_per_sec']:>9.1f} req/s"
-                    + (f"  ({cell['speedup']}x vs baseline)"
-                       if "speedup" in cell else ""),
-                    file=sys.stderr,
-                )
+                    if before:
+                        cell["baseline_requests_per_sec"] = (
+                            before["requests_per_sec"]
+                        )
+                        cell["speedup"] = round(
+                            cell["requests_per_sec"]
+                            / before["requests_per_sec"], 2
+                        )
+                    cells.append(cell)
+                    print(
+                        f"  {granularity:>7s} x {sessions:>2d} sessions"
+                        f" (churn {churn:g}, dvfs {dvfs}): "
+                        f"{cell['requests_per_sec']:>9.1f} req/s  "
+                        f"{cell['total_energy_mj']:>9.1f} mJ  "
+                        f"{cell['missed_deadlines']:>3d} missed"
+                        + (f"  ({cell['speedup']}x vs baseline)"
+                           if "speedup" in cell else ""),
+                        file=sys.stderr,
+                    )
     # The workload block records everything the cells share; sessions,
-    # granularity and churn are per-cell, so the spec shown is per-cell
-    # too.
+    # granularity, churn and dvfs_policy are per-cell, so the spec shown
+    # is per-cell too.
     shared = build_spec(args, sessions=1, granularity="model",
-                        churn=0.0).to_dict()
-    for swept in ("scenario", "sessions", "granularity", "churn"):
+                        churn=0.0, dvfs="static").to_dict()
+    for swept in ("scenario", "sessions", "granularity", "churn",
+                  "dvfs_policy"):
         shared.pop(swept, None)
     shared["scenario"] = args.scenario
     return {
@@ -188,6 +216,10 @@ def main(argv=None) -> int:
                         choices=["model", "segment"])
     parser.add_argument("--churn", type=float, default=0.0,
                         help="session churn fraction (0..0.5; default 0)")
+    parser.add_argument("--dvfs", default="static",
+                        choices=list(DVFS_POLICIES),
+                        help="runtime DVFS governor policy "
+                             "(default static)")
     parser.add_argument("--repeat", type=int, default=3,
                         help="take the best of N runs (default 3)")
     parser.add_argument("--suite", action="store_true",
@@ -204,6 +236,13 @@ def main(argv=None) -> int:
                         default=[0.0], metavar="F",
                         help="churn fractions the suite sweeps "
                              "(default: just 0.0, the static case)")
+    parser.add_argument("--suite-dvfs", nargs="+",
+                        default=list(SUITE_DVFS),
+                        choices=list(DVFS_POLICIES),
+                        metavar="P",
+                        help="DVFS governor policies the suite sweeps "
+                             "(default: static slack, recording the "
+                             "energy saved at fixed QoE)")
     parser.add_argument("--output", default="BENCH_runtime.json",
                         help="suite mode: where to write the JSON")
     parser.add_argument("--baseline", default=None, metavar="FILE",

@@ -49,10 +49,11 @@ from .execute import (
     run_session_group,
     run_single_scenario,
 )
-from .spec import RunSpec, Sweep
+from .spec import DVFS_POLICIES, RunSpec, Sweep
 
 __all__ = [
     "CollectingSink",
+    "DVFS_POLICIES",
     "EventSink",
     "Experiment",
     "ProgressEvent",

@@ -116,6 +116,7 @@ def run_session_group(
     segments_per_model: int = 2,
     churn: float = 0.0,
     preemptive: bool = False,
+    dvfs_policy: str = "static",
     measured_quality: dict[str, float] | None = None,
 ) -> MultiSessionReport:
     """Multiplex concurrent scenario sessions onto one system.
@@ -126,6 +127,8 @@ def run_session_group(
     tenants arrive late and depart early; ``preemptive=True`` asks a
     capable scheduler (edf, rate_monotonic) to displace resuming segment
     chains with more urgent waiting work at segment boundaries.
+    ``dvfs_policy`` selects the runtime DVFS governor consulted at every
+    dispatch boundary (``"static"``, ``"slack"``, ``"race_to_idle"``).
     Dispatch-path pricing flows through a :class:`CachedCostTable`
     layered over ``costs`` unless ``dispatch_costs`` supplies the table
     directly (the throughput benchmark uses that to compare cache
@@ -160,6 +163,7 @@ def run_session_group(
         costs=dispatch_costs,
         granularity=granularity,
         segments_per_model=segments_per_model,
+        dvfs_policy=dvfs_policy,
     )
     result = simulator.run()
     score_cfg = score if score is not None else ScoreConfig()
@@ -183,23 +187,26 @@ def run_full_suite(
     sinks: Sequence[EventSink] = (),
     label: str = "",
     churn: float = 0.0,
+    dvfs_policy: str = "static",
 ) -> BenchmarkReport:
     """Run the full seven-scenario suite (Definition 5's Omega).
 
     ``churn > 0`` runs each scenario as one dynamically-arriving tenant
     session (same deterministic lifetime plan as multi-session runs), so
     suite-level exports carry per-session active-duration accounting.
+    A non-static ``dvfs_policy`` likewise routes each scenario through
+    the multi-tenant engine, where the DVFS governor lives.
     """
     costs = costs if costs is not None else CostTable()
     suite = benchmark_suite()
     reports = []
     for i, scenario in enumerate(suite):
-        if churn > 0:
+        if churn > 0 or dvfs_policy != "static":
             group = run_session_group(
                 [scenario], system,
                 scheduler=scheduler, duration_s=duration_s,
                 base_seed=seed, score=score, frame_loss=frame_loss,
-                costs=costs, churn=churn,
+                costs=costs, churn=churn, dvfs_policy=dvfs_policy,
             )
             report = group.session_reports[0]
         else:
@@ -253,6 +260,7 @@ def execute(
             scheduler=spec.scheduler, duration_s=spec.duration_s,
             seed=spec.seed, score=score, frame_loss=spec.frame_loss,
             costs=costs, sinks=sinks, churn=spec.churn,
+            dvfs_policy=spec.dvfs_policy,
         )
     elif spec.mode == "sessions":
         names = (
@@ -268,6 +276,7 @@ def execute(
             granularity=spec.granularity,
             segments_per_model=spec.segments_per_model,
             churn=spec.churn, preemptive=spec.preemptive,
+            dvfs_policy=spec.dvfs_policy,
             measured_quality=measured_quality,
         )
     else:

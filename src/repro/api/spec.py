@@ -28,7 +28,7 @@ from typing import Any, Iterable, Mapping
 from repro import registry
 from repro.core.config import DEFAULT_DURATION_S
 
-__all__ = ["RunSpec", "Sweep"]
+__all__ = ["DVFS_POLICIES", "RunSpec", "Sweep"]
 
 #: Dispatch granularities (mirrors ``repro.runtime.GRANULARITIES``
 #: without importing the runtime at spec-construction time).
@@ -38,6 +38,13 @@ _GRANULARITIES = ("model", "segment")
 #: arrivals and departures each fray over ``churn * duration`` seconds,
 #: and past one half the two bands would overlap.
 _MAX_CHURN = 0.5
+
+#: Runtime DVFS governor policies (mirrors
+#: ``repro.runtime.DVFS_POLICIES`` without importing the runtime at
+#: spec-construction time; a test pins the two — and the JSON-schema
+#: enum — to each other).  Public: the CLI and benchmarks read their
+#: ``--dvfs`` choices from here.
+DVFS_POLICIES = ("static", "slack", "race_to_idle")
 
 
 @dataclass(frozen=True)
@@ -74,6 +81,12 @@ class RunSpec:
     #: preemption points exist) and a policy that implements the
     #: ``should_preempt`` hook (edf, rate_monotonic).
     preemptive: bool = False
+    #: Runtime DVFS governor: ``"static"`` (the default — every dispatch
+    #: at the engine's configured point, bit-identical to the historical
+    #: runtime), ``"slack"`` (spend deadline slack on slower, cheaper
+    #: operating points per dispatch) or ``"race_to_idle"`` (always the
+    #: fastest ladder point).
+    dvfs_policy: str = "static"
 
     def __post_init__(self) -> None:
         scenario = self.scenario
@@ -130,6 +143,11 @@ class RunSpec:
             raise ValueError(
                 f"churn must be in [0, {_MAX_CHURN}], got {self.churn}"
             )
+        if self.dvfs_policy not in DVFS_POLICIES:
+            raise ValueError(
+                f"dvfs_policy must be one of {DVFS_POLICIES}, "
+                f"got {self.dvfs_policy!r}"
+            )
         # Resolve every name through the registries so typos fail at
         # construction time with did-you-mean errors, not mid-run.
         for name in self.scenario_names():
@@ -179,6 +197,7 @@ class RunSpec:
             or self.sessions > 1
             or self.granularity != "model"  # includes every preemptive spec
             or self.churn > 0
+            or self.dvfs_policy != "static"  # governors live in multisim
         ):
             return "sessions"
         return "single"
@@ -200,6 +219,8 @@ class RunSpec:
             extra += f" churn={self.churn:g}"
         if self.preemptive:
             extra += " preemptive"
+        if self.dvfs_policy != "static":
+            extra += f" dvfs={self.dvfs_policy}"
         return (
             f"{what}{extra} on {self.accelerator}@{self.pes}PE "
             f"({self.scheduler}, {self.duration_s}s, seed {self.seed})"

@@ -29,7 +29,14 @@ import argparse
 import json
 import sys
 
-from repro.api import Experiment, RunSpec, StreamSink, Sweep, execute
+from repro.api import (
+    DVFS_POLICIES,
+    Experiment,
+    RunSpec,
+    StreamSink,
+    Sweep,
+    execute,
+)
 from repro.core import Harness, HarnessConfig
 from repro.costmodel import CostTable, Dataflow
 from repro.hardware import ACCELERATOR_IDS
@@ -74,12 +81,19 @@ def build_parser() -> argparse.ArgumentParser:
         )
 
     def add_dynamics(p: argparse.ArgumentParser) -> None:
-        """Session-churn flag (run/suite/sweep/export)."""
+        """Session-churn and DVFS flags (run/suite/sweep/export)."""
         p.add_argument(
             "--churn", type=float, default=None, metavar="F",
             help="session churn: arrivals spread over the first F and "
                  "departures over the last F fraction of the duration "
                  "(0..0.5; default 0 = static sessions)",
+        )
+        p.add_argument(
+            "--dvfs", default=None, choices=list(DVFS_POLICIES),
+            help="runtime DVFS governor: static (default; fixed "
+                 "per-engine operating points), slack (spend deadline "
+                 "slack on slower, cheaper points per dispatch) or "
+                 "race_to_idle (always the fastest point)",
         )
 
     run_p = sub.add_parser("run", help="run one scenario on one accelerator")
@@ -230,6 +244,7 @@ _FLAG_FIELDS = {
     "segments": ("segments_per_model", 2),
     "churn": ("churn", 0.0),
     "preemptive": ("preemptive", False),
+    "dvfs": ("dvfs_policy", "static"),
 }
 
 
@@ -258,6 +273,7 @@ def _spec_from_args(args: argparse.Namespace, **overrides) -> RunSpec:
         score_preset=_flag(args, "score_preset"),
         churn=_flag(args, "churn"),
         preemptive=_flag(args, "preemptive"),
+        dvfs_policy=_flag(args, "dvfs"),
         **overrides,
     )
 

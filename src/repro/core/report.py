@@ -67,8 +67,13 @@ class ScenarioReport:
                 f"({sim.frame_drop_rate():.1%}); "
                 f"{score.total_missed_deadlines} missed deadlines"
             ),
-            # Utilization is a raw busy fraction (overload pushes it past
-            # 100%); clamp only here, at display time.
+            # Total energy actually spent (occupancy-log sum, so it
+            # includes dropped requests' partial segments); the bounded
+            # per-inference energy score above is its Enmax-relative view.
+            f"  energy: {sim.total_energy_mj():.1f} mJ spent",
+            # Busy time clips to the measurement window at accounting
+            # time, so this cannot exceed 100% for runtime-produced
+            # results; min() only guards hand-built ones.
             f"  mean engine utilization: "
             f"{min(1.0, sim.mean_utilization()):.1%}",
         ]
@@ -169,10 +174,12 @@ class MultiSessionReport:
             ),
             (
                 f"  mean session score: {self.mean_overall:.3f}; "
-                # Raw busy fraction, clamped only for display.
+                # Busy time is window-clipped at accounting time; min()
+                # only guards hand-built results.
                 f"mean engine utilization: "
                 f"{min(1.0, res.mean_system_utilization()):.1%}"
             ),
+            f"  total energy: {res.total_energy_mj():.1f} mJ",
         ]
         if res.cost_stats is not None and res.cost_stats.lookups:
             lines.append(
@@ -191,6 +198,7 @@ class MultiSessionReport:
                 f"overall={score.overall:.3f} rt={score.rt:.3f} "
                 f"qoe={score.qoe:.3f} frames={len(sim.requests)} "
                 f"dropped={len(sim.dropped())} "
-                f"missed={score.total_missed_deadlines}{window}"
+                f"missed={score.total_missed_deadlines} "
+                f"energy={sim.total_energy_mj():.1f}mJ{window}"
             )
         return "\n".join(lines)

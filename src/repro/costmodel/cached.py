@@ -44,9 +44,23 @@ class GraphRegistry:
     _graphs: dict[str, object]
 
     def register_graph(self, code: str, graph) -> None:
-        """Make a virtual task code priceable from its layer graph."""
-        if code in self._graphs:
-            raise ValueError(f"task code {code!r} already registered")
+        """Make a virtual task code priceable from its layer graph.
+
+        Re-registering the *same* graph is a no-op — segment plans are
+        deterministic, so a shared table seen by two segmented runs is
+        offered identical pieces and must not fail the second run.
+        Registering a *different* graph under an existing code still
+        raises: that is a stale-split hazard, not benign reuse.
+        """
+        existing = self._graphs.get(code)
+        if existing is not None:
+            if existing == graph:
+                return
+            raise ValueError(
+                f"task code {code!r} already registered with a different "
+                f"graph (was this table reused across runs with "
+                f"different segment splits?)"
+            )
         self._graphs[code] = graph
 
     def knows(self, code: str) -> bool:

@@ -11,17 +11,22 @@ than open-ended.  This module makes that trade concrete:
   frequency), with leakage scaling ~1/f per unit work (slower runs leak
   longer).
 * :func:`scale_cost` — re-derives a :class:`ModelCost` at an operating
-  point.
+  point, *consistently*: the per-layer breakdown and utilization are
+  rescaled along with the totals, so layer sums always equal the model
+  totals at every ladder point.
 * :func:`best_point_for_slack` — picks the slowest (most energy-efficient)
   point that still fits a latency budget, i.e. the paper's
   slack-into-energy optimisation.
+
+The live runtime counterpart is :mod:`repro.runtime.governor`, which
+applies these trades per dispatch through the cached cost tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from .analysis import ModelCost
+from .analysis import _RAMP_CYCLES, LayerCost, ModelCost
 
 __all__ = ["DvfsPoint", "DEFAULT_DVFS_POINTS", "scale_cost",
            "best_point_for_slack"]
@@ -66,26 +71,101 @@ DEFAULT_DVFS_POINTS: tuple[DvfsPoint, ...] = (
 )
 
 
+def _energy_factor(point: DvfsPoint, leakage_fraction: float) -> float:
+    """The linear energy map applied at ``point``.
+
+    Dynamic energy (share ``1 - leakage_fraction``) scales with V^2 ~ f^2;
+    leakage (share ``leakage_fraction``) accrues over the 1/f runtime.
+    Being a single scalar, it applies identically to every layer and to
+    the model total, so scaled layer energies always sum to the scaled
+    model energy.
+    """
+    return (
+        (1.0 - leakage_fraction) * point.dynamic_energy_scale
+        + leakage_fraction * point.leakage_energy_scale
+    )
+
+
+def _scale_layer(lc: LayerCost, point: DvfsPoint,
+                 energy_factor: float) -> LayerCost:
+    """One layer re-derived at ``point``.
+
+    Every cycle takes ``1/f`` as long at frequency scale ``f``, so the
+    layer's wall-clock latency — including its pipeline-fill ramp —
+    scales by ``latency_scale``.  :attr:`LayerCost.latency_cycles` adds
+    the (nominal-clock) ramp constant after the cycle max, so the cycle
+    fields are rescaled such that ``latency_cycles`` lands exactly on
+    ``latency_scale * (max + ramp)``; utilization is re-derived against
+    the new cycle count (achieved MACs/cycle falls as cycles stretch).
+    """
+    s = point.latency_scale
+    m = max(lc.compute_cycles, lc.onchip_cycles, lc.offchip_cycles)
+    target_max = s * (m + _RAMP_CYCLES) - _RAMP_CYCLES
+    if m > 0.0 and target_max > 0.0:
+        k = target_max / m
+        compute = lc.compute_cycles * k
+        onchip = lc.onchip_cycles * k
+        offchip = lc.offchip_cycles * k
+    else:
+        # Degenerate layers (no cycles at all, or a boost point whose
+        # target latency falls below the bare ramp): pin the whole
+        # target, clamped non-negative, on the off-chip path.
+        compute = 0.0
+        onchip = 0.0
+        offchip = max(0.0, target_max)
+    old_cycles = m + _RAMP_CYCLES
+    new_cycles = max(compute, onchip, offchip) + _RAMP_CYCLES
+    return replace(
+        lc,
+        compute_cycles=compute,
+        onchip_cycles=onchip,
+        offchip_cycles=offchip,
+        energy_mj=lc.energy_mj * energy_factor,
+        utilization=min(1.0, lc.utilization * old_cycles / new_cycles),
+    )
+
+
 def scale_cost(cost: ModelCost, point: DvfsPoint,
                leakage_fraction: float = 0.1) -> ModelCost:
     """Re-derive a model cost at a DVFS operating point.
 
     ``leakage_fraction`` is the share of the nominal energy attributed to
     leakage (which scales with runtime rather than V^2).
+
+    The returned cost is *internally consistent*: its per-layer
+    breakdown is rescaled along with the totals, so the layer latency
+    and energy sums equal ``latency_s``/``energy_mj`` at every operating
+    point, and ``utilization`` reflects the achieved MACs/cycle at the
+    scaled cycle count.  (Historically only the two totals were scaled,
+    leaving ``layer_costs`` and ``utilization`` at their nominal values —
+    any consumer summing layers at a non-nominal point got nominal
+    numbers back.)
     """
     if not 0.0 <= leakage_fraction <= 1.0:
         raise ValueError(
             f"leakage_fraction must be in [0, 1], got {leakage_fraction}"
         )
-    dynamic = cost.energy_mj * (1.0 - leakage_fraction)
-    leakage = cost.energy_mj * leakage_fraction
+    energy_factor = _energy_factor(point, leakage_fraction)
+    layers = tuple(
+        _scale_layer(lc, point, energy_factor) for lc in cost.layer_costs
+    )
+    if layers:
+        latency_s = sum(lc.latency_s for lc in layers)
+        energy_mj = sum(lc.energy_mj for lc in layers)
+    else:
+        # Hand-built costs without a layer breakdown: scale the totals.
+        latency_s = cost.latency_s * point.latency_scale
+        energy_mj = cost.energy_mj * energy_factor
+    utilization = cost.utilization
+    if latency_s > 0.0 and cost.latency_s > 0.0:
+        # util = total_macs / (cycles * pes), and cycles ~ latency.
+        utilization = min(1.0, cost.utilization * cost.latency_s / latency_s)
     return replace(
         cost,
-        latency_s=cost.latency_s * point.latency_scale,
-        energy_mj=(
-            dynamic * point.dynamic_energy_scale
-            + leakage * point.leakage_energy_scale
-        ),
+        latency_s=latency_s,
+        energy_mj=energy_mj,
+        utilization=utilization,
+        layer_costs=layers,
     )
 
 

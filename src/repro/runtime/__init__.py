@@ -2,6 +2,15 @@
 
 from .engine import EngineFleet, ExecutionEngine, ExecutionRecord, WorkItem
 from .events import Event, EventKind, EventQueue
+from .governor import (
+    DVFS_POLICIES,
+    DispatchContext,
+    DvfsGovernor,
+    RaceToIdleGovernor,
+    SlackGovernor,
+    StaticGovernor,
+    make_governor,
+)
 from .multisim import (
     GRANULARITIES,
     MultiScenarioSimulator,
@@ -34,7 +43,10 @@ from .timeline import Segment, extract_timeline, render_timeline
 
 __all__ = [
     "ActiveInferenceTable",
+    "DVFS_POLICIES",
     "DependencyTracker",
+    "DispatchContext",
+    "DvfsGovernor",
     "EarliestDeadlineScheduler",
     "EngineFleet",
     "Event",
@@ -47,8 +59,11 @@ __all__ = [
     "MultiScenarioSimulator",
     "MultiSessionResult",
     "PendingQueue",
+    "RaceToIdleGovernor",
     "RateMonotonicScheduler",
     "RoundRobinScheduler",
+    "SlackGovernor",
+    "StaticGovernor",
     "SCHEDULERS",
     "Scheduler",
     "SchedulerAdapter",
@@ -65,6 +80,7 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "extract_timeline",
+    "make_governor",
     "make_scheduler",
     "register_scheduler",
     "render_timeline",

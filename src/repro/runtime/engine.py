@@ -100,6 +100,10 @@ class ExecutionRecord:
     start_s: float
     end_s: float
     energy_mj: float
+    #: Name of the DVFS operating point this interval ran at (``None`` =
+    #: nominal frequency).  A governed run re-decides per dispatch, so
+    #: the record log doubles as the engine's frequency timeline.
+    dvfs: str | None = None
 
     @property
     def duration_s(self) -> float:
@@ -112,17 +116,36 @@ class ExecutionEngine:
 
     Enforces the hardware-occupancy condition (one item at a time),
     accrues busy time, and logs every execution.  ``dvfs`` is the
-    engine's current operating point; ``None`` means nominal frequency.
+    engine's configured *base* operating point (``None`` means nominal
+    frequency); the *current* operating point starts there and may be
+    moved per dispatch by a DVFS governor via
+    :meth:`set_operating_point`, which logs every frequency transition.
+
+    ``horizon_s`` bounds busy-time accounting: occupancy beyond it (the
+    drain tail of in-flight work past the measurement window) is real
+    wall-clock execution but must not count toward window-normalised
+    utilization, so :meth:`begin` charges only the overlap with
+    ``[0, horizon_s]``.  ``None`` (the default) charges the full
+    occupancy, for callers that do their own windowing.
     """
 
     sub: SubAccelerator
     dvfs: DvfsPoint | None = None
+    horizon_s: float | None = None
     busy_time_s: float = 0.0
     records: list[ExecutionRecord] = field(default_factory=list)
+    #: (time_s, from, to) frequency transitions, oldest first.
+    dvfs_transitions: list[
+        tuple[float, DvfsPoint | None, DvfsPoint | None]
+    ] = field(default_factory=list)
+    _point: DvfsPoint | None = field(default=None, repr=False)
     _current: WorkItem | None = field(default=None, repr=False)
     _started_s: float = field(default=0.0, repr=False)
     _until_s: float = field(default=0.0, repr=False)
     _energy_mj: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        self._point = self.dvfs
 
     @property
     def index(self) -> int:
@@ -141,6 +164,23 @@ class ExecutionEngine:
         """When the engine frees up (meaningless while idle)."""
         return self._until_s
 
+    @property
+    def operating_point(self) -> DvfsPoint | None:
+        """The point the engine currently runs at (``None`` = nominal)."""
+        return self._point
+
+    def set_operating_point(
+        self, point: DvfsPoint | None, now_s: float
+    ) -> None:
+        """Move the engine to ``point``, logging the transition.
+
+        A no-op when the engine is already there, so ungoverned runs
+        (every dispatch at the base point) log no transitions.
+        """
+        if point != self._point:
+            self.dvfs_transitions.append((now_s, self._point, point))
+            self._point = point
+
     def begin(self, item: WorkItem, now_s: float, cost: ModelCost) -> float:
         """Occupy the engine with ``item``; returns the completion time."""
         if self._current is not None:
@@ -152,7 +192,18 @@ class ExecutionEngine:
         self._started_s = now_s
         self._until_s = now_s + cost.latency_s
         self._energy_mj = cost.energy_mj
-        self.busy_time_s += cost.latency_s
+        if self.horizon_s is None:
+            self.busy_time_s += cost.latency_s
+        else:
+            # Clip the charge to the measurement window at accounting
+            # time: the drain tail past the horizon still *runs* (the
+            # records keep the true interval) but must not inflate
+            # window-normalised utilization past 100%.
+            self.busy_time_s += max(
+                0.0,
+                min(self._until_s, self.horizon_s)
+                - min(now_s, self.horizon_s),
+            )
         return self._until_s
 
     def finish(self, now_s: float) -> WorkItem:
@@ -171,18 +222,24 @@ class ExecutionEngine:
                 start_s=self._started_s,
                 end_s=self._until_s,
                 energy_mj=self._energy_mj,
+                dvfs=self._point.name if self._point is not None else None,
             )
         )
         self._current = None
         return item
 
     def describe(self) -> str:
-        point = f" [{self.dvfs.name}]" if self.dvfs else ""
+        point = f" [{self._point.name}]" if self._point else ""
         return f"{self.sub.describe()}{point}"
 
 
 def _engine_index(engine: ExecutionEngine) -> int:
     return engine.index
+
+
+#: Sentinel for :meth:`EngineFleet.begin`: leave the operating point as
+#: is (``None`` is a real point — nominal — so it cannot be the default).
+_KEEP_POINT = object()
 
 
 @dataclass
@@ -212,8 +269,17 @@ class EngineFleet:
         return self._idle
 
     def begin(self, engine: ExecutionEngine, item: WorkItem,
-              now_s: float, cost: ModelCost) -> float:
-        """Occupy ``engine`` with ``item``; returns the completion time."""
+              now_s: float, cost: ModelCost, dvfs=_KEEP_POINT) -> float:
+        """Occupy ``engine`` with ``item``; returns the completion time.
+
+        ``dvfs`` (a :class:`~repro.costmodel.DvfsPoint` or ``None`` for
+        nominal) moves the engine to that operating point first — the
+        one mutation path a DVFS governor uses, so every frequency
+        transition is logged on the engine.  Omitted, the point is left
+        untouched.
+        """
+        if dvfs is not _KEEP_POINT:
+            engine.set_operating_point(dvfs, now_s)
         end_s = engine.begin(item, now_s, cost)
         self._idle.remove(engine)
         return end_s

@@ -52,6 +52,14 @@ Key properties:
   :meth:`repro.hardware.AcceleratorSystem.engine_cost`, which answers
   from a :class:`~repro.costmodel.CachedCostTable` keyed on
   (task, engine, DVFS state) when one is supplied.
+* **Slack-aware DVFS** (``dvfs_policy``): a
+  :class:`~repro.runtime.governor.DvfsGovernor` consulted at every
+  dispatch boundary may move the engine's operating point per piece of
+  work — the paper's Appendix B.1 slack-into-energy trade, live.  The
+  default ``"static"`` policy installs no governor at all, keeping the
+  historical dispatch path bit-identical.  Frequency transitions are
+  logged per engine and each :class:`ExecutionRecord` carries the point
+  it ran at.
 * **Determinism**: sessions are iterated in id order, merged queues are
   sorted with session-id tie-breaks, lifecycle events are scheduled at
   build time (so they outrank same-instant work events), and all
@@ -84,6 +92,7 @@ from repro.workload import (
 
 from .engine import EngineFleet, ExecutionEngine, ExecutionRecord, WorkItem
 from .events import EventKind, EventQueue
+from .governor import DispatchContext, DvfsGovernor, make_governor
 from .queues import DependencyTracker, WaitingQueue
 from .scheduler import Scheduler, SegmentScheduler, as_segment_scheduler
 from .segmentation import dispatch_segment_code, split_graph
@@ -256,9 +265,10 @@ class MultiSessionResult:
 
     ``sessions`` holds one :class:`SimulationResult` per session (indexed
     by session id), each scoring-compatible with the single-tenant path.
-    ``busy_time_s`` is the *system-level* per-engine busy time, which in
-    overload can exceed the streamed duration — a raw signal, clamped
-    only when formatted for display.
+    ``busy_time_s`` is the *system-level* per-engine busy time, clipped
+    to the streamed duration at accounting time — occupancy is bounded
+    by the window, so utilization never reads past 100%; the drain tail
+    of in-flight work remains visible in ``records``.
     """
 
     system: AcceleratorSystem
@@ -305,8 +315,22 @@ class MultiSessionResult:
     def all_requests(self) -> list[InferenceRequest]:
         return [r for s in self.sessions for r in s.requests]
 
+    def total_energy_mj(self) -> float:
+        """Total energy spent across all sessions, in millijoules.
+
+        Summed over the engine occupancy log, so it is *honest*: energy
+        burnt on segments whose request was later dropped (a departed
+        session's drained chain) is counted — the hardware spent it.
+        """
+        return sum(record.energy_mj for record in self.records)
+
     def system_utilization(self, sub_index: int) -> float:
-        """Raw busy fraction of one engine across all sessions."""
+        """Busy fraction of one engine across all sessions.
+
+        Busy time is clipped to the streamed duration at accounting
+        time, so the fraction is a true occupancy share (<= 1.0 up to
+        rounding) even when in-flight work drains past the horizon.
+        """
         return self.busy_time_s.get(sub_index, 0.0) / self.duration_s
 
     def mean_system_utilization(self) -> float:
@@ -339,7 +363,15 @@ class MultiScenarioSimulator:
         segments_per_model: target segments per model under segment
             granularity; models without enough residual-safe cut points
             run whole.
-        engine_dvfs: optional per-engine DVFS operating points.
+        engine_dvfs: optional per-engine *base* DVFS operating points.
+        dvfs_policy: runtime DVFS governor policy — ``"static"`` (every
+            dispatch at the engine's base point, the historical
+            behaviour, pinned by the golden schedule checksums),
+            ``"slack"`` (greedy slack-into-energy via
+            :func:`repro.costmodel.best_point_for_slack`) or
+            ``"race_to_idle"`` (always the fastest ladder point).  A
+            :class:`~repro.runtime.governor.DvfsGovernor` instance may
+            be supplied directly for custom policies.
     """
 
     sessions: list[SessionSpec]
@@ -350,6 +382,7 @@ class MultiScenarioSimulator:
     granularity: str = "model"
     segments_per_model: int = 2
     engine_dvfs: dict[int, DvfsPoint] = field(default_factory=dict)
+    dvfs_policy: str | DvfsGovernor = "static"
 
     def __post_init__(self) -> None:
         if not self.sessions:
@@ -386,6 +419,13 @@ class MultiScenarioSimulator:
                     f"engine_dvfs references engine {index}, but the "
                     f"system has {self.system.num_subs}"
                 )
+        # Resolve the governor eagerly so a bad policy name fails at
+        # construction time; "static" resolves to no governor at all —
+        # the exact historical dispatch path.
+        if isinstance(self.dvfs_policy, str):
+            self._governor = make_governor(self.dvfs_policy)
+        else:
+            self._governor = self.dvfs_policy
 
     @classmethod
     def replicate(
@@ -509,8 +549,16 @@ class MultiScenarioSimulator:
         plans = self._plan_segments(costs)
         whole_model: list[str | None] = [None]
 
+        governor = self._governor
         fleet = EngineFleet([
-            ExecutionEngine(sub=sub, dvfs=self.engine_dvfs.get(sub.index))
+            ExecutionEngine(
+                sub=sub,
+                dvfs=self.engine_dvfs.get(sub.index),
+                # Busy-time charges clip to the streamed horizon, so the
+                # drain tail of in-flight work cannot push
+                # window-normalised utilization past 100%.
+                horizon_s=self.duration_s,
+            )
             for sub in self.system.subs
         ])
         idle = fleet.idle  # live, index-ordered; maintained by the fleet
@@ -630,9 +678,34 @@ class MultiScenarioSimulator:
                   now_s: float) -> None:
             state = states[item.session_id]
             request = item.request
-            cost = self.system.engine_cost(
-                costs, item.code, engine.index, engine.dvfs
-            )
+            if governor is None:
+                point = engine.dvfs
+                cost = self.system.engine_cost(
+                    costs, item.code, engine.index, point
+                )
+                end_s = fleet.begin(engine, item, now_s, cost)
+            else:
+                # The dispatch boundary is the governor's decision
+                # point: it may move the engine's operating point for
+                # this piece of work (cost lookups stay cached — the
+                # table keys on the point).
+                codes = plans.get(request.model_code, whole_model)
+                context = DispatchContext(
+                    contended=bool(waiting) or bool(resumable),
+                    next_event_s=events.next_time_s,
+                    has_dependents=bool(
+                        state.deps is not None
+                        and state.deps.downstream_of(request.model_code)
+                    ),
+                )
+                point = governor.select(
+                    now_s, item, engine, codes[item.segment_index + 1:],
+                    self.system, costs, context,
+                )
+                cost = self.system.engine_cost(
+                    costs, item.code, engine.index, point
+                )
+                end_s = fleet.begin(engine, item, now_s, cost, dvfs=point)
             if item.is_first_segment:
                 request.start_time_s = now_s
                 request.energy_mj = 0.0
@@ -641,8 +714,14 @@ class MultiScenarioSimulator:
             # up as the *final* segment's engine.  Exact per-segment
             # attribution lives in the ExecutionRecords.
             request.accelerator_id = engine.index
-            end_s = fleet.begin(engine, item, now_s, cost)
-            state.busy_time_s[engine.index] += cost.latency_s
+            # Per-session busy time clips to the session's active span
+            # (arrival to departure/horizon): the drain tail past it is
+            # real execution (the records keep it) but must not push the
+            # session's window-normalised utilization past 100%.
+            active_end_s = state.windows[-1][1]
+            state.busy_time_s[engine.index] += max(
+                0.0, min(end_s, active_end_s) - now_s
+            )
             if item.is_final_segment:
                 request.end_time_s = end_s
             events.push(

@@ -178,6 +178,11 @@ def segment_scenario(
     prev_code: str | None = None
     for idx, piece in enumerate(pieces):
         vcode = segment_code(code, idx)
+        # A table shared across runs (the Experiment shared-table path)
+        # may already know this segment from an earlier call;
+        # register_graph treats the identical deterministic piece as a
+        # no-op and still rejects a conflicting one (a different split
+        # count reusing the same scenario-level code).
         table.register_graph(vcode, piece)
         unit = replace(base_sm.model, code=vcode, graph_override=piece)
         seg_models.append(

@@ -94,14 +94,28 @@ class SimulationResult:
             return 0.0
         return len([r for r in self.requests if r.dropped]) / total
 
+    def total_energy_mj(self) -> float:
+        """Total energy this session spent, in millijoules.
+
+        Summed over the engine occupancy log when one exists — honest
+        accounting that includes segments whose request was later
+        dropped (the hardware still spent that energy).  Hand-built
+        results without records fall back to per-request energy.
+        """
+        if self.records:
+            return sum(record.energy_mj for record in self.records)
+        return sum(r.energy_mj or 0.0 for r in self.requests)
+
     def utilization(self, sub_index: int) -> float:
-        """Raw busy fraction of one engine over the session's window.
+        """Busy fraction of one engine over the session's window.
 
         Normalised by the *active* duration (= the streamed duration for
         static sessions), so a tenant online for half the run is not
-        reported at half its true utilization.  May exceed 1.0 when
-        in-flight work drains past the window — overload is signal, so it
-        is *not* clamped here; reports clamp when formatting for display.
+        reported at half its true utilization.  Busy time is clipped to
+        the session's active window at accounting time — the drain tail
+        of in-flight work past the window (visible in ``records``) does
+        not count, so the fraction cannot exceed 1.0 (up to float
+        rounding) for runtime-produced results.
         """
         return self.busy_time_s.get(sub_index, 0.0) / self.window_s
 

@@ -202,3 +202,50 @@ class TestExecuteRouting:
         finished = [e for e in sink.events if e.kind == "scenario_finished"]
         assert finished[0].payload["scenario"] == "social_interaction_a"
         assert "overall" in finished[0].payload
+
+
+class TestDvfsPolicyField:
+    def test_default_is_static(self):
+        spec = RunSpec(scenario="ar_gaming")
+        assert spec.dvfs_policy == "static"
+        assert spec.mode == "single"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="dvfs_policy"):
+            RunSpec(scenario="ar_gaming", dvfs_policy="overclock")
+
+    def test_governed_spec_routes_to_sessions(self):
+        spec = RunSpec(scenario="ar_gaming", dvfs_policy="slack")
+        assert spec.mode == "sessions"
+        assert "dvfs=slack" in spec.describe()
+
+    def test_governed_suite_stays_suite_mode(self):
+        spec = RunSpec.for_suite("J", dvfs_policy="race_to_idle")
+        assert spec.mode == "suite"
+
+    def test_round_trips(self):
+        spec = RunSpec(scenario="vr_gaming", dvfs_policy="slack",
+                       granularity="segment", sessions=2)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        assert RunSpec.from_json(spec.to_json()) == spec
+        assert spec.to_dict()["dvfs_policy"] == "slack"
+
+    def test_governed_execution_reports_energy(self):
+        from repro.api import execute
+
+        spec = RunSpec(scenario=("vr_gaming",), accelerator="A",
+                       duration_s=0.25, dvfs_policy="race_to_idle")
+        report = execute(spec)
+        result = report.result
+        assert result.total_energy_mj() > 0
+        assert {r.dvfs for r in result.records} == {"boost"}
+
+    def test_sweep_can_grid_the_policy(self):
+        from repro.api import Sweep
+
+        sweep = Sweep(
+            base=RunSpec(scenario="vr_gaming"),
+            grid={"dvfs_policy": ("static", "slack")},
+        )
+        policies = [s.dvfs_policy for s in sweep.expand()]
+        assert policies == ["static", "slack"]

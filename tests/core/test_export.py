@@ -102,3 +102,26 @@ class TestSubmission:
         assert payload["xrbench_score"] == pytest.approx(
             suite_report.xrbench_score, abs=1e-6
         )
+
+
+class TestEnergyTotals:
+    """Per-session energy_mj totals ride along the Enmax-bounded score."""
+
+    def test_scenario_dict_carries_energy_total(self, scenario_report):
+        data = scenario_to_dict(scenario_report)
+        assert data["energy_mj"] == pytest.approx(
+            scenario_report.simulation.total_energy_mj()
+        )
+        assert data["energy_mj"] > 0.0
+        # The bounded score stays where it always was.
+        assert 0.0 <= data["scores"]["energy"] <= 1.0
+
+    def test_csv_has_session_energy_column(self, suite_report):
+        rows = list(csv.DictReader(io.StringIO(to_csv(suite_report))))
+        assert all("session_energy_mj" in row for row in rows)
+        assert all(float(row["session_energy_mj"]) > 0.0 for row in rows)
+
+    def test_utilization_export_is_window_bounded(self, scenario_report):
+        data = scenario_to_dict(scenario_report)
+        for value in data["utilization"].values():
+            assert 0.0 <= value <= 1.0 + 1e-9

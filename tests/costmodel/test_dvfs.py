@@ -102,3 +102,99 @@ class TestBestPointForSlack:
             candidate = scale_cost(nominal_cost, p)
             if candidate.latency_s <= slack:
                 assert scaled.energy_mj <= candidate.energy_mj + 1e-12
+
+
+class TestScaleCostConsistency:
+    """The re-derived cost is internally consistent at every point.
+
+    Historically only the two totals were scaled: ``layer_costs`` and
+    ``utilization`` stayed nominal, so summing layers at a non-nominal
+    point silently returned nominal numbers.
+    """
+
+    @pytest.mark.parametrize(
+        "point", DEFAULT_DVFS_POINTS, ids=lambda p: p.name
+    )
+    def test_layer_sums_match_model_totals(self, nominal_cost, point):
+        scaled = scale_cost(nominal_cost, point)
+        assert sum(
+            lc.latency_s for lc in scaled.layer_costs
+        ) == pytest.approx(scaled.latency_s)
+        assert sum(
+            lc.energy_mj for lc in scaled.layer_costs
+        ) == pytest.approx(scaled.energy_mj)
+
+    @pytest.mark.parametrize(
+        "point", DEFAULT_DVFS_POINTS, ids=lambda p: p.name
+    )
+    def test_totals_follow_the_scaling_laws(self, nominal_cost, point):
+        scaled = scale_cost(nominal_cost, point)
+        assert scaled.latency_s == pytest.approx(
+            nominal_cost.latency_s * point.latency_scale
+        )
+        lf = 0.1
+        factor = (
+            (1 - lf) * point.dynamic_energy_scale
+            + lf * point.leakage_energy_scale
+        )
+        assert scaled.energy_mj == pytest.approx(
+            nominal_cost.energy_mj * factor
+        )
+
+    @pytest.mark.parametrize(
+        "point", DEFAULT_DVFS_POINTS, ids=lambda p: p.name
+    )
+    def test_utilization_rederived_not_copied(self, nominal_cost, point):
+        scaled = scale_cost(nominal_cost, point)
+        # util = macs / (cycles * pes) and cycles scale with latency.
+        assert scaled.utilization == pytest.approx(
+            min(
+                1.0,
+                nominal_cost.utilization
+                * nominal_cost.latency_s
+                / scaled.latency_s,
+            )
+        )
+        if point.frequency_scale < 1.0:
+            assert scaled.utilization < nominal_cost.utilization
+
+    @pytest.mark.parametrize(
+        "point", DEFAULT_DVFS_POINTS, ids=lambda p: p.name
+    )
+    def test_per_layer_energy_uniformly_scaled(self, nominal_cost, point):
+        scaled = scale_cost(nominal_cost, point)
+        lf = 0.1
+        factor = (
+            (1 - lf) * point.dynamic_energy_scale
+            + lf * point.leakage_energy_scale
+        )
+        for before, after in zip(
+            nominal_cost.layer_costs, scaled.layer_costs
+        ):
+            assert after.energy_mj == pytest.approx(
+                before.energy_mj * factor
+            )
+
+    def test_layerless_cost_still_scales_totals(self, nominal_cost):
+        from dataclasses import replace
+
+        bare = replace(nominal_cost, layer_costs=())
+        point = DvfsPoint("eco", 0.5)
+        scaled = scale_cost(bare, point)
+        assert scaled.latency_s == pytest.approx(bare.latency_s * 2.0)
+        assert scaled.layer_costs == ()
+
+    @pytest.mark.parametrize(
+        "code", ["HT", "ES", "GE", "KD", "SR", "SS", "OD", "AS", "DE",
+                 "DR", "PD"],
+    )
+    def test_every_unit_model_consistent_across_the_ladder(self, code):
+        cost = CostTable().cost(code, Dataflow.WS, 4096)
+        for point in DEFAULT_DVFS_POINTS:
+            scaled = scale_cost(cost, point)
+            assert sum(
+                lc.latency_s for lc in scaled.layer_costs
+            ) == pytest.approx(scaled.latency_s)
+            assert sum(
+                lc.energy_mj for lc in scaled.layer_costs
+            ) == pytest.approx(scaled.energy_mj)

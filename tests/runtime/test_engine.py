@@ -172,3 +172,56 @@ class TestEngineFleet:
         with pytest.raises(ValueError, match="idle"):
             fleet.finish(1, 0.0)
         assert [e.index for e in fleet.idle] == [0, 1, 2, 3]
+
+
+class TestBusyTimeHorizon:
+    def test_no_horizon_charges_full_latency(self, engine, table):
+        cost = table.cost("HT", engine.sub.dataflow, engine.sub.num_pes)
+        end = engine.begin(WorkItem(request=req()), 0.0, cost)
+        engine.finish(end)
+        assert engine.busy_time_s == pytest.approx(cost.latency_s)
+
+    def test_horizon_clips_the_drain_tail(self, table):
+        system = build_accelerator("J", 4096)
+        cost = table.cost(
+            "HT", system.subs[0].dataflow, system.subs[0].num_pes
+        )
+        horizon = cost.latency_s * 0.5
+        engine = ExecutionEngine(sub=system.subs[0], horizon_s=horizon)
+        start = cost.latency_s * 0.25
+        end = engine.begin(WorkItem(request=req()), start, cost)
+        engine.finish(end)
+        # Only the overlap with [0, horizon] is charged.
+        assert engine.busy_time_s == pytest.approx(horizon - start)
+
+    def test_dispatch_past_horizon_charges_nothing(self, table):
+        system = build_accelerator("J", 4096)
+        cost = table.cost(
+            "HT", system.subs[0].dataflow, system.subs[0].num_pes
+        )
+        engine = ExecutionEngine(sub=system.subs[0], horizon_s=0.01)
+        end = engine.begin(WorkItem(request=req()), 0.02, cost)
+        engine.finish(end)
+        assert engine.busy_time_s == 0.0
+        # The record still shows the true execution interval.
+        assert engine.records[-1].start_s == pytest.approx(0.02)
+        assert engine.records[-1].end_s == pytest.approx(end)
+
+
+class TestOperatingPoint:
+    def test_starts_at_base_point(self):
+        system = build_accelerator("J", 4096)
+        low = DvfsPoint("low", 0.7)
+        engine = ExecutionEngine(sub=system.subs[0], dvfs=low)
+        assert engine.operating_point is low
+        assert "[low]" in engine.describe()
+
+    def test_set_operating_point_logs_transitions(self, engine):
+        eco = DvfsPoint("eco", 0.5)
+        engine.set_operating_point(eco, 0.25)
+        engine.set_operating_point(eco, 0.30)  # no-op: already there
+        engine.set_operating_point(None, 0.50)
+        assert engine.dvfs_transitions == [
+            (0.25, None, eco), (0.50, eco, None),
+        ]
+        assert engine.operating_point is None

@@ -181,3 +181,57 @@ class TestSegmentedExecution:
         scored = {m.model_code for m in score.scored_models}
         assert "PD.0" not in scored
         assert "PD.1" in scored
+
+
+class TestSharedTableReuse:
+    """Regression: a table reused across segmented runs must not raise.
+
+    ``segment_scenario`` used to call ``register_graph`` unguarded, so
+    the second segmentation against one shared table — the Experiment
+    shared-cost-table path — failed with "already registered".
+    """
+
+    def test_segment_scenario_twice_on_one_table(self):
+        table = SegmentedCostTable()
+        first, t1 = segment_scenario(
+            get_scenario("ar_gaming"), "PD", 2, table
+        )
+        second, t2 = segment_scenario(
+            get_scenario("ar_gaming"), "PD", 2, table
+        )
+        assert t1 is table and t2 is table
+        assert first.get(segment_code("PD", 0)) is not None
+        assert second.get(segment_code("PD", 0)) is not None
+
+    def test_conflicting_split_counts_still_rejected(self):
+        table = SegmentedCostTable()
+        segment_scenario(get_scenario("ar_gaming"), "PD", 2, table)
+        with pytest.raises(ValueError, match="already registered"):
+            # PD.0 from a 3-way split is a *different* graph under the
+            # same scenario-level code: silent reuse would price the
+            # 3-way segment against the stale 2-way piece.
+            segment_scenario(get_scenario("ar_gaming"), "PD", 3, table)
+
+    def test_back_to_back_segmented_runs_share_dispatch_table(self):
+        from repro.costmodel import CachedCostTable
+        from repro.runtime import MultiScenarioSimulator, make_scheduler
+
+        table = CachedCostTable()
+        results = []
+        for _ in range(2):
+            results.append(MultiScenarioSimulator.replicate(
+                get_scenario("vr_gaming"),
+                build_accelerator("J", 8192),
+                make_scheduler("latency_greedy"),
+                2,
+                duration_s=0.2,
+                granularity="segment",
+                costs=table,
+            ).run())
+        # Identical runs through the shared table are bit-identical.
+        logs = [
+            [(r.start_s, r.sub_index, r.model_code, r.segment_index)
+             for r in result.records]
+            for result in results
+        ]
+        assert logs[0] == logs[1]

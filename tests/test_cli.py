@@ -382,3 +382,36 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "vr_gaming" in out
         assert out.count("\n") >= 3  # header + two result rows
+
+
+class TestDvfsFlag:
+    def test_run_with_dvfs_governor(self, capsys):
+        assert main(
+            ["run", "vr_gaming", "J", "--duration", "0.25",
+             "--dvfs", "race_to_idle"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dvfs=race_to_idle" not in out  # describe() is internal
+        assert "total energy" in out
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "vr_gaming", "J", "--dvfs", "warp"]
+            )
+
+    def test_sweep_dry_run_emits_policy(self, capsys):
+        assert main(
+            ["sweep", "--dry-run", "--scenario", "vr_gaming",
+             "--dvfs", "slack"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert all(
+            spec["dvfs_policy"] == "slack" for spec in document["specs"]
+        )
+
+    def test_suite_accepts_dvfs(self, capsys):
+        assert main(
+            ["suite", "A", "--duration", "0.2", "--dvfs", "slack"]
+        ) == 0
+        assert "XRBench SCORE" in capsys.readouterr().out
