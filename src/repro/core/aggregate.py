@@ -200,6 +200,21 @@ def score_simulation(
     """
     cfg = config or ScoreConfig()
     measured_quality = measured_quality or {}
+    # One pass over the request log partitions it per model — the same
+    # (order-preserving) lists result.completed(code)/dropped(code) and
+    # missed_deadlines(code) would each rebuild with a full scan per
+    # model, which dominated post-run accounting at fleet scale.
+    completed_by: dict[str, list] = {}
+    dropped_by: dict[str, int] = {}
+    missed_by: dict[str, int] = {}
+    for request in result.requests:
+        code = request.model_code
+        if request.dropped:
+            dropped_by[code] = dropped_by.get(code, 0) + 1
+        elif request.end_time_s is not None:
+            completed_by.setdefault(code, []).append(request)
+            if request.missed_deadline:
+                missed_by[code] = missed_by.get(code, 0) + 1
     model_scores = []
     for sm in result.scenario.models:
         code = sm.code
@@ -209,7 +224,7 @@ def score_simulation(
         else:
             acc = 1.0
         inf_scores = []
-        for request in result.completed(code):
+        for request in completed_by.get(code, ()):
             rt = realtime_score(
                 request.latency_s * 1e3, request.slack_s * 1e3, cfg.rt_k
             )
@@ -225,8 +240,8 @@ def score_simulation(
                 inference_scores=tuple(inf_scores),
                 frames_streamed=streamed,
                 frames_executed=executed,
-                frames_dropped=len(result.dropped(code)),
-                missed_deadlines=result.missed_deadlines(code),
+                frames_dropped=dropped_by.get(code, 0),
+                missed_deadlines=missed_by.get(code, 0),
                 aux=sm.aux,
             )
         )

@@ -4,6 +4,7 @@ from .analysis import CostModel, LayerCost, ModelCost
 from .cached import (
     CachedCostTable,
     CostCacheStats,
+    DenseCostView,
     GraphRegistry,
     UncachedCostTable,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "CostCacheStats",
     "CostModel",
     "CostTable",
+    "DenseCostView",
     "UncachedCostTable",
     "DATAFLOW_SPECS",
     "DEFAULT_ENERGY_MODEL",

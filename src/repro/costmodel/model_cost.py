@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 from repro.workload import UNIT_MODELS
 
-from .analysis import CostModel, ModelCost
+from .analysis import CostModel, ModelCost, memoized_model_cost
 from .dataflow import Dataflow
 
 __all__ = ["CostTable"]
@@ -38,7 +38,7 @@ class CostTable:
                     f"available: {sorted(UNIT_MODELS)}"
                 )
             engine = CostModel(dataflow=dataflow, num_pes=num_pes)
-            self._cache[key] = engine.model_cost(model.graph)
+            self._cache[key] = memoized_model_cost(engine, model.graph)
         return self._cache[key]
 
     def latency_s(

@@ -27,7 +27,7 @@ from repro.workload import InferenceRequest
 __all__ = ["WorkItem", "ExecutionRecord", "ExecutionEngine", "EngineFleet"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkItem:
     """One schedulable unit: a request (or one segment of it) in a session.
 
@@ -35,6 +35,13 @@ class WorkItem:
     means the whole model.  Segment items of the same request share the
     underlying :class:`InferenceRequest`, whose user-visible timing spans
     first-segment start to last-segment end.
+
+    ``chain`` optionally carries the model's compile-time
+    :class:`~repro.runtime.segmentation.SegmentChain` (piece codes and
+    per-segment cost tables, resolved once at plan time), so successor
+    lookups and governor budget reservations never re-derive the plan.
+    The field is identity-irrelevant: two items describing the same
+    dispatch compare equal whether or not a chain rides along.
     """
 
     request: InferenceRequest
@@ -42,6 +49,7 @@ class WorkItem:
     segment_index: int = 0
     num_segments: int = 1
     task_code: str | None = None
+    chain: object | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_segments < 1:
@@ -87,7 +95,7 @@ class WorkItem:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecutionRecord:
     """One engine occupancy interval (the unit of the execution timeline)."""
 
@@ -110,7 +118,7 @@ class ExecutionRecord:
         return self.end_s - self.start_s
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecutionEngine:
     """Runtime state of one sub-accelerator.
 

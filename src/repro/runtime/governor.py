@@ -198,26 +198,53 @@ class SlackGovernor:
         context: DispatchContext,
     ) -> DvfsPoint | None:
         base = engine.dvfs
+        code = item.code
+        engine_index = engine.index
 
-        def cost_at(point: DvfsPoint | None, code: str | None = None):
-            return system.engine_cost(
-                costs, code or item.code, engine.index, point
-            )
+        # Ladder candidates are scalar probes: priced through the
+        # table's dense per-fleet view when it has one (a row-dict probe
+        # plus a tuple index — the floats are the cached values, so the
+        # choice is bit-identical), else through the keyed lookup.
+        dense = getattr(costs, "dense_view", None)
+        if dense is not None:
+            view = dense(system)
+
+            def lat_en(point: DvfsPoint | None) -> tuple[float, float]:
+                return view.latency_energy(code, engine_index, point)
+        else:
+
+            def lat_en(point: DvfsPoint | None) -> tuple[float, float]:
+                cost = system.engine_cost(costs, code, engine_index, point)
+                return cost.latency_s, cost.energy_mj
+
+        # A ChainSuffix (the event loop's compile-time segment-chain
+        # view) answers the whole reservation from its per-(engine,
+        # point) latency memo; a plain code sequence is priced per call.
+        # Both paths subtract the same floats in the same order, so the
+        # budgets — and therefore the chosen points — are bit-identical.
+        remaining = getattr(remaining_codes, "remaining_latencies", None)
 
         def budget_at(point: DvfsPoint | None) -> float:
             """Deadline budget for this piece with the rest of the
             chain reserved at ``point`` (successors re-decide at their
             own boundaries, so uniform pricing is self-consistent)."""
             budget_s = item.request.deadline_s - now_s
-            for code in remaining_codes:
-                budget_s -= cost_at(
-                    point, code or item.request.model_code
+            if remaining is not None:
+                for latency_s in remaining(
+                    costs, system, engine_index, point
+                ):
+                    budget_s -= latency_s
+                return budget_s
+            for rcode in remaining_codes:
+                budget_s -= system.engine_cost(
+                    costs, rcode or item.request.model_code,
+                    engine_index, point,
                 ).latency_s
             return budget_s
 
         base_frequency = base.frequency_scale if base is not None else 1.0
-        base_cost = cost_at(base)
-        if budget_at(base) < base_cost.latency_s:
+        base_lat, base_en = lat_en(base)
+        if budget_at(base) < base_lat:
             # Behind schedule at base speed: the cheapest faster point
             # that actually rescues the deadline (the whole remaining
             # chain priced at that point), the true
@@ -228,28 +255,22 @@ class SlackGovernor:
             for point in self.points:
                 if point.frequency_scale <= base_frequency:
                     continue
-                scaled = cost_at(point)
-                if (
-                    scaled.latency_s <= budget_at(point)
-                    and scaled.energy_mj < rescue_energy
-                ):
-                    rescue, rescue_energy = point, scaled.energy_mj
+                lat, en = lat_en(point)
+                if lat <= budget_at(point) and en < rescue_energy:
+                    rescue, rescue_energy = point, en
             return rescue if rescue is not None else base
         if context.contended or context.has_dependents:
             return base
         stretch_s = budget_at(base)
         if context.next_event_s is not None:
             stretch_s = min(stretch_s, context.next_event_s - now_s)
-        choice, choice_energy = base, base_cost.energy_mj
+        choice, choice_energy = base, base_en
         for point in self.points:
             if point.frequency_scale > base_frequency:
                 continue
-            scaled = cost_at(point)
-            if (
-                scaled.latency_s <= stretch_s
-                and scaled.energy_mj < choice_energy
-            ):
-                choice, choice_energy = point, scaled.energy_mj
+            lat, en = lat_en(point)
+            if lat <= stretch_s and en < choice_energy:
+                choice, choice_energy = point, en
         return choice
 
 

@@ -95,7 +95,7 @@ from .events import EventKind, EventQueue
 from .governor import DispatchContext, DvfsGovernor, make_governor
 from .queues import DependencyTracker, WaitingQueue
 from .scheduler import Scheduler, SegmentScheduler, as_segment_scheduler
-from .segmentation import dispatch_segment_code, split_graph
+from .segmentation import SegmentChain, dispatch_segment_code, split_graph
 from .simulator import SimulationResult
 
 __all__ = [
@@ -491,14 +491,18 @@ class MultiScenarioSimulator:
 
     # -- segment planning ----------------------------------------------------
 
-    def _plan_segments(self, costs) -> dict[str, list[str | None]]:
-        """Per-model segment task codes, registering segment graphs.
+    def _plan_segments(self, costs) -> dict[str, SegmentChain]:
+        """Per-model compile-time segment chains, registering segment graphs.
 
         Models that cannot be split (too few layers, no residual-safe
-        cuts) map to a single whole-model piece.  Phase scenarios'
-        models are planned too — a session may only stream them mid-run.
+        cuts) are simply absent — the event loop gives them a lazy
+        whole-model chain.  Phase scenarios' models are planned too — a
+        session may only stream them mid-run.  Each plan is a
+        :class:`~repro.runtime.segmentation.SegmentChain`: the piece
+        codes plus prebuilt suffix views and a per-(engine, point)
+        latency memo, resolved once here instead of per request.
         """
-        plans: dict[str, list[str | None]] = {}
+        plans: dict[str, SegmentChain] = {}
         if self.granularity != "segment" or self.segments_per_model < 2:
             return plans
         seen: set[str] = set()
@@ -527,7 +531,7 @@ class MultiScenarioSimulator:
                     if not costs.knows(vcode):
                         costs.register_graph(vcode, piece)
                     codes.append(vcode)
-                plans[sm.code] = codes
+                plans[sm.code] = SegmentChain(sm.code, codes)
         return plans
 
     # -- the event loop ------------------------------------------------------
@@ -546,8 +550,7 @@ class MultiScenarioSimulator:
             costs, "register_graph"
         ):
             costs = CachedCostTable(base=costs)
-        plans = self._plan_segments(costs)
-        whole_model: list[str | None] = [None]
+        chains = self._plan_segments(costs)
 
         governor = self._governor
         fleet = EngineFleet([
@@ -562,6 +565,17 @@ class MultiScenarioSimulator:
             for sub in self.system.subs
         ])
         idle = fleet.idle  # live, index-ordered; maintained by the fleet
+        engines = fleet.engines
+        # Candidate sweeps price through the table's dense per-fleet view
+        # when it has one (CachedCostTable); the vectorised sweep prices
+        # one (task, point) row, so it needs every engine at the same
+        # base point — mixed engine_dvfs configurations keep the
+        # per-engine lookup path.
+        dense = getattr(costs, "dense_view", None)
+        view = dense(self.system) if dense is not None else None
+        base_points = {engine.dvfs for engine in fleet}
+        uniform_base = len(base_points) == 1
+        base_point = base_points.pop() if uniform_base else None
         events = EventQueue()
         states: dict[int, _SessionState] = {}
         for spec in sorted(self.sessions, key=lambda s: s.session_id):
@@ -663,15 +677,23 @@ class MultiScenarioSimulator:
             """The first schedulable piece of a newly-arrived request.
 
             Segment plans are resolved exactly once, here, and ride on
-            the work item for the rest of the request's life.
+            the work item — as its compile-time chain — for the rest of
+            the request's life: successors and governor reservations
+            index the chain instead of re-probing the plan table.
+            Models without a split plan get a lazy whole-model chain.
             """
-            codes = plans.get(request.model_code, whole_model)
+            code = request.model_code
+            chain = chains.get(code)
+            if chain is None:
+                chain = chains[code] = SegmentChain(code, (None,))
+            codes = chain.codes
             return WorkItem(
                 request=request,
                 session_id=session_id,
                 segment_index=0,
                 num_segments=len(codes),
                 task_code=codes[0],
+                chain=chain,
             )
 
         def start(item: WorkItem, engine: ExecutionEngine,
@@ -688,8 +710,9 @@ class MultiScenarioSimulator:
                 # The dispatch boundary is the governor's decision
                 # point: it may move the engine's operating point for
                 # this piece of work (cost lookups stay cached — the
-                # table keys on the point).
-                codes = plans.get(request.model_code, whole_model)
+                # table keys on the point).  The remaining chain is the
+                # item's prebuilt suffix view, whose latency memo the
+                # governor prices its reservations from.
                 context = DispatchContext(
                     contended=bool(waiting) or bool(resumable),
                     next_event_s=events.next_time_s,
@@ -699,7 +722,8 @@ class MultiScenarioSimulator:
                     ),
                 )
                 point = governor.select(
-                    now_s, item, engine, codes[item.segment_index + 1:],
+                    now_s, item, engine,
+                    item.chain.suffixes[item.segment_index + 1],
                     self.system, costs, context,
                 )
                 cost = self.system.engine_cost(
@@ -733,6 +757,16 @@ class MultiScenarioSimulator:
             )
 
         def best_engine_for(item: WorkItem) -> ExecutionEngine:
+            # Single idle engine: nothing to compare.  Uniform base
+            # point + dense view: one latency-row sweep, lowest index
+            # wins ties — the same choice as the ``min`` below, minus
+            # the per-candidate keyed lookups.
+            if len(idle) == 1:
+                return idle[0]
+            if view is not None and uniform_base:
+                return engines[view.best_engine_index(
+                    item.code, [e.index for e in idle], base_point
+                )]
             return min(
                 idle,
                 key=lambda e: (
@@ -784,91 +818,118 @@ class MultiScenarioSimulator:
                 waiting.take(item)
                 start(item, engine, now_s)
 
-        while events:
-            event = events.pop()
-            now_s = event.time_s
-            state = states[event.session_id]
-            if event.kind is EventKind.ARRIVAL:
-                request = event.request
-                state.requests.append(request)
-                if (
-                    not state.active
-                    or state.phase_of.get(request.request_id, state.phase)
-                    != state.phase
-                ):
-                    # Streamed, but the session departed (or switched
-                    # activity) before the frame could even queue: it
-                    # counts against QoE like any other drop.
-                    request.dropped = True
-                else:
-                    waiting.offer(fresh_item(request, event.session_id))
-            elif event.kind is EventKind.COMPLETION:
-                item = fleet.finish(event.sub_index, now_s)
-                if item.request is not event.request:
-                    raise AssertionError(
-                        "completion event does not match active inference"
-                    )
-                if item.is_final_segment:
-                    stale = (
+        # The drain loop below batches all events sharing the minimum
+        # timestamp: one unconditional dispatch pass closes each batch,
+        # and *between* batch members a dispatch runs only when it
+        # provably is not a no-op — an engine is idle AND work could
+        # start.  When no engine is idle both dispatch passes fall
+        # through their ``idle`` guards without consulting the policy;
+        # when nothing waits and nothing resumes, pass 1 is empty and
+        # pass 2's scheduler call short-circuits on the empty waiting
+        # view before touching any state.  Either way the skipped call
+        # would have changed nothing, so schedules stay bit-identical to
+        # the dispatch-per-event formulation (the golden checksums pin
+        # this, including churned/preemptive/governed cells).
+        ARRIVAL = EventKind.ARRIVAL
+        COMPLETION = EventKind.COMPLETION
+        SESSION_JOIN = EventKind.SESSION_JOIN
+        SESSION_PHASE = EventKind.SESSION_PHASE
+        heap = events._heap  # drained via pop_fields; peeked for batching
+        pop_fields = events.pop_fields
+        push = events.push
+        finish = fleet.finish
+
+        while heap:
+            now_s, _, kind, request, sub_index, session_id = pop_fields()
+            while True:
+                state = states[session_id]
+                if kind is ARRIVAL:
+                    state.requests.append(request)
+                    if (
                         not state.active
-                        or state.phase_of.get(item.request.request_id)
+                        or state.phase_of.get(
+                            request.request_id, state.phase
+                        )
                         != state.phase
-                    )
-                    if not stale:
-                        for dep in state.deps.downstream_of(
-                            item.request.model_code
-                        ):
-                            child = state.loadgen.spawn_dependent(
-                                dep,
-                                item.request.model_frame,
-                                now_s - state.offset_s,
-                            )
-                            if child is not None:
-                                child.request_time_s += state.offset_s
-                                child.deadline_s += state.offset_s
-                                state.phase_of[child.request_id] = (
-                                    state.phase
+                    ):
+                        # Streamed, but the session departed (or switched
+                        # activity) before the frame could even queue: it
+                        # counts against QoE like any other drop.
+                        request.dropped = True
+                    else:
+                        waiting.offer(fresh_item(request, session_id))
+                elif kind is COMPLETION:
+                    item = finish(sub_index, now_s)
+                    if item.request is not request:
+                        raise AssertionError(
+                            "completion event does not match active "
+                            "inference"
+                        )
+                    if item.is_final_segment:
+                        stale = (
+                            not state.active
+                            or state.phase_of.get(request.request_id)
+                            != state.phase
+                        )
+                        if not stale:
+                            for dep in state.deps.downstream_of(
+                                request.model_code
+                            ):
+                                child = state.loadgen.spawn_dependent(
+                                    dep,
+                                    request.model_frame,
+                                    now_s - state.offset_s,
                                 )
-                                # Triggered work is "streamed" for QoE
-                                # purposes the moment it spawns.
-                                state.spawned[child.model_code] += 1
-                                events.push(
-                                    child.request_time_s,
-                                    EventKind.ARRIVAL,
-                                    child,
-                                    session_id=event.session_id,
-                                )
-                elif state.active and state.phase_of.get(
-                    item.request.request_id
-                ) == state.phase:
-                    codes = plans.get(item.request.model_code, whole_model)
-                    successor = item.successor(
-                        codes[item.segment_index + 1]
-                    )
-                    heapq.heappush(resumable, (
-                        successor.request.request_time_s,
-                        successor.session_id,
-                        successor.request.model_code,
-                        next(resume_seq),
-                        successor,
-                    ))
-                else:
-                    # The session left — or switched activity — while
-                    # this segment ran: the chain stops here (no stale
-                    # dispatch) and the request never completes.
-                    item.request.dropped = True
-            elif event.kind is EventKind.SESSION_JOIN:
-                state.active = True
-                enter_phase(state, 0)
-            elif event.kind is EventKind.SESSION_PHASE:
-                if state.active:
-                    retire_waiting(
-                        event.session_id, include_resumable=True
-                    )
-                    enter_phase(state, state.phase + 1)
-            else:  # SESSION_LEAVE
-                state.active = False
-                retire_waiting(event.session_id, include_resumable=True)
+                                if child is not None:
+                                    child.request_time_s += state.offset_s
+                                    child.deadline_s += state.offset_s
+                                    state.phase_of[child.request_id] = (
+                                        state.phase
+                                    )
+                                    # Triggered work is "streamed" for
+                                    # QoE purposes the moment it spawns.
+                                    state.spawned[child.model_code] += 1
+                                    push(
+                                        child.request_time_s,
+                                        ARRIVAL,
+                                        child,
+                                        session_id=session_id,
+                                    )
+                    elif state.active and state.phase_of.get(
+                        request.request_id
+                    ) == state.phase:
+                        successor = item.successor(
+                            item.chain.codes[item.segment_index + 1]
+                        )
+                        heapq.heappush(resumable, (
+                            request.request_time_s,
+                            session_id,
+                            request.model_code,
+                            next(resume_seq),
+                            successor,
+                        ))
+                    else:
+                        # The session left — or switched activity — while
+                        # this segment ran: the chain stops here (no
+                        # stale dispatch) and the request never
+                        # completes.
+                        request.dropped = True
+                elif kind is SESSION_JOIN:
+                    state.active = True
+                    enter_phase(state, 0)
+                elif kind is SESSION_PHASE:
+                    if state.active:
+                        retire_waiting(session_id, include_resumable=True)
+                        enter_phase(state, state.phase + 1)
+                else:  # SESSION_LEAVE
+                    state.active = False
+                    retire_waiting(session_id, include_resumable=True)
+                if not heap or heap[0][0] != now_s:
+                    break
+                if idle and (waiting or resumable):
+                    dispatch(now_s)
+                (now_s, _, kind, request, sub_index,
+                 session_id) = pop_fields()
             dispatch(now_s)
 
         records = sorted(

@@ -19,7 +19,7 @@ scheduler call.
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -97,9 +97,18 @@ class WaitingQueue:
     loop and for schedulers, which receive this object directly as their
     waiting view.  Treat it as read-only inside a scheduler: only the
     event loop offers and takes.
+
+    The sort keys live in ``_keys``, a list kept exactly parallel to
+    ``_items``: bisection then compares plain tuples instead of calling
+    a key function O(log n) times per insert/remove, which is the hot
+    cost at fleet scale (the key is computed once per offer).  The key
+    fields are stable for a waiting item — request times are only ever
+    shifted *before* the item is offered — so the parallel lists cannot
+    drift.
     """
 
     _items: list[WorkItem] = field(default_factory=list)
+    _keys: list[tuple[float, int, str]] = field(default_factory=list)
     _by_key: dict[tuple[int, str], WorkItem] = field(default_factory=dict)
     dropped: list[InferenceRequest] = field(default_factory=list)
 
@@ -109,14 +118,21 @@ class WaitingQueue:
         The stale item's request is marked dropped, exactly like
         :meth:`PendingQueue.offer`.
         """
-        key = (item.session_id, item.request.model_code)
+        request = item.request
+        key = (item.session_id, request.model_code)
         stale = self._by_key.get(key)
         if stale is not None:
-            del self._items[self._locate(stale)]
+            index = self._locate(stale)
+            del self._items[index]
+            del self._keys[index]
             stale.request.dropped = True
             self.dropped.append(stale.request)
         self._by_key[key] = item
-        insort(self._items, item, key=_dispatch_order)
+        order = (request.request_time_s, item.session_id,
+                 request.model_code)
+        index = bisect_right(self._keys, order)
+        self._items.insert(index, item)
+        self._keys.insert(index, order)
         return stale
 
     def take(self, item: WorkItem) -> None:
@@ -128,7 +144,9 @@ class WaitingQueue:
                 f"work item {item!r} is not waiting "
                 f"(queue holds {current!r})"
             )
-        del self._items[self._locate(item)]
+        index = self._locate(item)
+        del self._items[index]
+        del self._keys[index]
         del self._by_key[key]
 
     def purge_session(self, session_id: int) -> list[WorkItem]:
@@ -144,9 +162,13 @@ class WaitingQueue:
         ]
         if not retired:
             return []
-        self._items = [
-            item for item in self._items if item.session_id != session_id
+        kept = [
+            (key, item)
+            for key, item in zip(self._keys, self._items)
+            if item.session_id != session_id
         ]
+        self._keys = [key for key, _ in kept]
+        self._items = [item for _, item in kept]
         for item in retired:
             del self._by_key[(session_id, item.request.model_code)]
             item.request.dropped = True
@@ -155,8 +177,7 @@ class WaitingQueue:
 
     def _locate(self, item: WorkItem) -> int:
         """Index of ``item`` in the sorted list (identity match)."""
-        index = bisect_left(self._items, _dispatch_order(item),
-                            key=_dispatch_order)
+        index = bisect_left(self._keys, _dispatch_order(item))
         while index < len(self._items):
             if self._items[index] is item:
                 return index

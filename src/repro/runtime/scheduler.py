@@ -207,7 +207,22 @@ def _best_engine(
     system: AcceleratorSystem,
     costs: CostTable,
 ) -> int:
-    """The idle engine with the lowest expected latency for this model."""
+    """The idle engine with the lowest expected latency for this model.
+
+    A table exposing ``dense_view`` (:class:`~repro.costmodel.
+    CachedCostTable`) answers the whole sweep from one per-fleet latency
+    row; other tables are priced per engine.  Both paths pick the same
+    engine: the dense row holds the cache's own nominal-point floats and
+    breaks latency ties toward the lowest index, exactly like the
+    ``min`` key (``idle_engines`` is index-ordered).
+    """
+    if len(idle_engines) == 1:
+        return idle_engines[0]
+    dense = getattr(costs, "dense_view", None)
+    if dense is not None:
+        return dense(system).best_engine_index(
+            request.model_code, idle_engines, None
+        )
     return min(
         idle_engines,
         key=lambda i: (

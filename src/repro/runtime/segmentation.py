@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.costmodel import CostTable, Dataflow, GraphRegistry
-from repro.costmodel.analysis import CostModel, ModelCost
+from repro.costmodel.analysis import CostModel, ModelCost, memoized_model_cost
 from repro.nn import ModelGraph
 from repro.workload import (
     Dependency,
@@ -33,7 +33,8 @@ from repro.workload import (
     UsageScenario,
 )
 __all__ = ["split_graph", "SegmentedCostTable", "segment_scenario",
-           "segment_code", "dispatch_segment_code"]
+           "segment_code", "dispatch_segment_code",
+           "SegmentChain", "ChainSuffix"]
 
 
 def segment_code(code: str, index: int) -> str:
@@ -123,6 +124,109 @@ def split_graph(graph: ModelGraph, segments: int) -> list[ModelGraph]:
     return pieces
 
 
+class SegmentChain:
+    """The compile-time dispatch table of one model's segment chain.
+
+    Built once per run at segment-plan time (simulator "spec compile"),
+    a chain records the model's piece codes — ``(None,)`` for a model
+    dispatched whole — and memoises the per-``(engine, DVFS point)``
+    latency suffixes the slack governor reserves deadline budget with.
+    The event loop hangs the chain on every
+    :class:`~repro.runtime.engine.WorkItem` it creates, so successor
+    segments and governor budget reservations never re-derive the plan
+    per request: resolving segment ``k``'s follow-up is a tuple index,
+    and reserving the remaining chain's time is one memo probe instead
+    of a cost-table query per remaining segment per candidate point.
+    """
+
+    __slots__ = ("model_code", "codes", "suffixes", "_latencies")
+
+    def __init__(self, model_code: str, codes) -> None:
+        self.model_code = model_code
+        self.codes: tuple[str | None, ...] = tuple(codes)
+        if not self.codes:
+            raise ValueError(f"segment chain of {model_code!r} is empty")
+        #: ``suffixes[k]`` is the read-only view of the codes from
+        #: segment ``k`` on (``suffixes[len(codes)]`` is the empty tail a
+        #: final segment passes to the governor).  Prebuilt so the
+        #: dispatch path allocates nothing per decision.
+        self.suffixes = tuple(
+            ChainSuffix(self, start) for start in range(len(self.codes) + 1)
+        )
+        self._latencies: dict[tuple, tuple[float, ...]] = {}
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.codes)
+
+    def remaining_latencies(
+        self, start: int, costs, system, engine_index: int, dvfs
+    ) -> tuple[float, ...]:
+        """Latency of each segment from ``start`` on, on one engine.
+
+        Priced through ``system.engine_cost`` exactly like the per-call
+        formulation — same table, same floats — and memoised per
+        ``(start, engine, point)``, which is what turns the governor's
+        remaining-work reservation into a table probe.
+        """
+        key = (start, engine_index, dvfs)
+        cached = self._latencies.get(key)
+        if cached is None:
+            model_code = self.model_code
+            cached = tuple(
+                system.engine_cost(
+                    costs, code or model_code, engine_index, dvfs
+                ).latency_s
+                for code in self.codes[start:]
+            )
+            self._latencies[key] = cached
+        return cached
+
+
+class ChainSuffix:
+    """One chain's codes from a given segment on — a read-only sequence.
+
+    What the event loop hands a :class:`~repro.runtime.governor.DvfsGovernor`
+    as ``remaining_codes``: iterating yields the later segments' cost
+    codes (``None`` = whole model), and governors that reserve deadline
+    budget can call :meth:`remaining_latencies` to price the whole tail
+    from the chain's memo instead of per-segment cost-table queries.
+    """
+
+    __slots__ = ("chain", "start")
+
+    def __init__(self, chain: SegmentChain, start: int) -> None:
+        self.chain = chain
+        self.start = start
+
+    def __len__(self) -> int:
+        return len(self.chain.codes) - self.start
+
+    def __bool__(self) -> bool:
+        return self.start < len(self.chain.codes)
+
+    def __getitem__(self, index):
+        return self.chain.codes[self.start:][index]
+
+    def __iter__(self):
+        codes = self.chain.codes
+        return iter(codes[self.start:] if self.start else codes)
+
+    def __repr__(self) -> str:
+        return (
+            f"ChainSuffix({self.chain.model_code!r}, "
+            f"{self.chain.codes[self.start:]!r})"
+        )
+
+    def remaining_latencies(
+        self, costs, system, engine_index: int, dvfs
+    ) -> tuple[float, ...]:
+        """Per-segment latencies of this tail on one engine (memoised)."""
+        return self.chain.remaining_latencies(
+            self.start, costs, system, engine_index, dvfs
+        )
+
+
 class SegmentedCostTable(GraphRegistry, CostTable):
     """A cost table that also knows the virtual segment graphs."""
 
@@ -140,7 +244,7 @@ class SegmentedCostTable(GraphRegistry, CostTable):
         if graph is None:
             return super().cost(task_code, dataflow, num_pes)
         engine = CostModel(dataflow=dataflow, num_pes=num_pes)
-        self._cache[key] = engine.model_cost(graph)
+        self._cache[key] = memoized_model_cost(engine, graph)
         return self._cache[key]
 
 

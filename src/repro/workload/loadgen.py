@@ -36,6 +36,52 @@ def _unit_roll(key: str) -> float:
     return float(rng.random())
 
 
+@lru_cache(maxsize=1 << 12)
+def _num_frames(plan: FramePlan, duration_s: float) -> int:
+    """Memoised :meth:`FramePlan.num_frames` (hashable frozen plan)."""
+    return plan.num_frames(duration_s)
+
+
+@lru_cache(maxsize=1 << 10)
+def _root_schedule(
+    scenario: UsageScenario,
+    duration_s: float,
+    seed: int,
+    frame_loss_probability: float,
+) -> tuple[tuple[float, str, int, float], ...]:
+    """The scenario's sorted root-request schedule, as plain tuples.
+
+    ``(request_time_s, model_code, model_frame, deadline_s)`` rows in
+    dispatch order.  The schedule is a pure function of the (frozen,
+    hashable) scenario and the generation parameters — every randomness
+    source is keyed derivation, not stateful RNG — so it is memoised:
+    sessions replicating one scenario at the same seed, benchmark
+    repeats and sweep points rebuild request *objects* (mutable, so they
+    must be fresh per run) from cached timing rows instead of re-walking
+    the jittered sensor streams.
+    """
+    rows: list[tuple[float, str, int, float]] = []
+    for sm in scenario.root_models():
+        plan = FramePlan(sm)
+        code = sm.code
+        for frame in range(_num_frames(plan, duration_s)):
+            if frame_loss_probability > 0.0 and (
+                _unit_roll(f"loss:{code}:{frame}:{seed}")
+                < frame_loss_probability
+            ):
+                continue
+            rows.append((
+                plan.request_time_s(frame, seed),
+                code,
+                frame,
+                plan.deadline_s(frame),
+            ))
+    # Same order as sorting the built requests by (time, code): rows are
+    # appended in (model, frame) order and the sort is stable.
+    rows.sort(key=lambda r: (r[0], r[1]))
+    return tuple(rows)
+
+
 @dataclass
 class LoadGenerator:
     """Generates the request stream for one scenario run.
@@ -79,23 +125,26 @@ class LoadGenerator:
         return self._plans[code]
 
     def root_requests(self) -> list[InferenceRequest]:
-        """All requests for sensor-driven models, sorted by request time."""
-        requests: list[InferenceRequest] = []
-        for sm in self.scenario.root_models():
-            plan = self._plans[sm.code]
-            for frame in range(plan.num_frames(self.duration_s)):
-                if self.frame_lost(sm.code, frame):
-                    continue
-                requests.append(
-                    InferenceRequest(
-                        model_code=sm.code,
-                        model_frame=frame,
-                        request_time_s=plan.request_time_s(frame, self.seed),
-                        deadline_s=plan.deadline_s(frame),
-                    )
-                )
-        requests.sort(key=lambda r: (r.request_time_s, r.model_code))
-        return requests
+        """All requests for sensor-driven models, sorted by request time.
+
+        Timing comes from the memoised schedule (:func:`_root_schedule`);
+        the request objects themselves are always fresh — the runtime
+        mutates them.
+        """
+        return [
+            InferenceRequest(
+                model_code=code,
+                model_frame=frame,
+                request_time_s=request_time_s,
+                deadline_s=deadline_s,
+            )
+            for request_time_s, code, frame, deadline_s in _root_schedule(
+                self.scenario,
+                self.duration_s,
+                self.seed,
+                self.frame_loss_probability,
+            )
+        ]
 
     def dependency_triggers(
         self, dep: Dependency, model_frame: int
@@ -150,7 +199,7 @@ class LoadGenerator:
         """
         downstream = {d.downstream for d in self.scenario.dependencies}
         return {
-            sm.code: self._plans[sm.code].num_frames(self.duration_s)
+            sm.code: _num_frames(self._plans[sm.code], self.duration_s)
             for sm in self.scenario.models
             if sm.code not in downstream
         }

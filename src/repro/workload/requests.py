@@ -100,9 +100,14 @@ class FramePlan:
             count += 1
 
 
-@dataclass
+@dataclass(slots=True)
 class InferenceRequest:
-    """One dispatched inference (``IR = (mu, InFrameID)``)."""
+    """One dispatched inference (``IR = (mu, InFrameID)``).
+
+    Slotted: the runtime materialises one per streamed frame (thousands
+    per multi-session run) and mutates the timing fields on the hot
+    path, so attribute access goes through fixed slots, not a dict.
+    """
 
     model_code: str
     model_frame: int

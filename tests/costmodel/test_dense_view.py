@@ -1,0 +1,165 @@
+"""DenseCostView prices exactly like the keyed cache it flattens.
+
+The dense per-fleet view is a pure layout change: every
+``(task, engine, DVFS point)`` it answers must be the *same float* the
+keyed :meth:`CachedCostTable.cost` / ``engine_cost`` path returns, on
+both its plain-tuple (scalar / narrow fleet) and numpy (wide fleet)
+forms, including rows it fills lazily on a cache miss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.costmodel import (
+    CachedCostTable,
+    CostTable,
+    Dataflow,
+    DenseCostView,
+)
+from repro.costmodel.dvfs import DEFAULT_DVFS_POINTS
+from repro.hardware import ACCELERATOR_IDS, build_accelerator
+from repro.hardware.accelerator import (
+    AcceleratorStyle,
+    AcceleratorSystem,
+    SubAccelerator,
+)
+from repro.workload import UNIT_MODELS
+
+ALL_POINTS = (None,) + DEFAULT_DVFS_POINTS
+
+
+def wide_system(num_engines: int = 12) -> AcceleratorSystem:
+    """A synthetic fleet wider than VECTOR_WIDTH (real systems top out
+    at 4 engines, which never exercises the numpy reduction)."""
+    subs = tuple(
+        SubAccelerator(
+            index=i,
+            dataflow=(Dataflow.WS, Dataflow.OS, Dataflow.RS)[i % 3],
+            num_pes=512 * (1 + i % 4),
+        )
+        for i in range(num_engines)
+    )
+    return AcceleratorSystem(
+        acc_id="T",
+        style=AcceleratorStyle.HDA,
+        total_pes=sum(s.num_pes for s in subs),
+        subs=subs,
+    )
+
+
+@pytest.mark.parametrize("acc_id", sorted(ACCELERATOR_IDS))
+def test_view_matches_keyed_lookup_everywhere(acc_id):
+    """Every (zoo task, engine, point): view floats == keyed-path floats.
+
+    The reference table is a separate instance, so the comparison
+    catches any divergence in how the view derives (or lazily fills) a
+    row — both sides must arrive at the identical ModelCost-derived
+    floats independently.
+    """
+    system = build_accelerator(acc_id, 8192)
+    table = CachedCostTable(base=CostTable())
+    reference = CachedCostTable(base=CostTable())
+    view = table.dense_view(system)
+    assert isinstance(view, DenseCostView)
+    for task_code in sorted(UNIT_MODELS):
+        for dvfs in ALL_POINTS:
+            lats, ens, lat_arr, en_arr = view.row(task_code, dvfs)
+            for sub in system.subs:
+                expected = reference.engine_cost(task_code, sub, dvfs)
+                assert lats[sub.index] == expected.latency_s
+                assert ens[sub.index] == expected.energy_mj
+                # float64 stores Python floats exactly: the ndarray
+                # forms must be bit-equal, not merely close.
+                assert float(lat_arr[sub.index]) == expected.latency_s
+                assert float(en_arr[sub.index]) == expected.energy_mj
+                scalar = view.latency_energy(task_code, sub.index, dvfs)
+                assert scalar == (expected.latency_s, expected.energy_mj)
+
+
+def test_lazy_fill_goes_through_the_cache():
+    """A row miss fills through ``_lookup``: misses count per engine,
+    later row hits count as hits, and the keyed path then answers from
+    the same entries (no double computation, no stats skew)."""
+    system = build_accelerator("J", 8192)
+    table = CachedCostTable(base=CostTable())
+    view = table.dense_view(system)
+    assert table.stats.lookups == 0
+
+    view.row("HT", None)
+    assert table.stats.misses == system.num_subs
+    assert table.stats.hits == 0
+
+    view.row("HT", None)
+    assert table.stats.misses == system.num_subs
+    assert table.stats.hits == 1
+
+    # The keyed path now hits the entries the fill populated.
+    before = table.stats.misses
+    for sub in system.subs:
+        table.engine_cost("HT", sub, None)
+    assert table.stats.misses == before
+
+
+@pytest.mark.parametrize("width", [2, 4, 12, 16])
+def test_best_engine_matches_min_by_latency_then_index(width):
+    """Both sweep forms pick min-by-(latency, index) on every subset.
+
+    Widths straddle VECTOR_WIDTH so the scalar loop and the numpy
+    take/argmin path are each exercised against the same reference.
+    """
+    system = wide_system(width) if width > 4 else build_accelerator(
+        {2: "J", 4: "M"}[width], 8192
+    )
+    table = CachedCostTable(base=CostTable())
+    view = table.dense_view(system)
+    indices = list(range(len(system.subs)))
+    subsets = [indices] + [
+        indices[lo:] for lo in range(1, len(indices))
+    ] + [indices[::2], indices[1::2], [indices[-1]]]
+    for task_code in ("HT", "OD", "SS"):
+        for dvfs in (None, DEFAULT_DVFS_POINTS[0]):
+            lats = view.row(task_code, dvfs)[0]
+            for idle in subsets:
+                expected = min(idle, key=lambda i: (lats[i], i))
+                assert view.best_engine_index(
+                    task_code, idle, dvfs
+                ) == expected
+
+
+def test_vectorised_ties_break_toward_lowest_index():
+    """Identical engines tie on latency; argmin must take the first."""
+    subs = tuple(
+        SubAccelerator(index=i, dataflow=Dataflow.WS, num_pes=1024)
+        for i in range(10)
+    )
+    system = AcceleratorSystem(
+        acc_id="U", style=AcceleratorStyle.SFDA,
+        total_pes=10240, subs=subs,
+    )
+    table = CachedCostTable(base=CostTable())
+    view = table.dense_view(system)
+    idle = list(range(10))  # > VECTOR_WIDTH: the numpy path
+    assert view.best_engine_index("HT", idle, None) == 0
+    assert view.best_engine_index("HT", idle[3:], None) == 3
+
+
+def test_views_are_memoised_per_fleet_signature():
+    table = CachedCostTable(base=CostTable())
+    a = build_accelerator("J", 8192)
+    b = build_accelerator("J", 8192)  # distinct object, same signature
+    c = build_accelerator("K", 8192)
+    view_a = table.dense_view(a)
+    assert table.dense_view(a) is view_a  # identity fast path
+    assert table.dense_view(b) is view_a  # signature memo
+    assert table.dense_view(c) is not view_a
+
+
+def test_view_array_forms_are_float64():
+    system = build_accelerator("J", 8192)
+    view = CachedCostTable(base=CostTable()).dense_view(system)
+    _, _, lat_arr, en_arr = view.row("SS", DEFAULT_DVFS_POINTS[-1])
+    assert lat_arr.dtype == np.float64
+    assert en_arr.dtype == np.float64
+    assert lat_arr.shape == (system.num_subs,)

@@ -26,7 +26,7 @@ import pytest
 from repro.hardware import build_accelerator
 from repro.runtime import MultiScenarioSimulator, make_scheduler
 from repro.runtime.segmentation import dispatch_segment_code
-from repro.workload import get_scenario
+from repro.workload import churn_windows, get_scenario
 
 #: One workload fixed forever: vr_gaming on accelerator J at 8192 PEs,
 #: 0.25 streamed seconds, base seed 0, default 2-way splits.
@@ -90,15 +90,63 @@ GOLDEN: dict[tuple[str, str, int], tuple[int, str]] = {
 }
 
 
-def run_case(scheduler: str, granularity: str, sessions: int):
+#: (scheduler, granularity, sessions, churn, preemptive, dvfs) ->
+#: (record count, sha256 digest).  Same contract as ``GOLDEN`` but over
+#: the *dynamic* machinery later PRs added on top of the static cells:
+#: session churn (mid-run JOIN/LEAVE), deadline-aware segment preemption,
+#: and the slack/race-to-idle DVFS governors.  Generated from the
+#: pre-batch-drain event loop so the batched/vectorised dispatch path is
+#: pinned against every scheduling feature, not just the static sweep.
+GOLDEN_DYNAMIC: dict[
+    tuple[str, str, int, float, bool, str], tuple[int, str]
+] = {
+    ("latency_greedy", "model", 16, 0.25, False, "static"):
+        (54, "492aafeeeb32db44475a12c765167d311e298d9d10bea46927039beeca680e5b"),
+    ("latency_greedy", "segment", 16, 0.25, False, "static"):
+        (108, "1e8ec71575f809f04467cf25525896d49bed616d0e14db1c2a664d193fb14aa4"),
+    ("round_robin", "model", 16, 0.25, False, "static"):
+        (54, "492aafeeeb32db44475a12c765167d311e298d9d10bea46927039beeca680e5b"),
+    ("edf", "segment", 16, 0.0, True, "static"):
+        (278, "2ebdb33cef3a57084262b3748f431f0fdf33c0441fbcad4f597e030a82d76857"),
+    ("edf", "segment", 16, 0.25, True, "static"):
+        (169, "3c93a01a74171c2f3d8437ba75e570944607cde26d4b437dc412e71b11b0b55b"),
+    ("rate_monotonic", "segment", 4, 0.25, True, "static"):
+        (149, "4b44dd22698e00ae518c4e5018525fb3e26bd8f341d862772c1b0243849dff02"),
+    ("latency_greedy", "model", 16, 0.0, False, "slack"):
+        (127, "09bc715155ac86198ff6f78cde7ea378bca50ea3939f19c22a99b69ca055499b"),
+    ("latency_greedy", "segment", 16, 0.0, False, "slack"):
+        (254, "2ff969a9be60447c845a44c4f8a83be81964e995aa4af3d7bb27513ef3380799"),
+    ("edf", "model", 4, 0.0, False, "race_to_idle"):
+        (122, "20d914b7866277e521032bd96a78380ab96c9427387397d16499a33973edcf43"),
+    ("edf", "segment", 16, 0.25, True, "slack"):
+        (185, "0044a3f710e30b66be4b1ac9d1ee5a33c03154bee2c0079c3629297711d53302"),
+}
+
+
+def run_case(
+    scheduler: str,
+    granularity: str,
+    sessions: int,
+    churn: float = 0.0,
+    preemptive: bool = False,
+    dvfs: str = "static",
+):
+    kwargs = {"preemptive": True} if preemptive else {}
+    windows = (
+        churn_windows(sessions, DURATION_S, churn, BASE_SEED)
+        if churn
+        else None
+    )
     return MultiScenarioSimulator.replicate(
         get_scenario(SCENARIO),
         build_accelerator(ACCELERATOR, PES),
-        make_scheduler(scheduler),
+        make_scheduler(scheduler, **kwargs),
         sessions,
         base_seed=BASE_SEED,
         duration_s=DURATION_S,
         granularity=granularity,
+        windows=windows,
+        dvfs_policy=dvfs,
     ).run()
 
 
@@ -133,6 +181,19 @@ def test_schedule_matches_pre_refactor_golden(scheduler, granularity,
                                               sessions):
     result = run_case(scheduler, granularity, sessions)
     assert checksum_of(result) == GOLDEN[(scheduler, granularity, sessions)]
+
+
+@pytest.mark.parametrize(
+    "scheduler,granularity,sessions,churn,preemptive,dvfs",
+    sorted(GOLDEN_DYNAMIC),
+    ids=lambda v: str(v),
+)
+def test_dynamic_schedule_matches_golden(scheduler, granularity, sessions,
+                                         churn, preemptive, dvfs):
+    result = run_case(scheduler, granularity, sessions, churn, preemptive,
+                      dvfs)
+    key = (scheduler, granularity, sessions, churn, preemptive, dvfs)
+    assert checksum_of(result) == GOLDEN_DYNAMIC[key]
 
 
 def test_golden_covers_every_registered_scheduler():
