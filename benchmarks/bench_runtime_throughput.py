@@ -11,17 +11,21 @@ Two modes share one workload definition:
   simulated-requests/sec and the cost-cache hit rate.
 
 * **Suite** (``--suite``): sweeps sessions x granularity x churn x DVFS
-  policy (defaults: {1, 2, 4, 16} x {model, segment} x {0.0} x
-  {static, slack}) over the cached dispatch path and writes
-  ``BENCH_runtime.json``, the repo's runtime perf trajectory.
+  policy x admission policy (defaults: {1, 2, 4, 16} x {model, segment}
+  x {0.0} x {static, slack} x {none}) over the cached dispatch path and
+  writes ``BENCH_runtime.json``, the repo's runtime perf trajectory.
   ``--suite-churn 0.0 0.25`` adds dynamic-session cells, exercising the
   JOIN/LEAVE path under load; ``--suite-dvfs static slack`` (the
   default) records each cell's total energy and deadline misses per
   governor policy, so the trajectory file shows the energy saved by
-  slack-aware DVFS at fixed QoE.  Passing ``--baseline FILE`` (a
-  previous suite emission) adds per-cell ``baseline_requests_per_sec``
-  and ``speedup`` fields, which is how before/after numbers for a PR
-  are produced.
+  slack-aware DVFS at fixed QoE.  ``--suite-admission none degrade``
+  adds QoE-control cells: each non-none cell also records how many
+  sessions were shed, the degradation levels reached and the mean
+  retained model quality, quantifying what the controller paid for its
+  deadline-miss reduction.  Passing ``--baseline FILE`` (a previous
+  suite emission) adds per-cell ``baseline_requests_per_sec`` and
+  ``speedup`` fields, which is how before/after numbers for a PR are
+  produced.
 
 ``--profile`` (single-cell mode) runs the cached dispatch path under
 cProfile and prints the hotspot listing to stderr — how the 16-session
@@ -50,19 +54,21 @@ import json
 import sys
 import time
 
-from repro.api import DVFS_POLICIES, RunSpec, execute
+from repro.api import ADMISSION_POLICIES, DVFS_POLICIES, RunSpec, execute
 from repro.core import MultiSessionReport
 from repro.costmodel import CachedCostTable, CostTable, UncachedCostTable
 from repro.hardware import ACCELERATOR_IDS
+from repro.runtime import quality_retention
 from repro.workload import SCENARIO_ORDER
 
 SUITE_SESSIONS = (1, 2, 4, 16)
 SUITE_GRANULARITIES = ("model", "segment")
 SUITE_DVFS = ("static", "slack")
+SUITE_ADMISSION = ("none",)
 
 
 def build_spec(args, sessions=None, granularity=None,
-               churn=None, dvfs=None) -> RunSpec:
+               churn=None, dvfs=None, admission=None) -> RunSpec:
     # A per-session scenario tuple (even of length 1) routes the spec
     # through the multi-tenant engine, so --sessions 1 still benchmarks
     # the dispatch path this file's numbers have always measured.
@@ -76,6 +82,7 @@ def build_spec(args, sessions=None, granularity=None,
         seed=args.seed,
         churn=args.churn if churn is None else churn,
         dvfs_policy=dvfs if dvfs is not None else args.dvfs,
+        admission=admission if admission is not None else args.admission,
     )
 
 
@@ -90,6 +97,35 @@ def energy_and_deadlines(result) -> dict:
         "deadline_miss_rate": round(
             missed / completed if completed else 0.0, 4
         ),
+    }
+
+
+def admission_facts(result) -> dict:
+    """Per-cell QoE-control facts: what a non-none policy paid.
+
+    ``mean_quality_proxy`` averages each surviving session's retained
+    model quality (shed sessions count as 0 — their user got nothing),
+    so the degrade-vs-none quality cost is a single number per cell.
+    """
+    shed = 0
+    levels = []
+    qualities = []
+    for sim in result.sessions:
+        record = sim.admission
+        if record is not None and record.shed:
+            shed += 1
+            qualities.append(0.0)
+            continue
+        level = record.degradation_level if record is not None else 0
+        levels.append(level)
+        qualities.append(quality_retention(sim.scenario, level))
+    return {
+        "shed_sessions": shed,
+        "max_degradation_level": max(levels, default=0),
+        "degraded_sessions": sum(1 for lv in levels if lv > 0),
+        "mean_quality_proxy": round(
+            sum(qualities) / len(qualities), 4
+        ) if qualities else 1.0,
     }
 
 
@@ -157,21 +193,22 @@ def check_against(payload: dict, baseline_path: str,
                   tolerance: float = 0.15) -> list[str]:
     """Compare suite cells to a committed run; list >tolerance drops.
 
-    Cells are matched on (sessions, granularity, churn, dvfs_policy);
-    cells only one side has are ignored (the sweep may grow).  A drop
-    beyond ``tolerance`` on ``requests_per_sec`` is a regression.
+    Cells are matched on (sessions, granularity, churn, dvfs_policy,
+    admission); cells only one side has are ignored (the sweep may
+    grow).  A drop beyond ``tolerance`` on ``requests_per_sec`` is a
+    regression.
     """
     with open(baseline_path) as fh:
         committed = json.load(fh)
     committed_cells = {
         (c["sessions"], c["granularity"], c.get("churn", 0.0),
-         c.get("dvfs_policy", "static")): c
+         c.get("dvfs_policy", "static"), c.get("admission", "none")): c
         for c in committed.get("cells", [])
     }
     failures = []
     for cell in payload["cells"]:
         key = (cell["sessions"], cell["granularity"], cell["churn"],
-               cell["dvfs_policy"])
+               cell["dvfs_policy"], cell.get("admission", "none"))
         before = committed_cells.get(key)
         if before is None:
             continue
@@ -205,69 +242,77 @@ def run_single(args) -> dict:
 
 
 def run_suite(args) -> dict:
-    """Sessions x granularity x churn x DVFS sweep over the cached path."""
-    baseline_cells: dict[tuple[int, str, float, str], dict] = {}
+    """Sessions x granularity x churn x DVFS x admission sweep (cached)."""
+    baseline_cells: dict[tuple[int, str, float, str, str], dict] = {}
     if args.baseline:
         with open(args.baseline) as fh:
             previous = json.load(fh)
         baseline_cells = {
             (c["sessions"], c["granularity"], c.get("churn", 0.0),
-             c.get("dvfs_policy", "static")): c
+             c.get("dvfs_policy", "static"),
+             c.get("admission", "none")): c
             for c in previous.get("cells", [])
         }
     cells = []
-    for dvfs in args.suite_dvfs:
-        for churn in args.suite_churn:
-            for granularity in args.suite_granularities:
-                for sessions in args.suite_sessions:
-                    spec = build_spec(args, sessions=sessions,
-                                      granularity=granularity,
-                                      churn=churn, dvfs=dvfs)
-                    cached, result = measure(
-                        spec, args.repeat,
-                        lambda: CachedCostTable(base=CostTable()),
-                    )
-                    stats = result.cost_stats
-                    cell = {
-                        "sessions": sessions,
-                        "granularity": granularity,
-                        "churn": churn,
-                        "dvfs_policy": dvfs,
-                        **cached,
-                        **energy_and_deadlines(result),
-                        "cost_cache_hit_rate": (
-                            round(stats.hit_rate, 4) if stats else None
-                        ),
-                    }
-                    before = baseline_cells.get(
-                        (sessions, granularity, churn, dvfs)
-                    )
-                    if before:
-                        cell["baseline_requests_per_sec"] = (
-                            before["requests_per_sec"]
+    for admission in args.suite_admission:
+        for dvfs in args.suite_dvfs:
+            for churn in args.suite_churn:
+                for granularity in args.suite_granularities:
+                    for sessions in args.suite_sessions:
+                        spec = build_spec(args, sessions=sessions,
+                                          granularity=granularity,
+                                          churn=churn, dvfs=dvfs,
+                                          admission=admission)
+                        cached, result = measure(
+                            spec, args.repeat,
+                            lambda: CachedCostTable(base=CostTable()),
                         )
-                        cell["speedup"] = round(
-                            cell["requests_per_sec"]
-                            / before["requests_per_sec"], 2
+                        stats = result.cost_stats
+                        cell = {
+                            "sessions": sessions,
+                            "granularity": granularity,
+                            "churn": churn,
+                            "dvfs_policy": dvfs,
+                            "admission": admission,
+                            **cached,
+                            **energy_and_deadlines(result),
+                            "cost_cache_hit_rate": (
+                                round(stats.hit_rate, 4) if stats else None
+                            ),
+                        }
+                        if admission != "none":
+                            cell.update(admission_facts(result))
+                        before = baseline_cells.get(
+                            (sessions, granularity, churn, dvfs, admission)
                         )
-                    cells.append(cell)
-                    print(
-                        f"  {granularity:>7s} x {sessions:>2d} sessions"
-                        f" (churn {churn:g}, dvfs {dvfs}): "
-                        f"{cell['requests_per_sec']:>9.1f} req/s  "
-                        f"{cell['total_energy_mj']:>9.1f} mJ  "
-                        f"{cell['missed_deadlines']:>3d} missed"
-                        + (f"  ({cell['speedup']}x vs baseline)"
-                           if "speedup" in cell else ""),
-                        file=sys.stderr,
-                    )
+                        if before:
+                            cell["baseline_requests_per_sec"] = (
+                                before["requests_per_sec"]
+                            )
+                            cell["speedup"] = round(
+                                cell["requests_per_sec"]
+                                / before["requests_per_sec"], 2
+                            )
+                        cells.append(cell)
+                        print(
+                            f"  {granularity:>7s} x {sessions:>2d} sessions"
+                            f" (churn {churn:g}, dvfs {dvfs}, "
+                            f"admission {admission}): "
+                            f"{cell['requests_per_sec']:>9.1f} req/s  "
+                            f"{cell['total_energy_mj']:>9.1f} mJ  "
+                            f"{cell['missed_deadlines']:>3d} missed"
+                            + (f"  ({cell['speedup']}x vs baseline)"
+                               if "speedup" in cell else ""),
+                            file=sys.stderr,
+                        )
     # The workload block records everything the cells share; sessions,
-    # granularity, churn and dvfs_policy are per-cell, so the spec shown
-    # is per-cell too.
+    # granularity, churn, dvfs_policy and admission are per-cell, so the
+    # spec shown is per-cell too.
     shared = build_spec(args, sessions=1, granularity="model",
-                        churn=0.0, dvfs="static").to_dict()
+                        churn=0.0, dvfs="static",
+                        admission="none").to_dict()
     for swept in ("scenario", "sessions", "granularity", "churn",
-                  "dvfs_policy"):
+                  "dvfs_policy", "admission"):
         shared.pop(swept, None)
     shared["scenario"] = args.scenario
     return {
@@ -297,6 +342,10 @@ def main(argv=None) -> int:
                         choices=list(DVFS_POLICIES),
                         help="runtime DVFS governor policy "
                              "(default static)")
+    parser.add_argument("--admission", default="none",
+                        choices=list(ADMISSION_POLICIES),
+                        help="QoE admission controller policy "
+                             "(default none)")
     parser.add_argument("--repeat", type=int, default=3,
                         help="take the best of N runs (default 3)")
     parser.add_argument("--suite", action="store_true",
@@ -320,6 +369,13 @@ def main(argv=None) -> int:
                         help="DVFS governor policies the suite sweeps "
                              "(default: static slack, recording the "
                              "energy saved at fixed QoE)")
+    parser.add_argument("--suite-admission", nargs="+",
+                        default=list(SUITE_ADMISSION),
+                        choices=list(ADMISSION_POLICIES),
+                        metavar="A",
+                        help="admission policies the suite sweeps "
+                             "(default: just none; adding shed/degrade "
+                             "records each cell's QoE-control facts)")
     parser.add_argument("--output", default="BENCH_runtime.json",
                         help="suite mode: where to write the JSON")
     parser.add_argument("--baseline", default=None, metavar="FILE",

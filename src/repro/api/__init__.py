@@ -49,9 +49,10 @@ from .execute import (
     run_session_group,
     run_single_scenario,
 )
-from .spec import DVFS_POLICIES, RunSpec, Sweep
+from .spec import ADMISSION_POLICIES, DVFS_POLICIES, RunSpec, Sweep
 
 __all__ = [
+    "ADMISSION_POLICIES",
     "CollectingSink",
     "DVFS_POLICIES",
     "EventSink",

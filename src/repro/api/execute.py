@@ -117,6 +117,7 @@ def run_session_group(
     churn: float = 0.0,
     preemptive: bool = False,
     dvfs_policy: str = "static",
+    admission: str = "none",
     measured_quality: dict[str, float] | None = None,
 ) -> MultiSessionReport:
     """Multiplex concurrent scenario sessions onto one system.
@@ -128,8 +129,10 @@ def run_session_group(
     capable scheduler (edf, rate_monotonic) to displace resuming segment
     chains with more urgent waiting work at segment boundaries.
     ``dvfs_policy`` selects the runtime DVFS governor consulted at every
-    dispatch boundary (``"static"``, ``"slack"``, ``"race_to_idle"``).
-    Dispatch-path pricing flows through a :class:`CachedCostTable`
+    dispatch boundary (``"static"``, ``"slack"``, ``"race_to_idle"``);
+    ``admission`` the QoE admission controller consulted at session
+    joins and periodic control ticks (``"none"``, ``"shed"``,
+    ``"degrade"``).  Dispatch-path pricing flows through a :class:`CachedCostTable`
     layered over ``costs`` unless ``dispatch_costs`` supplies the table
     directly (the throughput benchmark uses that to compare cache
     flavours).
@@ -164,6 +167,7 @@ def run_session_group(
         granularity=granularity,
         segments_per_model=segments_per_model,
         dvfs_policy=dvfs_policy,
+        admission=admission,
     )
     result = simulator.run()
     score_cfg = score if score is not None else ScoreConfig()
@@ -188,25 +192,28 @@ def run_full_suite(
     label: str = "",
     churn: float = 0.0,
     dvfs_policy: str = "static",
+    admission: str = "none",
 ) -> BenchmarkReport:
     """Run the full seven-scenario suite (Definition 5's Omega).
 
     ``churn > 0`` runs each scenario as one dynamically-arriving tenant
     session (same deterministic lifetime plan as multi-session runs), so
     suite-level exports carry per-session active-duration accounting.
-    A non-static ``dvfs_policy`` likewise routes each scenario through
-    the multi-tenant engine, where the DVFS governor lives.
+    A non-static ``dvfs_policy`` — or a non-``"none"`` ``admission``
+    policy — likewise routes each scenario through the multi-tenant
+    engine, where the DVFS governor and admission controller live.
     """
     costs = costs if costs is not None else CostTable()
     suite = benchmark_suite()
     reports = []
     for i, scenario in enumerate(suite):
-        if churn > 0 or dvfs_policy != "static":
+        if churn > 0 or dvfs_policy != "static" or admission != "none":
             group = run_session_group(
                 [scenario], system,
                 scheduler=scheduler, duration_s=duration_s,
                 base_seed=seed, score=score, frame_loss=frame_loss,
                 costs=costs, churn=churn, dvfs_policy=dvfs_policy,
+                admission=admission,
             )
             report = group.session_reports[0]
         else:
@@ -260,7 +267,7 @@ def execute(
             scheduler=spec.scheduler, duration_s=spec.duration_s,
             seed=spec.seed, score=score, frame_loss=spec.frame_loss,
             costs=costs, sinks=sinks, churn=spec.churn,
-            dvfs_policy=spec.dvfs_policy,
+            dvfs_policy=spec.dvfs_policy, admission=spec.admission,
         )
     elif spec.mode == "sessions":
         names = (
@@ -276,7 +283,7 @@ def execute(
             granularity=spec.granularity,
             segments_per_model=spec.segments_per_model,
             churn=spec.churn, preemptive=spec.preemptive,
-            dvfs_policy=spec.dvfs_policy,
+            dvfs_policy=spec.dvfs_policy, admission=spec.admission,
             measured_quality=measured_quality,
         )
     else:

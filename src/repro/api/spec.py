@@ -28,7 +28,7 @@ from typing import Any, Iterable, Mapping
 from repro import registry
 from repro.core.config import DEFAULT_DURATION_S
 
-__all__ = ["DVFS_POLICIES", "RunSpec", "Sweep"]
+__all__ = ["ADMISSION_POLICIES", "DVFS_POLICIES", "RunSpec", "Sweep"]
 
 #: Dispatch granularities (mirrors ``repro.runtime.GRANULARITIES``
 #: without importing the runtime at spec-construction time).
@@ -45,6 +45,13 @@ _MAX_CHURN = 0.5
 #: enum — to each other).  Public: the CLI and benchmarks read their
 #: ``--dvfs`` choices from here.
 DVFS_POLICIES = ("static", "slack", "race_to_idle")
+
+#: QoE admission-control policies (mirrors
+#: ``repro.runtime.ADMISSION_POLICIES`` without importing the runtime at
+#: spec-construction time; a test pins the two — and the JSON-schema
+#: enum — to each other).  Public: the CLI and benchmarks read their
+#: ``--admission`` choices from here.
+ADMISSION_POLICIES = ("none", "shed", "degrade")
 
 
 @dataclass(frozen=True)
@@ -87,6 +94,12 @@ class RunSpec:
     #: operating points per dispatch) or ``"race_to_idle"`` (always the
     #: fastest ladder point).
     dvfs_policy: str = "static"
+    #: QoE admission control: ``"none"`` (the default — open loop,
+    #: bit-identical to the historical runtime), ``"shed"``
+    #: (reject/drop lowest-priority sessions under overload) or
+    #: ``"degrade"`` (switch struggling sessions' models to cheaper
+    #: variants mid-run, driven by the observed deadline-miss EWMA).
+    admission: str = "none"
 
     def __post_init__(self) -> None:
         scenario = self.scenario
@@ -148,6 +161,11 @@ class RunSpec:
                 f"dvfs_policy must be one of {DVFS_POLICIES}, "
                 f"got {self.dvfs_policy!r}"
             )
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
         # Resolve every name through the registries so typos fail at
         # construction time with did-you-mean errors, not mid-run.
         for name in self.scenario_names():
@@ -198,6 +216,7 @@ class RunSpec:
             or self.granularity != "model"  # includes every preemptive spec
             or self.churn > 0
             or self.dvfs_policy != "static"  # governors live in multisim
+            or self.admission != "none"  # controllers live in multisim
         ):
             return "sessions"
         return "single"
@@ -221,6 +240,8 @@ class RunSpec:
             extra += " preemptive"
         if self.dvfs_policy != "static":
             extra += f" dvfs={self.dvfs_policy}"
+        if self.admission != "none":
+            extra += f" admission={self.admission}"
         return (
             f"{what}{extra} on {self.accelerator}@{self.pes}PE "
             f"({self.scheduler}, {self.duration_s}s, seed {self.seed})"

@@ -21,6 +21,9 @@ Subcommands:
 * ``ablations`` / ``pareto`` / ``stats`` — design-choice ablations,
   Pareto-frontier analysis and multi-seed statistics.
 * ``export`` — suite results as a submission payload, JSON or CSV.
+* ``report`` — render the persistent run database (``--record`` on the
+  executing subcommands appends to it) as markdown or HTML, including
+  the QoE/throughput/energy Pareto frontier across admission policies.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ import json
 import sys
 
 from repro.api import (
+    ADMISSION_POLICIES,
     DVFS_POLICIES,
     Experiment,
     RunSpec,
@@ -94,6 +98,20 @@ def build_parser() -> argparse.ArgumentParser:
                  "per-engine operating points), slack (spend deadline "
                  "slack on slower, cheaper points per dispatch) or "
                  "race_to_idle (always the fastest point)",
+        )
+        p.add_argument(
+            "--admission", default=None, choices=list(ADMISSION_POLICIES),
+            help="QoE admission controller: none (default), shed "
+                 "(reject/drop lowest-priority sessions under overload) "
+                 "or degrade (switch struggling sessions to cheaper "
+                 "model variants mid-run)",
+        )
+        p.add_argument(
+            "--record", nargs="?", const="runs/runs.jsonl", default=None,
+            metavar="DB.jsonl",
+            help="append this run's metrics to the JSON-lines run "
+                 "database (default path runs/runs.jsonl); render it "
+                 "later with 'xrbench report'",
         )
 
     run_p = sub.add_parser("run", help="run one scenario on one accelerator")
@@ -227,6 +245,21 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(export_p)
     add_dynamics(export_p)
 
+    report_p = sub.add_parser(
+        "report", help="render the run database with its QoE Pareto tables"
+    )
+    report_p.add_argument(
+        "--runs", default="runs/runs.jsonl", metavar="DB.jsonl",
+        help="JSON-lines run database to render (default runs/runs.jsonl)",
+    )
+    report_p.add_argument(
+        "--format", default="markdown", choices=["markdown", "html"],
+    )
+    report_p.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the rendered report here instead of stdout",
+    )
+
     return parser
 
 
@@ -245,6 +278,7 @@ _FLAG_FIELDS = {
     "churn": ("churn", 0.0),
     "preemptive": ("preemptive", False),
     "dvfs": ("dvfs_policy", "static"),
+    "admission": ("admission", "none"),
 }
 
 
@@ -274,6 +308,7 @@ def _spec_from_args(args: argparse.Namespace, **overrides) -> RunSpec:
         churn=_flag(args, "churn"),
         preemptive=_flag(args, "preemptive"),
         dvfs_policy=_flag(args, "dvfs"),
+        admission=_flag(args, "admission"),
         **overrides,
     )
 
@@ -297,6 +332,19 @@ def _harness(args: argparse.Namespace) -> Harness:
             frame_loss_probability=_flag(args, "frame_loss"),
         )
     )
+
+
+def _record_runs(args: argparse.Namespace, pairs: list[tuple]) -> None:
+    """Append (spec, report) pairs to the run database when --record set."""
+    path = getattr(args, "record", None)
+    if path is None:
+        return
+    from repro.eval import RunDatabase
+
+    db = RunDatabase(path)
+    for spec, report in pairs:
+        db.append(spec, report)
+    print(f"recorded {len(pairs)} run(s) to {db.path}", file=sys.stderr)
 
 
 def _load_spec(path: str) -> RunSpec:
@@ -352,6 +400,7 @@ def main(argv: list[str] | None = None) -> int:
             report = execute(spec)
         except (KeyError, ValueError, OSError) as exc:
             return _fail(exc)
+        _record_runs(args, [(spec, report)])
         print(report.summary())
         if args.timeline:
             if spec.mode == "sessions":
@@ -371,9 +420,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "suite":
         try:
-            report = execute(_spec_from_args(args, suite=True))
+            spec = _spec_from_args(args, suite=True)
+            report = execute(spec)
         except (KeyError, ValueError) as exc:
             return _fail(exc)
+        _record_runs(args, [(spec, report)])
         print(report.summary())
         return 0
 
@@ -408,6 +459,7 @@ def main(argv: list[str] | None = None) -> int:
             reports = experiment.run(workers=args.workers, sinks=sinks)
         except (KeyError, ValueError) as exc:
             return _fail(exc)
+        _record_runs(args, list(zip(specs, reports)))
         print(f"{'scenario':<22s}{'acc':>4s}{'pes':>6s}{'overall':>9s}"
               f"{'rt':>7s}{'qoe':>7s}")
         for spec, report in zip(specs, reports):
@@ -562,15 +614,38 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core import benchmark_to_dict, submission, to_csv
 
         try:
-            report = execute(_spec_from_args(args, suite=True))
+            spec = _spec_from_args(args, suite=True)
+            report = execute(spec)
         except (KeyError, ValueError) as exc:
             return _fail(exc)
+        _record_runs(args, [(spec, report)])
         if args.format == "submission":
             print(submission(report, include_breakdowns=args.breakdowns))
         elif args.format == "json":
             print(json.dumps(benchmark_to_dict(report), indent=2))
         else:
             print(to_csv(report), end="")
+        return 0
+
+    if args.command == "report":
+        from repro.eval import ReportGenerator, RunDatabase
+
+        db = RunDatabase(args.runs)
+        try:
+            generator = ReportGenerator.from_database(db)
+        except ValueError as exc:
+            return _fail(exc)
+        if not generator.records:
+            print(f"no runs recorded at {db.path}; run with --record first",
+                  file=sys.stderr)
+            return 2
+        rendered = generator.render(args.format)
+        if args.output is None:
+            print(rendered, end="")
+        else:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(rendered)
+            print(f"wrote {args.output}", file=sys.stderr)
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -25,6 +25,47 @@ __all__ = [
 ]
 
 
+def _admission_to_dict(report: ScenarioReport) -> dict[str, Any]:
+    """The session's admission-control stamp as plain data.
+
+    Sessions run without a controller (``policy == "none"``, or any run
+    through the single-tenant simulator) export the neutral block —
+    never shed, never degraded, full quality — so downstream consumers
+    can rely on the keys existing unconditionally.
+    """
+    record = report.simulation.admission
+    if record is None:
+        return {
+            "policy": "none",
+            "shed": False,
+            "shed_reason": None,
+            "degradation_level": 0,
+            "quality_proxy": 1.0,
+            "actions": [],
+        }
+    from repro.runtime.admission import quality_retention
+
+    return {
+        "policy": record.policy,
+        "shed": record.shed,
+        "shed_reason": record.shed_reason,
+        "degradation_level": record.degradation_level,
+        "quality_proxy": quality_retention(
+            report.simulation.scenario, record.degradation_level
+        ),
+        "actions": [
+            {
+                "time_s": a.time_s,
+                "kind": a.kind,
+                "reason": a.reason,
+                "miss_ewma": a.miss_ewma,
+                "level": a.level,
+            }
+            for a in record.actions
+        ],
+    }
+
+
 def scenario_to_dict(report: ScenarioReport) -> dict[str, Any]:
     """Full scenario report as plain data (JSON-ready)."""
     sim, score = report.simulation, report.score
@@ -40,6 +81,9 @@ def scenario_to_dict(report: ScenarioReport) -> dict[str, Any]:
             "active_duration_s": sim.window_s,
             "dynamic": sim.active_duration_s is not None,
         },
+        # QoE control-plane stamp: what the admission controller did to
+        # this session (first-class, even when no controller ran).
+        "admission": _admission_to_dict(report),
         # Honest per-session energy: total millijoules actually spent
         # (occupancy-log sum, including dropped requests' partial
         # segments) next to the Enmax-bounded energy *score* below.
@@ -102,12 +146,14 @@ def to_csv(report: BenchmarkReport) -> str:
         ["system", "scenario", "model", "per_model", "qoe", "rt",
          "energy", "accuracy", "executed", "streamed", "dropped",
          "missed_deadlines", "session_id", "active_duration_s",
-         "session_energy_mj"]
+         "session_energy_mj", "shed", "degradation_level",
+         "quality_proxy"]
     )
     system = report.system.describe()
     for scenario_report in report.scenario_reports:
         data = scenario_to_dict(scenario_report)
         session = data["session"]
+        admission = data["admission"]
         for m in data["models"]:
             writer.writerow(
                 [system, data["scenario"], m["code"],
@@ -116,7 +162,9 @@ def to_csv(report: BenchmarkReport) -> str:
                  f"{m['accuracy']:.6f}", m["executed"], m["streamed"],
                  m["dropped"], m["missed_deadlines"],
                  session["id"], f"{session['active_duration_s']:.6f}",
-                 f"{data['energy_mj']:.6f}"]
+                 f"{data['energy_mj']:.6f}",
+                 int(admission["shed"]), admission["degradation_level"],
+                 f"{admission['quality_proxy']:.6f}"]
             )
     return buf.getvalue()
 

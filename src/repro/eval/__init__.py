@@ -10,7 +10,14 @@ from .ablations import (
     scheduler_ablation,
 )
 from .observations import Observation, format_observations, verify_observations
-from .pareto import DesignPoint, evaluate_designs, pareto_frontier
+from .pareto import DesignPoint, QoePoint, evaluate_designs, pareto_frontier
+from .rundb import (
+    DEFAULT_DB_PATH,
+    ReportGenerator,
+    RunDatabase,
+    RunRecord,
+    summarize_report,
+)
 from .stats import ScoreStatistics, SeedSweep, run_seed_sweep, seed_sweep
 
 from .figure3 import Figure3Row, format_figure3, run_figure3
@@ -22,7 +29,13 @@ from .tables import table1, table2, table3, table5, table6, table7
 
 __all__ = [
     "AblationRow",
+    "DEFAULT_DB_PATH",
     "DesignPoint",
+    "QoePoint",
+    "ReportGenerator",
+    "RunDatabase",
+    "RunRecord",
+    "summarize_report",
     "dvfs_ablation",
     "enmax_sensitivity",
     "evaluate_designs",

@@ -1,0 +1,381 @@
+"""Persistent run database and QoE Pareto reports.
+
+The admission-control plane only pays off when its trade-offs are
+visible: shedding buys per-survivor QoE with throughput, degrading buys
+deadline hits with model quality.  This module gives those trade-offs a
+durable home — every :func:`repro.api.execute` result can be appended to
+an on-disk JSON-lines database (``runs/runs.jsonl`` by default), and a
+:class:`ReportGenerator` renders the accumulated runs as markdown or
+HTML tables plus a QoE/throughput/energy Pareto frontier across
+admission policies, reusing :func:`repro.eval.pareto.pareto_frontier`
+over :class:`repro.eval.pareto.QoePoint` records.
+
+The database is append-only and schema-light on purpose: each line is a
+self-contained record ``{"spec": ..., "metrics": ..., "sessions": ...}``
+so partial writes from crashed runs corrupt at most their own line, and
+old databases keep loading as fields are added.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.report import (
+    BenchmarkReport,
+    MultiSessionReport,
+    ScenarioReport,
+)
+from repro.runtime.admission import quality_retention
+
+from .pareto import QoePoint, pareto_frontier
+
+__all__ = [
+    "DEFAULT_DB_PATH",
+    "ReportGenerator",
+    "RunDatabase",
+    "RunRecord",
+    "summarize_report",
+]
+
+DEFAULT_DB_PATH = Path("runs") / "runs.jsonl"
+
+# Metric keys every record carries; ReportGenerator renders them in this
+# order.  (key, column header, format spec)
+_METRIC_COLUMNS = (
+    ("qoe", "QoE", ".3f"),
+    ("throughput_rps", "throughput (req/s)", ".1f"),
+    ("energy_mj", "energy (mJ)", ".1f"),
+    ("miss_rate", "miss rate", ".3f"),
+    ("quality_proxy", "quality", ".3f"),
+)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One persisted run: the spec that produced it plus its metrics."""
+
+    spec: dict
+    metrics: dict
+    sessions: tuple[dict, ...] = ()
+
+    @property
+    def policy(self) -> str:
+        return str(self.spec.get("admission", "none"))
+
+    @property
+    def label(self) -> str:
+        """Short row label: scenario/mode plus the admission policy."""
+        if self.spec.get("suite") or self.spec.get("mode") == "suite":
+            name = "suite"
+        else:
+            scenario = self.spec.get("scenario")
+            if isinstance(scenario, (list, tuple)):
+                scenario = scenario[0] if scenario else None
+            name = "?" if scenario is None else str(scenario)
+        return f"{name}[{self.policy}]"
+
+    def qoe_point(self) -> QoePoint:
+        return QoePoint(
+            label=self.label,
+            qoe=float(self.metrics["qoe"]),
+            throughput_rps=float(self.metrics["throughput_rps"]),
+            energy_mj=float(self.metrics["energy_mj"]),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec,
+            "metrics": self.metrics,
+            "sessions": list(self.sessions),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        return cls(
+            spec=dict(data["spec"]),
+            metrics=dict(data["metrics"]),
+            sessions=tuple(data.get("sessions", ())),
+        )
+
+
+def _session_row(report: ScenarioReport) -> dict:
+    """Per-session detail row, including the admission-control stamp."""
+    sim, score = report.simulation, report.score
+    completed = len(sim.completed())
+    row = {
+        "session_id": sim.session_id,
+        "scenario": sim.scenario.name,
+        "overall": score.overall,
+        "qoe": score.qoe,
+        "frames_streamed": len(sim.requests),
+        "frames_executed": completed,
+        "frames_dropped": len(sim.dropped()),
+        "missed_deadlines": score.total_missed_deadlines,
+        "energy_mj": sim.total_energy_mj(),
+        "shed": False,
+        "shed_reason": None,
+        "degradation_level": 0,
+        "quality_proxy": 1.0,
+    }
+    record = sim.admission
+    if record is not None:
+        row["shed"] = record.shed
+        row["shed_reason"] = record.shed_reason
+        row["degradation_level"] = record.degradation_level
+        row["quality_proxy"] = quality_retention(
+            sim.scenario, record.degradation_level
+        )
+    return row
+
+
+def _aggregate(reports: list[ScenarioReport]) -> dict:
+    """System-level metrics over a group of per-scenario/session reports."""
+    executed = sum(len(r.simulation.completed()) for r in reports)
+    missed = sum(r.score.total_missed_deadlines for r in reports)
+    duration = max(r.simulation.duration_s for r in reports)
+    qoes = [r.score.qoe for r in reports]
+    return {
+        "qoe": sum(qoes) / len(qoes),
+        "throughput_rps": executed / duration,
+        "energy_mj": sum(r.simulation.total_energy_mj() for r in reports),
+        "miss_rate": missed / executed if executed else 0.0,
+        "mean_overall": sum(r.score.overall for r in reports) / len(reports),
+        "frames_executed": executed,
+        "missed_deadlines": missed,
+    }
+
+
+def summarize_report(spec, report) -> RunRecord:
+    """Flatten any :func:`repro.api.execute` report into a RunRecord.
+
+    ``spec`` may be a :class:`repro.api.RunSpec` or an already-serialized
+    spec dict (the worker-process path hands dicts around).
+    """
+    spec_dict = spec if isinstance(spec, dict) else spec.to_dict()
+    if isinstance(report, ScenarioReport):
+        reports = [report]
+    elif isinstance(report, BenchmarkReport):
+        reports = list(report.scenario_reports)
+    elif isinstance(report, MultiSessionReport):
+        reports = list(report.session_reports)
+    else:
+        raise TypeError(f"cannot summarize report type {type(report)!r}")
+    metrics = _aggregate(reports)
+    sessions = tuple(_session_row(r) for r in reports)
+    # Aggregate quality across sessions: degraded or shed sessions pull
+    # the run-level quality proxy below 1.0 (a shed session's retained
+    # quality is 0 — its user got nothing).
+    qualities = [
+        0.0 if row["shed"] else row["quality_proxy"] for row in sessions
+    ]
+    metrics["quality_proxy"] = sum(qualities) / len(qualities)
+    return RunRecord(spec=spec_dict, metrics=metrics, sessions=sessions)
+
+
+class RunDatabase:
+    """Append-only JSON-lines store of :class:`RunRecord` entries.
+
+    One record per line; :meth:`load` skips blank lines and raises on
+    malformed ones (a truncated final line from a crashed writer is the
+    one tolerated corruption — it is reported, not silently dropped).
+    """
+
+    def __init__(self, path: str | Path = DEFAULT_DB_PATH) -> None:
+        self.path = Path(path)
+
+    def append(self, spec, report) -> RunRecord:
+        """Summarize ``report`` and persist it; returns the record."""
+        record = summarize_report(spec, report)
+        self.append_record(record)
+        return record
+
+    def append_record(self, record: RunRecord) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_dict(), sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    def load(self) -> list[RunRecord]:
+        """All records in append order; empty list if no database yet."""
+        if not self.path.exists():
+            return []
+        records: list[RunRecord] = []
+        with self.path.open(encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(RunRecord.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, KeyError) as exc:
+                    raise ValueError(
+                        f"{self.path}:{lineno}: malformed run record: {exc}"
+                    ) from exc
+        return records
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+@dataclass
+class ReportGenerator:
+    """Render a run database as markdown or HTML with a Pareto section.
+
+    Runs are grouped by admission policy; each policy group becomes one
+    :class:`QoePoint` (metrics averaged across the group's runs) and the
+    non-dominated policies form the frontier table.
+    """
+
+    records: list[RunRecord] = field(default_factory=list)
+
+    @classmethod
+    def from_database(cls, db: RunDatabase) -> "ReportGenerator":
+        return cls(records=db.load())
+
+    def policy_points(self) -> list[QoePoint]:
+        """One QoE/throughput/energy point per admission policy."""
+        groups: dict[str, list[RunRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.policy, []).append(record)
+        points = []
+        for policy in sorted(groups):
+            runs = groups[policy]
+            points.append(
+                QoePoint(
+                    label=policy,
+                    qoe=_mean([r.metrics["qoe"] for r in runs]),
+                    throughput_rps=_mean(
+                        [r.metrics["throughput_rps"] for r in runs]
+                    ),
+                    energy_mj=_mean([r.metrics["energy_mj"] for r in runs]),
+                )
+            )
+        return points
+
+    def frontier(self) -> list[QoePoint]:
+        points = self.policy_points()
+        return pareto_frontier(points) if points else []
+
+    def _run_rows(self) -> list[list[str]]:
+        rows = []
+        for record in self.records:
+            row = [record.label, record.policy]
+            for key, _header, fmt in _METRIC_COLUMNS:
+                value = record.metrics.get(key)
+                row.append("-" if value is None else format(value, fmt))
+            rows.append(row)
+        return rows
+
+    def _frontier_rows(self) -> tuple[list[QoePoint], list[list[str]]]:
+        frontier = self.frontier()
+        on_frontier = {p.label for p in frontier}
+        rows = []
+        for point in self.policy_points():
+            rows.append(
+                [
+                    point.label,
+                    format(point.qoe, ".3f"),
+                    format(point.throughput_rps, ".1f"),
+                    format(point.energy_mj, ".1f"),
+                    "yes" if point.label in on_frontier else "no",
+                ]
+            )
+        return frontier, rows
+
+    def markdown(self) -> str:
+        """GitHub-flavoured markdown: run table + policy Pareto table."""
+        run_headers = ["run", "admission"] + [
+            header for _key, header, _fmt in _METRIC_COLUMNS
+        ]
+        lines = ["# XRBench run report", "", f"{len(self.records)} runs.", ""]
+        lines += ["## Runs", ""]
+        lines += _markdown_table(run_headers, self._run_rows())
+        frontier, rows = self._frontier_rows()
+        lines += ["", "## QoE Pareto frontier by admission policy", ""]
+        if rows:
+            lines += _markdown_table(
+                ["policy", "QoE", "throughput (req/s)", "energy (mJ)",
+                 "frontier"],
+                rows,
+            )
+            lines += [
+                "",
+                "Frontier (best QoE first): "
+                + ", ".join(p.label for p in frontier),
+            ]
+        else:
+            lines.append("No runs recorded.")
+        return "\n".join(lines) + "\n"
+
+    def html(self) -> str:
+        """Self-contained HTML page with the same tables."""
+        run_headers = ["run", "admission"] + [
+            header for _key, header, _fmt in _METRIC_COLUMNS
+        ]
+        frontier, frontier_rows = self._frontier_rows()
+        parts = [
+            "<!DOCTYPE html>",
+            "<html><head><meta charset='utf-8'>",
+            "<title>XRBench run report</title>",
+            "<style>table{border-collapse:collapse}"
+            "td,th{border:1px solid #999;padding:4px 8px;"
+            "font-family:monospace}</style>",
+            "</head><body>",
+            "<h1>XRBench run report</h1>",
+            f"<p>{len(self.records)} runs.</p>",
+            "<h2>Runs</h2>",
+            _html_table(run_headers, self._run_rows()),
+            "<h2>QoE Pareto frontier by admission policy</h2>",
+        ]
+        if frontier_rows:
+            parts.append(
+                _html_table(
+                    ["policy", "QoE", "throughput (req/s)", "energy (mJ)",
+                     "frontier"],
+                    frontier_rows,
+                )
+            )
+            parts.append(
+                "<p>Frontier (best QoE first): "
+                + html.escape(", ".join(p.label for p in frontier))
+                + "</p>"
+            )
+        else:
+            parts.append("<p>No runs recorded.</p>")
+        parts.append("</body></html>")
+        return "\n".join(parts) + "\n"
+
+    def render(self, fmt: str = "markdown") -> str:
+        if fmt == "markdown":
+            return self.markdown()
+        if fmt == "html":
+            return self.html()
+        raise ValueError(
+            f"unknown report format {fmt!r}; choose 'markdown' or 'html'"
+        )
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values)
+
+
+def _markdown_table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def _html_table(headers: list[str], rows: list[list[str]]) -> str:
+    head = "".join(f"<th>{html.escape(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{html.escape(c)}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"

@@ -8,6 +8,7 @@ the datasets replaced by synthetic tensors of the right shapes.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -48,9 +49,13 @@ class GraphExecutor:
         """Lazily create and cache the synthetic weights of a layer."""
         if layer.name in self._weights:
             return self._weights[layer.name]
-        rng = np.random.default_rng(
-            (hash((self.graph.name, layer.name, self.seed)) & 0x7FFFFFFF)
-        )
+        # Seeded from a content hash, not Python's hash(): the latter is
+        # salted per process (PYTHONHASHSEED), which would make synthetic
+        # weights — and every quality proxy derived from them —
+        # irreproducible across runs.
+        key = f"{self.graph.name}:{layer.name}:{self.seed}"
+        digest = hashlib.sha256(key.encode()).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
 
         def randn(*shape: int) -> np.ndarray:
             return rng.standard_normal(shape) * _WEIGHT_SCALE

@@ -88,8 +88,17 @@ from repro.workload import (
     InferenceRequest,
     LoadGenerator,
     UsageScenario,
+    scale_rates,
 )
 
+from .admission import (
+    DEGRADATION_LADDER,
+    AdmissionController,
+    AdmissionRecord,
+    ControlAction,
+    SessionView,
+    make_admission,
+)
 from .engine import EngineFleet, ExecutionEngine, ExecutionRecord, WorkItem
 from .events import EventKind, EventQueue
 from .governor import DispatchContext, DvfsGovernor, make_governor
@@ -372,6 +381,13 @@ class MultiScenarioSimulator:
             ``"race_to_idle"`` (always the fastest ladder point).  A
             :class:`~repro.runtime.governor.DvfsGovernor` instance may
             be supplied directly for custom policies.
+        admission: QoE admission-control policy — ``"none"`` (the
+            open-loop historical path, pinned by the golden schedule
+            checksums), ``"shed"`` (reject/drop lowest-priority sessions
+            under overload) or ``"degrade"`` (switch struggling
+            sessions' models to cheaper variants mid-run).  An
+            :class:`~repro.runtime.admission.AdmissionController`
+            instance may be supplied directly for custom policies.
     """
 
     sessions: list[SessionSpec]
@@ -383,6 +399,7 @@ class MultiScenarioSimulator:
     segments_per_model: int = 2
     engine_dvfs: dict[int, DvfsPoint] = field(default_factory=dict)
     dvfs_policy: str | DvfsGovernor = "static"
+    admission: str | AdmissionController = "none"
 
     def __post_init__(self) -> None:
         if not self.sessions:
@@ -426,6 +443,13 @@ class MultiScenarioSimulator:
             self._governor = make_governor(self.dvfs_policy)
         else:
             self._governor = self.dvfs_policy
+        # Same pattern for the QoE control plane: "none" resolves to no
+        # controller, so no control ticks are ever scheduled and the
+        # event stream is the exact historical one.
+        if isinstance(self.admission, str):
+            self._controller = make_admission(self.admission)
+        else:
+            self._controller = self.admission
 
     @classmethod
     def replicate(
@@ -607,6 +631,42 @@ class MultiScenarioSimulator:
                     session_id=spec.session_id,
                 )
 
+        # The QoE control plane: per-session decision logs, the phases
+        # cancelled by degrade actions (their pre-scheduled arrival
+        # tails are uncounted, not charged as drops), and each session's
+        # planned-activity baseline further degradation scales from.
+        # All empty — and control ticks unscheduled — when no controller
+        # is installed, leaving the historical event stream untouched.
+        controller = self._controller
+        control: dict[int, AdmissionRecord] = {}
+        cancelled: dict[int, set[int]] = {}
+        degrade_base: dict[int, UsageScenario | None] = {}
+        if controller is not None:
+            creset = getattr(controller, "reset", None)
+            if callable(creset):
+                creset()
+            policy = (
+                self.admission
+                if isinstance(self.admission, str)
+                else type(controller).__name__
+            )
+            for sid in states:
+                control[sid] = AdmissionRecord(policy=policy)
+                cancelled[sid] = set()
+                degrade_base[sid] = None
+            # Ticks are scheduled up front like lifecycle events (so
+            # they outrank same-instant work events); they are
+            # system-wide — the handler ignores the tagging session.
+            tick_sid = min(states)
+            tick = 1
+            while tick * controller.period_s < self.duration_s:
+                events.push(
+                    tick * controller.period_s,
+                    EventKind.CONTROL_TICK,
+                    session_id=tick_sid,
+                )
+                tick += 1
+
         #: In-flight requests waiting for their next segment, as a heap
         #: ordered like the waiting queue (oldest data first, session and
         #: model tie-breaks, then insertion order).  Resumed ahead of
@@ -671,6 +731,47 @@ class MultiScenarioSimulator:
                         entry[4].request.dropped = True
                 resumable[:] = kept
                 heapq.heapify(resumable)
+
+        def cheapest_latency(code: str) -> float:
+            """A task's best-engine latency, priced through the cache."""
+            return min(
+                self.system.engine_cost(
+                    costs, code, engine.index, engine.dvfs
+                ).latency_s
+                for engine in engines
+            )
+
+        def apply_degrade(action: ControlAction) -> None:
+            """Enter a degraded phase from the control instant.
+
+            PR 4's SESSION_PHASE swap machinery is the mechanism: the
+            session's current activity window is truncated at the
+            action time, a window streaming the rate-scaled variant of
+            the *planned* activity is spliced in after it, and the
+            session enters it like any phase change.  The truncated
+            phase is marked cancelled so its not-yet-arrived tail
+            (scheduled when the phase was entered) is uncounted rather
+            than charged as drops — the degraded stream replaces it
+            from this instant, keeping QoE denominators honest.
+            """
+            sid = action.session_id
+            state = states[sid]
+            now_s = action.time_s
+            start, stop, current = state.windows[state.phase]
+            if stop - now_s <= 0:
+                return
+            base = degrade_base[sid]
+            if base is None:
+                base = degrade_base[sid] = current
+            ladder = getattr(controller, "ladder", DEGRADATION_LADDER)
+            degraded = scale_rates(
+                base, ladder[action.level].rate_factor
+            )
+            state.windows[state.phase] = (start, now_s, current)
+            state.windows.insert(state.phase + 1, (now_s, stop, degraded))
+            cancelled[sid].add(state.phase)
+            retire_waiting(sid, include_resumable=True)
+            enter_phase(state, state.phase + 1)
 
         def fresh_item(request: InferenceRequest,
                        session_id: int) -> WorkItem:
@@ -834,6 +935,7 @@ class MultiScenarioSimulator:
         COMPLETION = EventKind.COMPLETION
         SESSION_JOIN = EventKind.SESSION_JOIN
         SESSION_PHASE = EventKind.SESSION_PHASE
+        CONTROL_TICK = EventKind.CONTROL_TICK
         heap = events._heap  # drained via pop_fields; peeked for batching
         pop_fields = events.pop_fields
         push = events.push
@@ -844,19 +946,27 @@ class MultiScenarioSimulator:
             while True:
                 state = states[session_id]
                 if kind is ARRIVAL:
-                    state.requests.append(request)
+                    phase = state.phase_of.get(
+                        request.request_id, state.phase
+                    )
                     if (
-                        not state.active
-                        or state.phase_of.get(
-                            request.request_id, state.phase
-                        )
-                        != state.phase
+                        controller is not None
+                        and phase in cancelled[session_id]
                     ):
+                        # The frame belongs to an activity a degrade
+                        # action truncated: its tail was *replaced* by
+                        # the degraded stream, so it was never offered
+                        # — uncount it instead of charging a drop.
+                        state.spawned[request.model_code] -= 1
+                        state.phase_of.pop(request.request_id, None)
+                    elif not state.active or phase != state.phase:
                         # Streamed, but the session departed (or switched
                         # activity) before the frame could even queue: it
                         # counts against QoE like any other drop.
+                        state.requests.append(request)
                         request.dropped = True
                     else:
+                        state.requests.append(request)
                         waiting.offer(fresh_item(request, session_id))
                 elif kind is COMPLETION:
                     item = finish(sub_index, now_s)
@@ -866,6 +976,14 @@ class MultiScenarioSimulator:
                             "inference"
                         )
                     if item.is_final_segment:
+                        if controller is not None:
+                            # The controller's deadline-outcome feed:
+                            # every finished request, stale or not —
+                            # the hardware ran it, the user saw it.
+                            controller.observe(
+                                session_id,
+                                request.end_time_s > request.deadline_s,
+                            )
                         stale = (
                             not state.active
                             or state.phase_of.get(request.request_id)
@@ -915,12 +1033,62 @@ class MultiScenarioSimulator:
                         # completes.
                         request.dropped = True
                 elif kind is SESSION_JOIN:
-                    state.active = True
+                    if controller is None:
+                        state.active = True
+                    else:
+                        action = controller.admit(now_s, session_id)
+                        if action is None:
+                            state.active = True
+                        else:
+                            # Rejected at the door: the user is still
+                            # present (the stream counts against QoE
+                            # as drops) but nothing is ever dispatched.
+                            log = control[session_id]
+                            log.shed = True
+                            log.shed_reason = action.reason
+                            log.actions += (action,)
                     enter_phase(state, 0)
                 elif kind is SESSION_PHASE:
                     if state.active:
                         retire_waiting(session_id, include_resumable=True)
                         enter_phase(state, state.phase + 1)
+                        if controller is not None:
+                            # A planned activity change starts at full
+                            # fidelity: the new scenario was never
+                            # degraded (the action log keeps history).
+                            degrade_base[session_id] = None
+                            control[session_id].degradation_level = 0
+                elif kind is CONTROL_TICK:
+                    views = [
+                        SessionView(
+                            session_id=sid,
+                            level=control[sid].degradation_level,
+                            scenario=(
+                                degrade_base[sid]
+                                if degrade_base[sid] is not None
+                                else s.windows[s.phase][2]
+                            ),
+                            remaining_s=s.windows[s.phase][1] - now_s,
+                        )
+                        for sid, s in sorted(states.items())
+                        if s.active
+                    ]
+                    for action in controller.decide(
+                        now_s, views, cheapest_latency, len(engines)
+                    ):
+                        log = control[action.session_id]
+                        log.actions += (action,)
+                        if action.kind == "shed":
+                            log.shed = True
+                            log.shed_reason = action.reason
+                            victim = states[action.session_id]
+                            victim.active = False
+                            retire_waiting(
+                                action.session_id, include_resumable=True
+                            )
+                        elif action.kind == "degrade":
+                            log.degradation_level = action.level
+                            apply_degrade(action)
                 else:  # SESSION_LEAVE
                     state.active = False
                     retire_waiting(session_id, include_resumable=True)
@@ -958,6 +1126,7 @@ class MultiScenarioSimulator:
                 active_duration_s=(
                     state.active_duration_s if state.spec.dynamic else None
                 ),
+                admission=control.get(sid),
             )
             for sid, state in sorted(states.items())
         ]

@@ -33,6 +33,7 @@ from repro.costmodel import CostTable
 from repro.hardware import AcceleratorSystem
 from repro.workload import InferenceRequest, UsageScenario
 
+from .admission import AdmissionRecord
 from .engine import ExecutionRecord
 from .scheduler import Scheduler
 
@@ -60,6 +61,9 @@ class SimulationResult:
     #: actual window here so per-session rates normalise by *active*
     #: rather than streamed duration.
     active_duration_s: float | None = None
+    #: QoE control-plane outcome for this session, or ``None`` when no
+    #: admission controller was installed — the historical path.
+    admission: AdmissionRecord | None = None
 
     # -- derived statistics --------------------------------------------------
 

@@ -14,6 +14,7 @@ users derive further variants without hand-building scenarios:
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import replace
 
 from .models import UNIT_MODELS
@@ -27,6 +28,26 @@ from .scenarios import (
 __all__ = ["deactivate", "retarget", "scale_rates", "activate"]
 
 
+def _require_active(scenario: UsageScenario, code: str) -> None:
+    """Raise a suggesting ``KeyError`` when ``code`` is not active."""
+    if code in scenario.codes:
+        return
+    names = sorted(scenario.codes)
+    message = (
+        f"model {code!r} not active in scenario {scenario.name!r}; "
+        f"active: {names}"
+    )
+    # Model codes are two letters, so one shared letter is already a
+    # near miss — the default 0.6 cutoff would never fire for them.
+    close = difflib.get_close_matches(code, names, n=1, cutoff=0.5)
+    if not close:
+        folded = code.casefold()
+        close = [n for n in names if n.casefold() == folded][:1]
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    raise KeyError(message)
+
+
 def deactivate(scenario: UsageScenario, code: str) -> UsageScenario:
     """A variant with ``code`` deactivated (0 FPS == omitted).
 
@@ -35,7 +56,7 @@ def deactivate(scenario: UsageScenario, code: str) -> UsageScenario:
     downstream must be deactivated too (mirroring how a real runtime would
     never spawn it).
     """
-    scenario.get(code)  # raises KeyError if not active
+    _require_active(scenario, code)
     downstream_of_code = {
         d.downstream for d in scenario.dependencies if d.upstream == code
     }
@@ -64,7 +85,7 @@ def retarget(
     scenario: UsageScenario, code: str, target_fps: float
 ) -> UsageScenario:
     """A variant with one model's target processing rate changed."""
-    scenario.get(code)
+    _require_active(scenario, code)
     models = tuple(
         replace(sm, target_fps=target_fps) if sm.code == code else sm
         for sm in scenario.models

@@ -249,3 +249,56 @@ class TestDvfsPolicyField:
         )
         policies = [s.dvfs_policy for s in sweep.expand()]
         assert policies == ["static", "slack"]
+
+
+class TestAdmissionField:
+    def test_default_is_none_and_single_mode(self):
+        spec = RunSpec(scenario="ar_gaming")
+        assert spec.admission == "none"
+        assert spec.mode == "single"
+        assert "admission=" not in spec.describe()
+
+    def test_policies_constant_exported(self):
+        from repro.api import ADMISSION_POLICIES
+
+        assert ADMISSION_POLICIES == ("none", "shed", "degrade")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="admission"):
+            RunSpec(scenario="ar_gaming", admission="panic")
+
+    def test_controlled_spec_routes_to_sessions(self):
+        spec = RunSpec(scenario="ar_gaming", admission="shed")
+        assert spec.mode == "sessions"
+        assert "admission=shed" in spec.describe()
+
+    def test_controlled_suite_stays_suite_mode(self):
+        spec = RunSpec.for_suite("J", admission="degrade")
+        assert spec.mode == "suite"
+
+    def test_round_trips(self):
+        spec = RunSpec(scenario="vr_gaming", admission="degrade",
+                       sessions=4)
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        assert RunSpec.from_json(spec.to_json()) == spec
+        assert spec.to_dict()["admission"] == "degrade"
+
+    def test_controlled_execution_stamps_records(self, cost_table):
+        from repro.api import execute
+
+        spec = RunSpec(scenario="vr_gaming", accelerator="J", pes=4096,
+                       sessions=8, duration_s=0.25, admission="shed")
+        report = execute(spec, costs=cost_table)
+        records = [s.admission for s in report.result.sessions]
+        assert all(r is not None and r.policy == "shed" for r in records)
+
+    def test_sweep_can_grid_the_policy(self):
+        from repro.api import Sweep
+
+        sweep = Sweep(
+            base=RunSpec(scenario="vr_gaming", sessions=4),
+            grid={"admission": ("none", "shed", "degrade")},
+        )
+        assert [s.admission for s in sweep.expand()] == [
+            "none", "shed", "degrade",
+        ]

@@ -125,3 +125,58 @@ class TestEnergyTotals:
         data = scenario_to_dict(scenario_report)
         for value in data["utilization"].values():
             assert 0.0 <= value <= 1.0 + 1e-9
+
+
+class TestAdmissionExport:
+    """The per-session admission block and its CSV projection."""
+
+    NEUTRAL = {
+        "policy": "none",
+        "shed": False,
+        "shed_reason": None,
+        "degradation_level": 0,
+        "quality_proxy": 1.0,
+        "actions": [],
+    }
+
+    @pytest.fixture(scope="class")
+    def degrade_group(self, hda_j_4k):
+        from repro.api import run_session_group
+
+        return run_session_group(
+            ["vr_gaming"] * 16,
+            hda_j_4k,
+            duration_s=0.25,
+            admission="degrade",
+        )
+
+    def test_single_tenant_run_exports_neutral_block(self, scenario_report):
+        # The Harness path never installs a controller, so the block is
+        # the documented all-defaults stamp.
+        data = scenario_to_dict(scenario_report)
+        assert data["admission"] == self.NEUTRAL
+
+    def test_csv_columns_present_and_neutral(self, suite_report):
+        rows = list(csv.DictReader(io.StringIO(to_csv(suite_report))))
+        for row in rows:
+            assert row["shed"] == "0"
+            assert row["degradation_level"] == "0"
+            assert float(row["quality_proxy"]) == pytest.approx(1.0)
+
+    def test_degraded_session_exports_actions(self, degrade_group):
+        dicts = [scenario_to_dict(r) for r in degrade_group.session_reports]
+        assert all(d["admission"]["policy"] == "degrade" for d in dicts)
+        degraded = [
+            d for d in dicts if d["admission"]["degradation_level"] > 0
+        ]
+        assert degraded, "16 tenants on 4096 PEs must trigger degradation"
+        for data in degraded:
+            block = data["admission"]
+            assert not block["shed"]
+            assert 0.0 < block["quality_proxy"] < 1.0
+            assert block["actions"]
+            last = block["actions"][-1]
+            assert last["kind"] == "degrade"
+            assert last["level"] == block["degradation_level"]
+            assert 0.0 <= last["miss_ewma"] <= 1.0
+        json.dumps(dicts[0])  # the block must stay JSON-serialisable

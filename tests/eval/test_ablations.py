@@ -132,6 +132,59 @@ class TestPareto:
         with pytest.raises(ValueError, match="no design"):
             pareto_frontier([])
 
+    def test_duplicate_points_both_survive(self):
+        # Dominance needs strict improvement somewhere, so exact ties
+        # never knock each other out.
+        a = self.make(0.9, 100.0, 0.0, "A")
+        b = self.make(0.9, 100.0, 0.0, "B")
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+        frontier = pareto_frontier([a, b])
+        assert {p.acc_id for p in frontier} == {"A", "B"}
+
+    def test_single_point_frontier(self):
+        only = self.make(0.5, 500.0, 0.3, "Z")
+        assert pareto_frontier([only]) == [only]
+
+    def test_axis_tie_resolved_by_other_axes(self):
+        # Equal score; the cheaper design dominates on the remaining
+        # axes and the tie does not save the loser.
+        cheap = self.make(0.7, 100.0, 0.0, "A")
+        dear = self.make(0.7, 200.0, 0.0, "B")
+        assert cheap.dominates(dear)
+        assert not dear.dominates(cheap)
+        assert [p.acc_id for p in pareto_frontier([cheap, dear])] == ["A"]
+
+    def test_dominates_is_irreflexive(self):
+        p = self.make(0.7, 100.0, 0.1)
+        assert not p.dominates(p)
+
+    def test_dominates_is_antisymmetric(self):
+        pool = [
+            self.make(0.9, 100.0, 0.0),
+            self.make(0.9, 100.0, 0.1),
+            self.make(0.5, 100.0, 0.0),
+            self.make(0.9, 200.0, 0.0),
+            self.make(0.5, 200.0, 0.1),
+        ]
+        for p in pool:
+            for q in pool:
+                assert not (p.dominates(q) and q.dominates(p))
+
+    def test_qoe_point_space(self):
+        from repro.eval import QoePoint
+
+        better = QoePoint("degrade", qoe=0.5, throughput_rps=400.0,
+                          energy_mj=100.0)
+        worse = QoePoint("shed", qoe=0.3, throughput_rps=300.0,
+                         energy_mj=120.0)
+        trade = QoePoint("none", qoe=0.45, throughput_rps=420.0,
+                         energy_mj=130.0)
+        assert better.dominates(worse)
+        assert not better.dominates(trade)  # higher throughput saves it
+        frontier = pareto_frontier([better, worse, trade])
+        assert [p.label for p in frontier] == ["degrade", "none"]
+
     def test_evaluate_designs_small(self, shared_harness):
         points = evaluate_designs(
             shared_harness, acc_ids=("A", "C"), total_pes=4096

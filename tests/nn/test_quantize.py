@@ -135,3 +135,42 @@ class TestQualityProxy:
         m8 = quality_proxy(graph, self.lib, bits=8)
         m3 = quality_proxy(graph, self.lib, bits=3)
         assert m3 >= m8  # lower-is-better metric degrades upward
+
+
+#: Pinned int8 quality_proxy value per zoo task.  These are regression
+#: anchors for the admission plane's quality-retention pricing: weight
+#: seeding is a stable sha256 hash of (graph, layer, seed), so the proxy
+#: is reproducible across processes and platforms — any drift here means
+#: the zoo graphs, the executor's weight seeding, or the quantisation
+#: path changed, and every committed quality_proxy/quality_retention
+#: number changes with it.
+PINNED_INT8_PROXY = {
+    "AS": 61.94880735626379,
+    "DE": 22.204949386467625,
+    "DR": 76.68636741582499,
+    "ES": 91.49516064440611,
+    "GE": 3.367270403848324,
+    "HT": 0.9716116751990778,
+    "KD": 89.84029338783526,
+    "OD": 22.51034911272451,
+    "PD": 0.36251033929606324,
+    "SR": 10.231910209603836,
+    "SS": 75.47266839610144,
+}
+
+
+class TestPinnedProxyValues:
+    def test_pins_cover_every_unit_model(self):
+        from repro.workload.models import UNIT_MODELS
+
+        assert set(PINNED_INT8_PROXY) == set(UNIT_MODELS)
+
+    @pytest.mark.parametrize("code", sorted(PINNED_INT8_PROXY))
+    def test_int8_proxy_matches_pin(self, code):
+        from repro.workload.models import UNIT_MODELS
+
+        model = UNIT_MODELS[code]
+        measured = quality_proxy(model.graph, model.quality, bits=8)
+        assert measured == pytest.approx(
+            PINNED_INT8_PROXY[code], rel=1e-4
+        )

@@ -133,7 +133,8 @@ def traced_queue(monkeypatch):
 
 def run_churned_preemptive(scenario_name="vr_gaming", duration_s=0.25):
     """A run exercising every event kind: churn, phases, preemption,
-    segment chains and the slack governor all at once."""
+    segment chains, the slack governor and admission control ticks all
+    at once."""
     scenario = get_scenario(scenario_name)
     phase_scenario = get_scenario("social_interaction_b")
     specs = [
@@ -150,6 +151,7 @@ def run_churned_preemptive(scenario_name="vr_gaming", duration_s=0.25):
         duration_s=duration_s,
         granularity="segment",
         dvfs_policy="slack",
+        admission="degrade",
     )
     return sim.run()
 

@@ -415,3 +415,106 @@ class TestDvfsFlag:
             ["suite", "A", "--duration", "0.2", "--dvfs", "slack"]
         ) == 0
         assert "XRBench SCORE" in capsys.readouterr().out
+
+
+class TestAdmissionFlag:
+    def test_flag_reaches_the_spec(self, capsys):
+        assert main(
+            ["run", "vr_gaming", "J", "--sessions", "8",
+             "--duration", "0.25", "--admission", "shed"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "8 sessions" in out
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "vr_gaming", "J", "--admission", "panic"]
+            )
+
+    def test_sweep_dry_run_emits_policy(self, capsys):
+        assert main(
+            ["sweep", "--dry-run", "--scenario", "vr_gaming",
+             "--admission", "degrade"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert all(
+            spec["admission"] == "degrade" for spec in document["specs"]
+        )
+
+    def test_suite_accepts_admission(self, capsys):
+        assert main(
+            ["suite", "A", "--duration", "0.2", "--admission", "shed"]
+        ) == 0
+        assert "XRBench SCORE" in capsys.readouterr().out
+
+
+class TestRecordAndReport:
+    def test_record_writes_database(self, tmp_path, capsys):
+        db = tmp_path / "runs.jsonl"
+        assert main(
+            ["run", "vr_gaming", "A", "--duration", "0.25",
+             "--record", str(db)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert f"recorded 1 run(s) to {db}" in err
+        assert len(db.read_text().splitlines()) == 1
+
+    def test_record_appends_across_invocations(self, tmp_path, capsys):
+        db = tmp_path / "runs.jsonl"
+        for policy in ("none", "degrade"):
+            assert main(
+                ["run", "vr_gaming", "J", "--sessions", "4",
+                 "--duration", "0.25", "--admission", policy,
+                 "--record", str(db)]
+            ) == 0
+        capsys.readouterr()
+        assert len(db.read_text().splitlines()) == 2
+
+    def test_report_renders_recorded_runs(self, tmp_path, capsys):
+        db = tmp_path / "runs.jsonl"
+        for policy in ("none", "shed"):
+            main(["run", "vr_gaming", "J", "--sessions", "4",
+                  "--duration", "0.25", "--admission", policy,
+                  "--record", str(db)])
+        capsys.readouterr()
+        assert main(["report", "--runs", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "# XRBench run report" in out
+        assert "QoE Pareto frontier by admission policy" in out
+        assert "vr_gaming[shed]" in out
+
+    def test_report_html_to_file(self, tmp_path, capsys):
+        db = tmp_path / "runs.jsonl"
+        main(["run", "vr_gaming", "A", "--duration", "0.25",
+              "--record", str(db)])
+        capsys.readouterr()
+        page = tmp_path / "report.html"
+        assert main(
+            ["report", "--runs", str(db), "--format", "html",
+             "--output", str(page)]
+        ) == 0
+        assert capsys.readouterr().err.strip() == f"wrote {page}"
+        assert page.read_text().startswith("<!DOCTYPE html>")
+
+    def test_report_on_missing_database_exits_2(self, tmp_path, capsys):
+        assert main(["report", "--runs", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no runs recorded" in capsys.readouterr().err
+
+    def test_report_on_corrupt_database_fails_cleanly(self, tmp_path,
+                                                      capsys):
+        db = tmp_path / "runs.jsonl"
+        db.write_text("not json\n")
+        assert main(["report", "--runs", str(db)]) == 2
+        assert "malformed run record" in capsys.readouterr().err
+
+    def test_export_can_record(self, tmp_path, capsys):
+        db = tmp_path / "runs.jsonl"
+        assert main(
+            ["export", "A", "--duration", "0.2", "--format", "csv",
+             "--record", str(db)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "shed" in captured.out.splitlines()[0]
+        record = json.loads(db.read_text())
+        assert record["spec"]["suite"] is True

@@ -125,6 +125,52 @@ class TestActivate:
             activate(social_a, "XX", 30)
 
 
+class TestVariantProperties:
+    """Algebraic properties the QoE control plane leans on."""
+
+    def test_deactivate_activate_round_trip_restores_scenario(self, social_a):
+        without = deactivate(social_a, "HT")
+        restored = activate(without, "HT", social_a.fps_of("HT"))
+        assert set(restored.codes) == set(social_a.codes)
+        for code in social_a.codes:
+            assert restored.fps_of(code) == social_a.fps_of(code)
+        assert set(restored.dependencies) == set(social_a.dependencies)
+
+    def test_scale_rates_identity(self, social_a):
+        identity = scale_rates(social_a, 1.0)
+        for sm, original in zip(identity.models, social_a.models):
+            assert sm.code == original.code
+            assert sm.target_fps == original.target_fps
+        assert identity.dependencies == social_a.dependencies
+
+    @pytest.mark.parametrize("builder", [
+        lambda s, code: retarget(s, code, 15),
+        deactivate,
+    ])
+    def test_unknown_code_suggests_close_match(self, social_a, builder):
+        # "HY" is one edit from the active "HT"; the error must both
+        # list the active codes and suggest the near miss.
+        with pytest.raises(KeyError) as excinfo:
+            builder(social_a, "HY")
+        message = str(excinfo.value)
+        assert "not active in scenario" in message
+        assert "'HT'" in message
+        assert "did you mean 'HT'?" in message
+
+    def test_unknown_code_without_near_miss_still_lists_active(
+        self, social_a
+    ):
+        with pytest.raises(KeyError) as excinfo:
+            retarget(social_a, "QQ", 15)
+        message = str(excinfo.value)
+        assert "not active in scenario" in message
+        assert "did you mean" not in message
+
+    def test_casefolded_code_suggested(self, social_a):
+        with pytest.raises(KeyError, match="did you mean 'HT'"):
+            retarget(social_a, "ht", 15)
+
+
 class TestVariantsRunEndToEnd:
     def test_harness_accepts_variants(self, short_harness, fda_ws_4k):
         base = get_scenario("ar_gaming")
