@@ -54,7 +54,13 @@ import json
 import sys
 import time
 
-from repro.api import ADMISSION_POLICIES, DVFS_POLICIES, RunSpec, execute
+from repro.api import (
+    ADMISSION_POLICIES,
+    DVFS_POLICIES,
+    FAULT_PROFILES,
+    RunSpec,
+    execute,
+)
 from repro.core import MultiSessionReport
 from repro.costmodel import CachedCostTable, CostTable, UncachedCostTable
 from repro.hardware import ACCELERATOR_IDS
@@ -65,10 +71,12 @@ SUITE_SESSIONS = (1, 2, 4, 16)
 SUITE_GRANULARITIES = ("model", "segment")
 SUITE_DVFS = ("static", "slack")
 SUITE_ADMISSION = ("none",)
+SUITE_FAULTS = ("none",)
 
 
 def build_spec(args, sessions=None, granularity=None,
-               churn=None, dvfs=None, admission=None) -> RunSpec:
+               churn=None, dvfs=None, admission=None,
+               faults=None) -> RunSpec:
     # A per-session scenario tuple (even of length 1) routes the spec
     # through the multi-tenant engine, so --sessions 1 still benchmarks
     # the dispatch path this file's numbers have always measured.
@@ -83,6 +91,7 @@ def build_spec(args, sessions=None, granularity=None,
         churn=args.churn if churn is None else churn,
         dvfs_policy=dvfs if dvfs is not None else args.dvfs,
         admission=admission if admission is not None else args.admission,
+        faults=faults if faults is not None else args.faults,
     )
 
 
@@ -129,15 +138,43 @@ def admission_facts(result) -> dict:
     }
 
 
+def faults_facts(result, mean_qoe: float,
+                 baseline_qoe: float | None = None) -> dict:
+    """Per-cell resilience facts: what a non-none fault profile cost.
+
+    ``qoe_retention_vs_none`` compares the cell's mean session QoE to
+    the matching ``faults="none"`` cell from the same sweep — the
+    fault-free twin — so the QoE price of riding out the profile's
+    outages is a single number per cell.
+    """
+    records = [s.faults for s in result.sessions if s.faults is not None]
+    latencies = [
+        latency for f in records for latency in f.recovery_latencies_s
+    ]
+    facts = {
+        "fault_killed": sum(f.killed for f in records),
+        "fault_retries": sum(f.retries for f in records),
+        "fault_recovered": sum(f.recovered for f in records),
+        "fault_lost": sum(f.lost for f in records),
+        "mean_recovery_latency_ms": (
+            round(sum(latencies) / len(latencies) * 1e3, 3)
+            if latencies else None
+        ),
+        "mean_session_qoe": round(mean_qoe, 4),
+    }
+    if baseline_qoe is not None and baseline_qoe > 0:
+        facts["qoe_retention_vs_none"] = round(mean_qoe / baseline_qoe, 4)
+    return facts
+
+
 def run_once(spec: RunSpec, costs):
     """One funnel pass with an injected dispatch-path cost table."""
     start = time.perf_counter()
     report = execute(spec, dispatch_costs=costs)
     elapsed = time.perf_counter() - start
     assert isinstance(report, MultiSessionReport)
-    result = report.result
-    requests = sum(len(s.requests) for s in result.sessions)
-    return result, requests, elapsed
+    requests = sum(len(s.requests) for s in report.result.sessions)
+    return report, requests, elapsed
 
 
 def measure(spec: RunSpec, repeat: int, make_table):
@@ -151,9 +188,9 @@ def measure(spec: RunSpec, repeat: int, make_table):
     (every repeat schedules identically); only wall time varies.
     """
     times = []
-    result = requests = None
+    report = requests = None
     for _ in range(repeat):
-        result, requests, elapsed = run_once(spec, make_table())
+        report, requests, elapsed = run_once(spec, make_table())
         times.append(elapsed)
     times.sort()
     elapsed = times[len(times) // 2] if repeat % 2 else (
@@ -166,7 +203,7 @@ def measure(spec: RunSpec, repeat: int, make_table):
         "wall_time_min_s": round(times[0], 6),
         "wall_time_max_s": round(times[-1], 6),
         "repeats": repeat,
-    }, result
+    }, report
 
 
 def profile_cell(spec: RunSpec, repeat: int, limit: int = 30) -> None:
@@ -194,21 +231,23 @@ def check_against(payload: dict, baseline_path: str,
     """Compare suite cells to a committed run; list >tolerance drops.
 
     Cells are matched on (sessions, granularity, churn, dvfs_policy,
-    admission); cells only one side has are ignored (the sweep may
-    grow).  A drop beyond ``tolerance`` on ``requests_per_sec`` is a
+    admission, faults); cells only one side has are ignored (the sweep
+    may grow).  A drop beyond ``tolerance`` on ``requests_per_sec`` is a
     regression.
     """
     with open(baseline_path) as fh:
         committed = json.load(fh)
     committed_cells = {
         (c["sessions"], c["granularity"], c.get("churn", 0.0),
-         c.get("dvfs_policy", "static"), c.get("admission", "none")): c
+         c.get("dvfs_policy", "static"), c.get("admission", "none"),
+         c.get("faults", "none")): c
         for c in committed.get("cells", [])
     }
     failures = []
     for cell in payload["cells"]:
         key = (cell["sessions"], cell["granularity"], cell["churn"],
-               cell["dvfs_policy"], cell.get("admission", "none"))
+               cell["dvfs_policy"], cell.get("admission", "none"),
+               cell.get("faults", "none"))
         before = committed_cells.get(key)
         if before is None:
             continue
@@ -226,10 +265,10 @@ def run_single(args) -> dict:
     """Uncached-vs-cached comparison at one (sessions, granularity)."""
     spec = build_spec(args)
     uncached, _ = measure(spec, args.repeat, UncachedCostTable)
-    cached, cached_result = measure(
+    cached, cached_report = measure(
         spec, args.repeat, lambda: CachedCostTable(base=CostTable())
     )
-    stats = cached_result.cost_stats
+    stats = cached_report.result.cost_stats
     return {
         "workload": spec.to_dict(),
         "uncached": uncached,
@@ -241,78 +280,115 @@ def run_single(args) -> dict:
     }
 
 
+def run_cell(args, sessions, granularity, churn, dvfs, admission,
+             faults, baseline_cells, fault_free_qoe) -> dict:
+    """Measure one suite cell and stamp its per-axis facts."""
+    spec = build_spec(args, sessions=sessions, granularity=granularity,
+                      churn=churn, dvfs=dvfs, admission=admission,
+                      faults=faults)
+    cached, report = measure(
+        spec, args.repeat, lambda: CachedCostTable(base=CostTable()),
+    )
+    result = report.result
+    stats = result.cost_stats
+    mean_qoe = (
+        sum(r.score.qoe for r in report.session_reports)
+        / len(report.session_reports)
+    )
+    cell = {
+        "sessions": sessions,
+        "granularity": granularity,
+        "churn": churn,
+        "dvfs_policy": dvfs,
+        "admission": admission,
+        "faults": faults,
+        **cached,
+        **energy_and_deadlines(result),
+        "cost_cache_hit_rate": (
+            round(stats.hit_rate, 4) if stats else None
+        ),
+    }
+    if admission != "none":
+        cell.update(admission_facts(result))
+    twin_key = (sessions, granularity, churn, dvfs, admission)
+    if faults == "none":
+        fault_free_qoe[twin_key] = mean_qoe
+    else:
+        cell.update(faults_facts(
+            result, mean_qoe, fault_free_qoe.get(twin_key)
+        ))
+    before = baseline_cells.get(
+        (sessions, granularity, churn, dvfs, admission, faults)
+    )
+    if before:
+        cell["baseline_requests_per_sec"] = before["requests_per_sec"]
+        cell["speedup"] = round(
+            cell["requests_per_sec"] / before["requests_per_sec"], 2
+        )
+    fault_note = ""
+    if faults != "none":
+        fault_note = (
+            f"  {cell['fault_killed']}k/{cell['fault_recovered']}r/"
+            f"{cell['fault_lost']}l faults"
+        )
+    print(
+        f"  {granularity:>7s} x {sessions:>2d} sessions"
+        f" (churn {churn:g}, dvfs {dvfs}, "
+        f"admission {admission}, faults {faults}): "
+        f"{cell['requests_per_sec']:>9.1f} req/s  "
+        f"{cell['total_energy_mj']:>9.1f} mJ  "
+        f"{cell['missed_deadlines']:>3d} missed"
+        + fault_note
+        + (f"  ({cell['speedup']}x vs baseline)"
+           if "speedup" in cell else ""),
+        file=sys.stderr,
+    )
+    return cell
+
+
 def run_suite(args) -> dict:
-    """Sessions x granularity x churn x DVFS x admission sweep (cached)."""
-    baseline_cells: dict[tuple[int, str, float, str, str], dict] = {}
+    """Sessions x granularity x churn x DVFS x admission x faults sweep
+    (cached dispatch path)."""
+    baseline_cells: dict[tuple, dict] = {}
     if args.baseline:
         with open(args.baseline) as fh:
             previous = json.load(fh)
         baseline_cells = {
             (c["sessions"], c["granularity"], c.get("churn", 0.0),
              c.get("dvfs_policy", "static"),
-             c.get("admission", "none")): c
+             c.get("admission", "none"),
+             c.get("faults", "none")): c
             for c in previous.get("cells", [])
         }
     cells = []
-    for admission in args.suite_admission:
-        for dvfs in args.suite_dvfs:
-            for churn in args.suite_churn:
-                for granularity in args.suite_granularities:
-                    for sessions in args.suite_sessions:
-                        spec = build_spec(args, sessions=sessions,
-                                          granularity=granularity,
-                                          churn=churn, dvfs=dvfs,
-                                          admission=admission)
-                        cached, result = measure(
-                            spec, args.repeat,
-                            lambda: CachedCostTable(base=CostTable()),
-                        )
-                        stats = result.cost_stats
-                        cell = {
-                            "sessions": sessions,
-                            "granularity": granularity,
-                            "churn": churn,
-                            "dvfs_policy": dvfs,
-                            "admission": admission,
-                            **cached,
-                            **energy_and_deadlines(result),
-                            "cost_cache_hit_rate": (
-                                round(stats.hit_rate, 4) if stats else None
-                            ),
-                        }
-                        if admission != "none":
-                            cell.update(admission_facts(result))
-                        before = baseline_cells.get(
-                            (sessions, granularity, churn, dvfs, admission)
-                        )
-                        if before:
-                            cell["baseline_requests_per_sec"] = (
-                                before["requests_per_sec"]
-                            )
-                            cell["speedup"] = round(
-                                cell["requests_per_sec"]
-                                / before["requests_per_sec"], 2
-                            )
-                        cells.append(cell)
-                        print(
-                            f"  {granularity:>7s} x {sessions:>2d} sessions"
-                            f" (churn {churn:g}, dvfs {dvfs}, "
-                            f"admission {admission}): "
-                            f"{cell['requests_per_sec']:>9.1f} req/s  "
-                            f"{cell['total_energy_mj']:>9.1f} mJ  "
-                            f"{cell['missed_deadlines']:>3d} missed"
-                            + (f"  ({cell['speedup']}x vs baseline)"
-                               if "speedup" in cell else ""),
-                            file=sys.stderr,
-                        )
+    # Mean session QoE of each faults="none" cell, keyed by the rest of
+    # the cell coordinates — the fault-free twin every faulted cell's
+    # qoe_retention_vs_none compares against.  The faults axis iterates
+    # outermost with "none" first (when present), so twins exist by the
+    # time faulted cells need them.
+    fault_free_qoe: dict[tuple, float] = {}
+    profiles = list(args.suite_faults)
+    if "none" in profiles:
+        profiles = ["none"] + [p for p in profiles if p != "none"]
+    for faults in profiles:
+        for admission in args.suite_admission:
+            for dvfs in args.suite_dvfs:
+                for churn in args.suite_churn:
+                    for granularity in args.suite_granularities:
+                        for sessions in args.suite_sessions:
+                            cells.append(run_cell(
+                                args, sessions, granularity, churn, dvfs,
+                                admission, faults, baseline_cells,
+                                fault_free_qoe,
+                            ))
     # The workload block records everything the cells share; sessions,
-    # granularity, churn, dvfs_policy and admission are per-cell, so the
-    # spec shown is per-cell too.
+    # granularity, churn, dvfs_policy, admission and faults are
+    # per-cell, so the spec shown is per-cell too.
     shared = build_spec(args, sessions=1, granularity="model",
                         churn=0.0, dvfs="static",
-                        admission="none").to_dict()
+                        admission="none", faults="none").to_dict()
     for swept in ("scenario", "sessions", "granularity", "churn",
-                  "dvfs_policy", "admission"):
+                  "dvfs_policy", "admission", "faults"):
         shared.pop(swept, None)
     shared["scenario"] = args.scenario
     return {
@@ -346,6 +422,9 @@ def main(argv=None) -> int:
                         choices=list(ADMISSION_POLICIES),
                         help="QoE admission controller policy "
                              "(default none)")
+    parser.add_argument("--faults", default="none",
+                        choices=list(FAULT_PROFILES),
+                        help="fault-injection profile (default none)")
     parser.add_argument("--repeat", type=int, default=3,
                         help="take the best of N runs (default 3)")
     parser.add_argument("--suite", action="store_true",
@@ -376,6 +455,15 @@ def main(argv=None) -> int:
                         help="admission policies the suite sweeps "
                              "(default: just none; adding shed/degrade "
                              "records each cell's QoE-control facts)")
+    parser.add_argument("--suite-faults", nargs="+",
+                        default=list(SUITE_FAULTS),
+                        choices=list(FAULT_PROFILES),
+                        metavar="F",
+                        help="fault profiles the suite sweeps "
+                             "(default: just none; adding single/flaky/"
+                             "thermal records each cell's resilience "
+                             "facts and QoE retention vs the fault-free "
+                             "twin)")
     parser.add_argument("--output", default="BENCH_runtime.json",
                         help="suite mode: where to write the JSON")
     parser.add_argument("--baseline", default=None, metavar="FILE",

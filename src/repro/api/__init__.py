@@ -49,13 +49,20 @@ from .execute import (
     run_session_group,
     run_single_scenario,
 )
-from .spec import ADMISSION_POLICIES, DVFS_POLICIES, RunSpec, Sweep
+from .spec import (
+    ADMISSION_POLICIES,
+    DVFS_POLICIES,
+    FAULT_PROFILES,
+    RunSpec,
+    Sweep,
+)
 
 __all__ = [
     "ADMISSION_POLICIES",
     "CollectingSink",
     "DVFS_POLICIES",
     "EventSink",
+    "FAULT_PROFILES",
     "Experiment",
     "ProgressEvent",
     "Report",

@@ -26,6 +26,7 @@ results layer, and every spec carries its own seeds.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
@@ -118,6 +119,7 @@ def run_session_group(
     preemptive: bool = False,
     dvfs_policy: str = "static",
     admission: str = "none",
+    faults: str = "none",
     measured_quality: dict[str, float] | None = None,
 ) -> MultiSessionReport:
     """Multiplex concurrent scenario sessions onto one system.
@@ -132,7 +134,10 @@ def run_session_group(
     dispatch boundary (``"static"``, ``"slack"``, ``"race_to_idle"``);
     ``admission`` the QoE admission controller consulted at session
     joins and periodic control ticks (``"none"``, ``"shed"``,
-    ``"degrade"``).  Dispatch-path pricing flows through a :class:`CachedCostTable`
+    ``"degrade"``); ``faults`` the seeded fault-injection profile whose
+    engine-failure/thermal events the event loop rides out (``"none"``,
+    ``"single"``, ``"flaky"``, ``"thermal"`` — seeded by ``base_seed``).
+    Dispatch-path pricing flows through a :class:`CachedCostTable`
     layered over ``costs`` unless ``dispatch_costs`` supplies the table
     directly (the throughput benchmark uses that to compare cache
     flavours).
@@ -168,6 +173,8 @@ def run_session_group(
         segments_per_model=segments_per_model,
         dvfs_policy=dvfs_policy,
         admission=admission,
+        faults=faults,
+        fault_seed=base_seed,
     )
     result = simulator.run()
     score_cfg = score if score is not None else ScoreConfig()
@@ -193,6 +200,7 @@ def run_full_suite(
     churn: float = 0.0,
     dvfs_policy: str = "static",
     admission: str = "none",
+    faults: str = "none",
 ) -> BenchmarkReport:
     """Run the full seven-scenario suite (Definition 5's Omega).
 
@@ -200,20 +208,26 @@ def run_full_suite(
     session (same deterministic lifetime plan as multi-session runs), so
     suite-level exports carry per-session active-duration accounting.
     A non-static ``dvfs_policy`` — or a non-``"none"`` ``admission``
-    policy — likewise routes each scenario through the multi-tenant
-    engine, where the DVFS governor and admission controller live.
+    policy or ``faults`` profile — likewise routes each scenario through
+    the multi-tenant engine, where the DVFS governor, admission
+    controller and fault machinery live.
     """
     costs = costs if costs is not None else CostTable()
     suite = benchmark_suite()
     reports = []
     for i, scenario in enumerate(suite):
-        if churn > 0 or dvfs_policy != "static" or admission != "none":
+        if (
+            churn > 0
+            or dvfs_policy != "static"
+            or admission != "none"
+            or faults != "none"
+        ):
             group = run_session_group(
                 [scenario], system,
                 scheduler=scheduler, duration_s=duration_s,
                 base_seed=seed, score=score, frame_loss=frame_loss,
                 costs=costs, churn=churn, dvfs_policy=dvfs_policy,
-                admission=admission,
+                admission=admission, faults=faults,
             )
             report = group.session_reports[0]
         else:
@@ -268,6 +282,7 @@ def execute(
             seed=spec.seed, score=score, frame_loss=spec.frame_loss,
             costs=costs, sinks=sinks, churn=spec.churn,
             dvfs_policy=spec.dvfs_policy, admission=spec.admission,
+            faults=spec.faults,
         )
     elif spec.mode == "sessions":
         names = (
@@ -284,6 +299,7 @@ def execute(
             segments_per_model=spec.segments_per_model,
             churn=spec.churn, preemptive=spec.preemptive,
             dvfs_policy=spec.dvfs_policy, admission=spec.admission,
+            faults=spec.faults,
             measured_quality=measured_quality,
         )
     else:
@@ -328,6 +344,48 @@ def _execute_worker(
             f"or run with workers=1)"
         ) from None
     return execute(spec, costs=costs)
+
+
+#: How many serial in-process attempts a sweep cell whose pool worker
+#: died (e.g. OOM-killed) gets before the sweep fails.
+WORKER_RETRY_LIMIT = 2
+
+
+def _pooled_result(
+    spec: RunSpec,
+    future: Any,
+    costs: CostTable | None,
+    sinks: Sequence[EventSink],
+    index: int,
+    total: int,
+) -> tuple[Report, int]:
+    """One pooled cell's report, riding out worker-process deaths.
+
+    A :class:`BrokenProcessPool` means the *worker* died (OOM killer,
+    segfaulting native code, a crashed interpreter) — not that the spec
+    is invalid — so the cell is retried serially, in this process, up to
+    :data:`WORKER_RETRY_LIMIT` times before the sweep fails.  Spec-level
+    exceptions (bad names, validation errors) are deterministic and
+    re-raise immediately.  Returns ``(report, retries_used)``.
+    """
+    try:
+        return future.result(), 0
+    except BrokenProcessPool as exc:
+        error: BaseException = exc
+    for attempt in range(1, WORKER_RETRY_LIMIT + 1):
+        emit(sinks, ProgressEvent(
+            kind="spec_retried", label=spec.describe(),
+            index=index, total=total,
+            payload={"attempt": attempt, "error": type(error).__name__},
+        ))
+        try:
+            return execute(spec, costs=costs), attempt
+        except BrokenProcessPool as exc:  # pragma: no cover - defensive
+            error = exc
+    raise RuntimeError(
+        f"spec {spec.describe()!r} failed {WORKER_RETRY_LIMIT + 1} "
+        f"times (worker process died); giving up"
+    ) from error
 
 
 @dataclass(frozen=True)
@@ -377,6 +435,7 @@ class Experiment:
             kind="experiment_started", label=self.name, total=max(total, 1),
             payload={"specs": total, "workers": workers},
         ))
+        retried_cells: list[str] = []
         if workers == 1 or total <= 1:
             shared = CachedCostTable(
                 base=costs if costs is not None else CostTable()
@@ -401,18 +460,27 @@ class Experiment:
                         pool.submit(_execute_worker, spec.to_dict(), costs)
                     )
                 reports = []
+                retried: list[str] = []
                 for i, (spec, future) in enumerate(zip(specs, futures)):
-                    report = future.result()
+                    report, retries = _pooled_result(
+                        spec, future, costs, sinks, i, total
+                    )
+                    if retries:
+                        retried.append(spec.describe())
                     emit(sinks, ProgressEvent(
                         kind="spec_finished", label=spec.describe(),
                         index=i, total=total,
                         payload={"overall": _overall(report)},
                     ))
                     reports.append(report)
+                retried_cells = retried
+        finished_payload: dict[str, Any] = {"specs": total}
+        if retried_cells:
+            finished_payload["retried"] = retried_cells
         emit(sinks, ProgressEvent(
             kind="experiment_finished", label=self.name,
             index=max(total - 1, 0), total=max(total, 1),
-            payload={"specs": total},
+            payload=finished_payload,
         ))
         return reports
 

@@ -28,7 +28,13 @@ from typing import Any, Iterable, Mapping
 from repro import registry
 from repro.core.config import DEFAULT_DURATION_S
 
-__all__ = ["ADMISSION_POLICIES", "DVFS_POLICIES", "RunSpec", "Sweep"]
+__all__ = [
+    "ADMISSION_POLICIES",
+    "DVFS_POLICIES",
+    "FAULT_PROFILES",
+    "RunSpec",
+    "Sweep",
+]
 
 #: Dispatch granularities (mirrors ``repro.runtime.GRANULARITIES``
 #: without importing the runtime at spec-construction time).
@@ -52,6 +58,13 @@ DVFS_POLICIES = ("static", "slack", "race_to_idle")
 #: enum — to each other).  Public: the CLI and benchmarks read their
 #: ``--admission`` choices from here.
 ADMISSION_POLICIES = ("none", "shed", "degrade")
+
+#: Fault-injection profiles (mirrors
+#: ``repro.runtime.FAULT_PROFILES`` without importing the runtime at
+#: spec-construction time; a test pins the two — and the JSON-schema
+#: enum — to each other).  Public: the CLI and benchmarks read their
+#: ``--faults`` choices from here.
+FAULT_PROFILES = ("none", "single", "flaky", "thermal")
 
 
 @dataclass(frozen=True)
@@ -100,6 +113,14 @@ class RunSpec:
     #: ``"degrade"`` (switch struggling sessions' models to cheaper
     #: variants mid-run, driven by the observed deadline-miss EWMA).
     admission: str = "none"
+    #: Fault injection: ``"none"`` (the default — no fault machinery,
+    #: bit-identical to the historical runtime), ``"single"`` (one
+    #: engine dies mid-run and recovers late), ``"flaky"`` (three short
+    #: outages on varying engines) or ``"thermal"`` (one engine hits a
+    #: DVFS ceiling mid-run and later cools off).  The event timeline is
+    #: deterministic from ``(faults, seed)`` and the plan is compiled —
+    #: and capacity-validated — at spec construction.
+    faults: str = "none"
 
     def __post_init__(self) -> None:
         scenario = self.scenario
@@ -166,13 +187,33 @@ class RunSpec:
                 f"admission must be one of {ADMISSION_POLICIES}, "
                 f"got {self.admission!r}"
             )
+        if self.faults not in FAULT_PROFILES:
+            raise ValueError(
+                f"faults must be one of {FAULT_PROFILES}, "
+                f"got {self.faults!r}"
+            )
         # Resolve every name through the registries so typos fail at
         # construction time with did-you-mean errors, not mid-run.
         for name in self.scenario_names():
             registry.scenarios.get(name)
         scheduler_cls = registry.schedulers.get(self.scheduler)
-        registry.accelerators.get(self.accelerator)
+        accelerator_factory = registry.accelerators.get(self.accelerator)
         registry.score_presets.get(self.score_preset)
+        if self.faults != "none":
+            # Compile the seeded fault plan now: a profile whose outage
+            # windows would fail every engine of this accelerator
+            # simultaneously (e.g. "single" on a one-engine system) is
+            # rejected here, at spec-compile time, with the plan's
+            # no-capacity error instead of stalling mid-run.  Lazy
+            # import keeps the runtime off the spec module's import
+            # path.
+            from repro.runtime.faults import make_fault_plan
+
+            system = accelerator_factory(self.pes)
+            make_fault_plan(
+                self.faults, system.num_subs, self.duration_s,
+                seed=self.seed,
+            )
         if self.preemptive:
             # Preemption only ever acts at segment boundaries; accepting
             # it elsewhere would be a silent no-op.
@@ -217,6 +258,7 @@ class RunSpec:
             or self.churn > 0
             or self.dvfs_policy != "static"  # governors live in multisim
             or self.admission != "none"  # controllers live in multisim
+            or self.faults != "none"  # fault machinery lives in multisim
         ):
             return "sessions"
         return "single"
@@ -242,6 +284,8 @@ class RunSpec:
             extra += f" dvfs={self.dvfs_policy}"
         if self.admission != "none":
             extra += f" admission={self.admission}"
+        if self.faults != "none":
+            extra += f" faults={self.faults}"
         return (
             f"{what}{extra} on {self.accelerator}@{self.pes}PE "
             f"({self.scheduler}, {self.duration_s}s, seed {self.seed})"

@@ -35,6 +35,7 @@ import sys
 from repro.api import (
     ADMISSION_POLICIES,
     DVFS_POLICIES,
+    FAULT_PROFILES,
     Experiment,
     RunSpec,
     StreamSink,
@@ -105,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
                  "(reject/drop lowest-priority sessions under overload) "
                  "or degrade (switch struggling sessions to cheaper "
                  "model variants mid-run)",
+        )
+        p.add_argument(
+            "--faults", default=None, choices=list(FAULT_PROFILES),
+            help="fault-injection profile: none (default), single (one "
+                 "engine dies mid-run and recovers late), flaky (three "
+                 "short outages on varying engines) or thermal (one "
+                 "engine hits a DVFS ceiling mid-run); the event "
+                 "timeline is deterministic from (profile, seed)",
         )
         p.add_argument(
             "--record", nargs="?", const="runs/runs.jsonl", default=None,
@@ -279,6 +288,7 @@ _FLAG_FIELDS = {
     "preemptive": ("preemptive", False),
     "dvfs": ("dvfs_policy", "static"),
     "admission": ("admission", "none"),
+    "faults": ("faults", "none"),
 }
 
 
@@ -309,6 +319,7 @@ def _spec_from_args(args: argparse.Namespace, **overrides) -> RunSpec:
         preemptive=_flag(args, "preemptive"),
         dvfs_policy=_flag(args, "dvfs"),
         admission=_flag(args, "admission"),
+        faults=_flag(args, "faults"),
         **overrides,
     )
 
@@ -631,10 +642,17 @@ def main(argv: list[str] | None = None) -> int:
         from repro.eval import ReportGenerator, RunDatabase
 
         db = RunDatabase(args.runs)
-        try:
-            generator = ReportGenerator.from_database(db)
-        except ValueError as exc:
-            return _fail(exc)
+        generator = ReportGenerator.from_database(db)
+        if generator.skipped_lines:
+            lines = ", ".join(
+                str(lineno) for lineno, _ in generator.skipped_lines
+            )
+            print(
+                f"warning: {db.path}: skipped "
+                f"{len(generator.skipped_lines)} malformed line(s) "
+                f"({lines}) — likely a crashed writer's truncated tail",
+                file=sys.stderr,
+            )
         if not generator.records:
             print(f"no runs recorded at {db.path}; run with --record first",
                   file=sys.stderr)

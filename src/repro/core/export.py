@@ -66,6 +66,46 @@ def _admission_to_dict(report: ScenarioReport) -> dict[str, Any]:
     }
 
 
+def _faults_to_dict(report: ScenarioReport) -> dict[str, Any]:
+    """The session's fault-injection stamp as plain data.
+
+    Sessions run without a fault plan (``profile == "none"``, or any run
+    through the single-tenant simulator) export the neutral block — no
+    kills, no retries, nothing lost — so downstream consumers can rely
+    on the keys existing unconditionally.
+    """
+    record = report.simulation.faults
+    if record is None:
+        return {
+            "profile": "none",
+            "killed": 0,
+            "retries": 0,
+            "lost": 0,
+            "recovered": 0,
+            "mean_recovery_latency_s": None,
+            "actions": [],
+        }
+    return {
+        "profile": record.profile,
+        "killed": record.killed,
+        "retries": record.retries,
+        "lost": record.lost,
+        "recovered": record.recovered,
+        "mean_recovery_latency_s": record.mean_recovery_latency_s,
+        "actions": [
+            {
+                "time_s": a.time_s,
+                "kind": a.kind,
+                "engine_index": a.engine_index,
+                "request_id": a.request_id,
+                "model_code": a.model_code,
+                "attempt": a.attempt,
+            }
+            for a in record.actions
+        ],
+    }
+
+
 def scenario_to_dict(report: ScenarioReport) -> dict[str, Any]:
     """Full scenario report as plain data (JSON-ready)."""
     sim, score = report.simulation, report.score
@@ -84,6 +124,9 @@ def scenario_to_dict(report: ScenarioReport) -> dict[str, Any]:
         # QoE control-plane stamp: what the admission controller did to
         # this session (first-class, even when no controller ran).
         "admission": _admission_to_dict(report),
+        # Resilience stamp: what the fault plan did to this session
+        # (first-class, even when no plan ran).
+        "faults": _faults_to_dict(report),
         # Honest per-session energy: total millijoules actually spent
         # (occupancy-log sum, including dropped requests' partial
         # segments) next to the Enmax-bounded energy *score* below.
@@ -147,13 +190,14 @@ def to_csv(report: BenchmarkReport) -> str:
          "energy", "accuracy", "executed", "streamed", "dropped",
          "missed_deadlines", "session_id", "active_duration_s",
          "session_energy_mj", "shed", "degradation_level",
-         "quality_proxy"]
+         "quality_proxy", "fault_killed", "fault_retries", "fault_lost"]
     )
     system = report.system.describe()
     for scenario_report in report.scenario_reports:
         data = scenario_to_dict(scenario_report)
         session = data["session"]
         admission = data["admission"]
+        faults = data["faults"]
         for m in data["models"]:
             writer.writerow(
                 [system, data["scenario"], m["code"],
@@ -164,7 +208,8 @@ def to_csv(report: BenchmarkReport) -> str:
                  session["id"], f"{session['active_duration_s']:.6f}",
                  f"{data['energy_mj']:.6f}",
                  int(admission["shed"]), admission["degradation_level"],
-                 f"{admission['quality_proxy']:.6f}"]
+                 f"{admission['quality_proxy']:.6f}",
+                 faults["killed"], faults["retries"], faults["lost"]]
             )
     return buf.getvalue()
 

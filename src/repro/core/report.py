@@ -77,6 +77,17 @@ class ScenarioReport:
             f"  mean engine utilization: "
             f"{min(1.0, sim.mean_utilization()):.1%}",
         ]
+        faults = sim.faults
+        if faults is not None:
+            recovery = faults.mean_recovery_latency_s
+            line = (
+                f"  faults[{faults.profile}]: {faults.killed} killed, "
+                f"{faults.retries} retries, {faults.recovered} "
+                f"recovered, {faults.lost} lost"
+            )
+            if recovery is not None:
+                line += f", mean recovery {recovery * 1e3:.2f} ms"
+            lines.append(line)
         for m in score.model_scores:
             lines.append(
                 f"    {m.model_code}: per-model={m.per_model:.3f} "
@@ -186,6 +197,26 @@ class MultiSessionReport:
                 f"  cost cache: {res.cost_stats.lookups} lookups, "
                 f"{res.cost_stats.hit_rate:.1%} hits"
             )
+        frecords = [
+            s.faults for s in res.sessions if s.faults is not None
+        ]
+        if frecords:
+            killed = sum(f.killed for f in frecords)
+            recovered = sum(f.recovered for f in frecords)
+            lost = sum(f.lost for f in frecords)
+            latencies = [
+                latency
+                for f in frecords
+                for latency in f.recovery_latencies_s
+            ]
+            line = (
+                f"  faults[{frecords[0].profile}]: {killed} killed, "
+                f"{recovered} recovered, {lost} lost to faults"
+            )
+            if latencies:
+                mean_s = sum(latencies) / len(latencies)
+                line += f", mean recovery {mean_s * 1e3:.2f} ms"
+            lines.append(line)
         for report in self.session_reports:
             sim, score = report.simulation, report.score
             window = (
@@ -193,6 +224,12 @@ class MultiSessionReport:
                 if sim.active_duration_s is not None
                 else ""
             )
+            fault_note = ""
+            if sim.faults is not None and sim.faults.killed:
+                fault_note = (
+                    f" faults={sim.faults.killed}k/"
+                    f"{sim.faults.recovered}r/{sim.faults.lost}l"
+                )
             lines.append(
                 f"    session {sim.session_id}: "
                 f"overall={score.overall:.3f} rt={score.rt:.3f} "
@@ -200,5 +237,6 @@ class MultiSessionReport:
                 f"dropped={len(sim.dropped())} "
                 f"missed={score.total_missed_deadlines} "
                 f"energy={sim.total_energy_mj():.1f}mJ{window}"
+                f"{fault_note}"
             )
         return "\n".join(lines)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import html
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -128,6 +129,14 @@ def _session_row(report: ScenarioReport) -> dict:
         row["quality_proxy"] = quality_retention(
             sim.scenario, record.degradation_level
         )
+    faults = sim.faults
+    row["faulted_requests"] = 0
+    row["fault_retries"] = 0
+    row["fault_lost"] = 0
+    if faults is not None:
+        row["faulted_requests"] = faults.killed
+        row["fault_retries"] = faults.retries
+        row["fault_lost"] = faults.lost
     return row
 
 
@@ -178,13 +187,21 @@ def summarize_report(spec, report) -> RunRecord:
 class RunDatabase:
     """Append-only JSON-lines store of :class:`RunRecord` entries.
 
-    One record per line; :meth:`load` skips blank lines and raises on
-    malformed ones (a truncated final line from a crashed writer is the
-    one tolerated corruption — it is reported, not silently dropped).
+    Appends are crash-safe: each record is one ``O_APPEND`` write of a
+    complete line, flushed and fsynced before the append returns, so
+    concurrent writers interleave whole lines and a crashed writer can
+    corrupt at most the file's tail.  :meth:`load` skips blank lines and
+    *tolerates* malformed ones — truncated or garbled lines (the residue
+    of a crash mid-write) are counted in :attr:`skipped_lines` instead
+    of poisoning the whole database; ``xrbench report`` surfaces the
+    count as a warning.
     """
 
     def __init__(self, path: str | Path = DEFAULT_DB_PATH) -> None:
         self.path = Path(path)
+        #: ``(lineno, reason)`` of malformed lines the last :meth:`load`
+        #: skipped; empty after loading a healthy database.
+        self.skipped_lines: list[tuple[int, str]] = []
 
     def append(self, spec, report) -> RunRecord:
         """Summarize ``report`` and persist it; returns the record."""
@@ -194,12 +211,31 @@ class RunDatabase:
 
     def append_record(self, record: RunRecord) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(record.to_dict(), sort_keys=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(line + "\n")
+        data = (
+            json.dumps(record.to_dict(), sort_keys=True) + "\n"
+        ).encode("utf-8")
+        # One O_APPEND write of the whole line + fsync: the kernel makes
+        # single-write appends atomic with respect to other appenders,
+        # and the fsync means an acknowledged record survives a crash
+        # of this process (a crash *mid-write* leaves a truncated tail
+        # line, which load() skips and counts).
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     def load(self) -> list[RunRecord]:
-        """All records in append order; empty list if no database yet."""
+        """All intact records in append order; empty if no database yet.
+
+        Malformed lines are skipped and recorded in
+        :attr:`skipped_lines` — a crashed writer's truncated tail must
+        not take the rest of the database down with it.
+        """
+        self.skipped_lines = []
         if not self.path.exists():
             return []
         records: list[RunRecord] = []
@@ -210,10 +246,8 @@ class RunDatabase:
                     continue
                 try:
                     records.append(RunRecord.from_dict(json.loads(line)))
-                except (json.JSONDecodeError, KeyError) as exc:
-                    raise ValueError(
-                        f"{self.path}:{lineno}: malformed run record: {exc}"
-                    ) from exc
+                except (json.JSONDecodeError, KeyError, TypeError) as exc:
+                    self.skipped_lines.append((lineno, str(exc)))
         return records
 
     def __len__(self) -> int:
@@ -230,10 +264,14 @@ class ReportGenerator:
     """
 
     records: list[RunRecord] = field(default_factory=list)
+    #: Malformed database lines the load skipped (surfaced as a report
+    #: warning so silent corruption never masquerades as a clean DB).
+    skipped_lines: list[tuple[int, str]] = field(default_factory=list)
 
     @classmethod
     def from_database(cls, db: RunDatabase) -> "ReportGenerator":
-        return cls(records=db.load())
+        records = db.load()
+        return cls(records=records, skipped_lines=list(db.skipped_lines))
 
     def policy_points(self) -> list[QoePoint]:
         """One QoE/throughput/energy point per admission policy."""
@@ -291,6 +329,14 @@ class ReportGenerator:
             header for _key, header, _fmt in _METRIC_COLUMNS
         ]
         lines = ["# XRBench run report", "", f"{len(self.records)} runs.", ""]
+        if self.skipped_lines:
+            lines += [
+                f"> **Warning:** skipped {len(self.skipped_lines)} "
+                "malformed database line(s) "
+                f"({', '.join(str(n) for n, _ in self.skipped_lines)}) — "
+                "likely a crashed writer's truncated tail.",
+                "",
+            ]
         lines += ["## Runs", ""]
         lines += _markdown_table(run_headers, self._run_rows())
         frontier, rows = self._frontier_rows()
@@ -326,6 +372,14 @@ class ReportGenerator:
             "</head><body>",
             "<h1>XRBench run report</h1>",
             f"<p>{len(self.records)} runs.</p>",
+        ]
+        if self.skipped_lines:
+            parts.append(
+                "<p><strong>Warning:</strong> skipped "
+                f"{len(self.skipped_lines)} malformed database line(s) "
+                "&mdash; likely a crashed writer's truncated tail.</p>"
+            )
+        parts += [
             "<h2>Runs</h2>",
             _html_table(run_headers, self._run_rows()),
             "<h2>QoE Pareto frontier by admission policy</h2>",

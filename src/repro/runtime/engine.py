@@ -112,6 +112,10 @@ class ExecutionRecord:
     #: nominal frequency).  A governed run re-decides per dispatch, so
     #: the record log doubles as the engine's frequency timeline.
     dvfs: str | None = None
+    #: ``True`` when the interval was cut short by an engine failure
+    #: (fault injection): ``end_s`` is the kill time, not the planned
+    #: completion, and ``energy_mj`` is the energy spent up to it.
+    aborted: bool = False
 
     @property
     def duration_s(self) -> float:
@@ -146,11 +150,20 @@ class ExecutionEngine:
     dvfs_transitions: list[
         tuple[float, DvfsPoint | None, DvfsPoint | None]
     ] = field(default_factory=list)
+    #: Fault-injection health state: a failed engine accepts no work
+    #: (and leaves the fleet's idle list); ``max_frequency_scale`` is
+    #: the thermal ceiling on the DVFS ladder while throttled (``None``
+    #: = unthrottled).  ``health_log`` records every transition as
+    #: ``(time_s, "fail" | "recover" | "throttle:<point>" | "release")``.
+    failed: bool = False
+    max_frequency_scale: float | None = None
+    health_log: list[tuple[float, str]] = field(default_factory=list)
     _point: DvfsPoint | None = field(default=None, repr=False)
     _current: WorkItem | None = field(default=None, repr=False)
     _started_s: float = field(default=0.0, repr=False)
     _until_s: float = field(default=0.0, repr=False)
     _energy_mj: float = field(default=0.0, repr=False)
+    _thermal_point: DvfsPoint | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         self._point = self.dvfs
@@ -177,6 +190,90 @@ class ExecutionEngine:
         """The point the engine currently runs at (``None`` = nominal)."""
         return self._point
 
+    @property
+    def effective_dvfs(self) -> DvfsPoint | None:
+        """The base operating point, clamped by any thermal ceiling.
+
+        The *identical* object as :attr:`dvfs` while unthrottled (or
+        while the base point already respects the ceiling), so
+        unthrottled pricing stays bit-identical to the historical path.
+        """
+        if self.max_frequency_scale is None:
+            return self.dvfs
+        base_scale = 1.0 if self.dvfs is None else self.dvfs.frequency_scale
+        if base_scale <= self.max_frequency_scale:
+            return self.dvfs
+        return self._thermal_point
+
+    def throttle(
+        self,
+        now_s: float,
+        max_frequency_scale: float,
+        ladder: tuple[DvfsPoint, ...],
+    ) -> None:
+        """Impose a thermal DVFS ceiling; picks the clamp point off
+        ``ladder`` (the fastest point still under the ceiling, or the
+        slowest point when none fits)."""
+        permitted = [
+            p for p in ladder if p.frequency_scale <= max_frequency_scale
+        ]
+        if permitted:
+            point = max(permitted, key=lambda p: p.frequency_scale)
+        else:
+            point = min(ladder, key=lambda p: p.frequency_scale)
+        self.max_frequency_scale = max_frequency_scale
+        self._thermal_point = point
+        self.health_log.append((now_s, f"throttle:{point.name}"))
+
+    def release_thermal(self, now_s: float) -> None:
+        """Lift the thermal ceiling (engine cooled off)."""
+        self.max_frequency_scale = None
+        self._thermal_point = None
+        self.health_log.append((now_s, "release"))
+
+    def abort(self, now_s: float) -> tuple[WorkItem, float, float]:
+        """Kill the in-flight item (engine failure at ``now_s``).
+
+        Logs a truncated, ``aborted`` execution record charging only the
+        energy spent up to the kill, rolls the busy-time charge of the
+        unexecuted remainder back out, and frees the engine.  Returns
+        ``(item, planned_end_s, unspent_energy_mj)`` so the caller can
+        undo the request-level accounting :meth:`begin`'s dispatch did.
+        """
+        item = self._current
+        if item is None:
+            raise ValueError(f"engine {self.index} is idle")
+        span = self._until_s - self._started_s
+        fraction = (now_s - self._started_s) / span if span > 0 else 1.0
+        fraction = min(1.0, max(0.0, fraction))
+        spent_mj = self._energy_mj * fraction
+        self.records.append(
+            ExecutionRecord(
+                sub_index=self.index,
+                session_id=item.session_id,
+                model_code=item.request.model_code,
+                model_frame=item.request.model_frame,
+                segment_index=item.segment_index,
+                num_segments=item.num_segments,
+                start_s=self._started_s,
+                end_s=now_s,
+                energy_mj=spent_mj,
+                dvfs=self._point.name if self._point is not None else None,
+                aborted=True,
+            )
+        )
+        planned_end_s = self._until_s
+        if self.horizon_s is None:
+            self.busy_time_s -= planned_end_s - now_s
+        else:
+            self.busy_time_s -= max(
+                0.0,
+                min(planned_end_s, self.horizon_s)
+                - min(now_s, self.horizon_s),
+            )
+        self._current = None
+        return item, planned_end_s, self._energy_mj - spent_mj
+
     def set_operating_point(
         self, point: DvfsPoint | None, now_s: float
     ) -> None:
@@ -195,6 +292,10 @@ class ExecutionEngine:
             raise ValueError(
                 f"engine {self.index} is already running {self._current!r} "
                 f"(hardware-occupancy condition)"
+            )
+        if self.failed:
+            raise ValueError(
+                f"engine {self.index} is failed and cannot accept work"
             )
         self._current = item
         self._started_s = now_s
@@ -268,7 +369,8 @@ class EngineFleet:
 
     def __post_init__(self) -> None:
         self._idle = sorted(
-            (e for e in self.engines if e.idle), key=_engine_index
+            (e for e in self.engines if e.idle and not e.failed),
+            key=_engine_index,
         )
 
     @property
@@ -298,6 +400,38 @@ class EngineFleet:
         item = engine.finish(now_s)
         insort(self._idle, engine, key=_engine_index)
         return item
+
+    def fail(
+        self, sub_index: int, now_s: float
+    ) -> tuple[WorkItem, float, float] | None:
+        """Take the engine at ``sub_index`` out of service (fault event).
+
+        An idle engine simply leaves the idle list; a busy one has its
+        in-flight item killed via :meth:`ExecutionEngine.abort`, whose
+        ``(item, planned_end_s, unspent_energy_mj)`` result is returned
+        so the event loop can requeue the item and undo its accounting.
+        Returns ``None`` when the engine was idle.
+        """
+        engine = self.engines[sub_index]
+        if engine.failed:
+            raise ValueError(f"engine {sub_index} is already failed")
+        killed = None
+        if engine.idle:
+            self._idle.remove(engine)
+        else:
+            killed = engine.abort(now_s)
+        engine.failed = True
+        engine.health_log.append((now_s, "fail"))
+        return killed
+
+    def recover(self, sub_index: int, now_s: float) -> None:
+        """Return the engine at ``sub_index`` to service (fault event)."""
+        engine = self.engines[sub_index]
+        if not engine.failed:
+            raise ValueError(f"engine {sub_index} is not failed")
+        engine.failed = False
+        engine.health_log.append((now_s, "recover"))
+        insort(self._idle, engine, key=_engine_index)
 
     def __len__(self) -> int:
         return len(self.engines)

@@ -154,7 +154,16 @@ class RaceToIdleGovernor:
         costs: CostTable,
         context: DispatchContext,
     ) -> DvfsPoint | None:
-        return _fastest(self.points)
+        # A thermally-throttled engine clamps the ladder: only points
+        # under its ceiling are permitted (the engine's clamped base
+        # point when none is).
+        cap = engine.max_frequency_scale
+        if cap is None:
+            return _fastest(self.points)
+        permitted = tuple(
+            p for p in self.points if p.frequency_scale <= cap
+        )
+        return _fastest(permitted) if permitted else engine.effective_dvfs
 
 
 @dataclass(frozen=True)
@@ -197,7 +206,17 @@ class SlackGovernor:
         costs: CostTable,
         context: DispatchContext,
     ) -> DvfsPoint | None:
-        base = engine.dvfs
+        # A thermal ceiling clamps both the baseline (the engine's
+        # effective point — the identical object as its base point while
+        # unthrottled, keeping fault-free runs bit-identical) and the
+        # candidate ladder.
+        base = engine.effective_dvfs
+        cap = engine.max_frequency_scale
+        points = (
+            self.points
+            if cap is None
+            else tuple(p for p in self.points if p.frequency_scale <= cap)
+        )
         code = item.code
         engine_index = engine.index
 
@@ -252,7 +271,7 @@ class SlackGovernor:
             # extra energy without changing the (near-binary) deadline
             # outcome, so hopeless dispatches stay at base speed.
             rescue, rescue_energy = None, float("inf")
-            for point in self.points:
+            for point in points:
                 if point.frequency_scale <= base_frequency:
                     continue
                 lat, en = lat_en(point)
@@ -265,7 +284,7 @@ class SlackGovernor:
         if context.next_event_s is not None:
             stretch_s = min(stretch_s, context.next_event_s - now_s)
         choice, choice_energy = base, base_en
-        for point in self.points:
+        for point in points:
             if point.frequency_scale > base_frequency:
                 continue
             lat, en = lat_en(point)

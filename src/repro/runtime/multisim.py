@@ -81,7 +81,13 @@ import heapq
 import itertools
 from dataclasses import dataclass, field
 
-from repro.costmodel import CachedCostTable, CostCacheStats, CostTable, DvfsPoint
+from repro.costmodel import (
+    DEFAULT_DVFS_POINTS,
+    CachedCostTable,
+    CostCacheStats,
+    CostTable,
+    DvfsPoint,
+)
 from repro.hardware import AcceleratorSystem
 from repro.workload import (
     Dependency,
@@ -101,6 +107,7 @@ from .admission import (
 )
 from .engine import EngineFleet, ExecutionEngine, ExecutionRecord, WorkItem
 from .events import EventKind, EventQueue
+from .faults import FaultAction, FaultPlan, FaultRecord, make_fault_plan
 from .governor import DispatchContext, DvfsGovernor, make_governor
 from .queues import DependencyTracker, WaitingQueue
 from .scheduler import Scheduler, SegmentScheduler, as_segment_scheduler
@@ -388,6 +395,16 @@ class MultiScenarioSimulator:
             sessions' models to cheaper variants mid-run).  An
             :class:`~repro.runtime.admission.AdmissionController`
             instance may be supplied directly for custom policies.
+        faults: hardware-fault injection — ``"none"`` (no plan installed,
+            the historical path, pinned by the golden schedule
+            checksums), a profile name from
+            :data:`~repro.runtime.faults.FAULT_PROFILES` (a seeded
+            :class:`~repro.runtime.faults.FaultPlan` is built from
+            ``fault_seed``), or a :class:`FaultPlan` instance.  Engine
+            failures kill and requeue in-flight work under the plan's
+            retry budget; thermal events clamp the DVFS ladder.
+        fault_seed: seed for string-named fault profiles (ignored when a
+            plan instance is supplied).
     """
 
     sessions: list[SessionSpec]
@@ -400,6 +417,8 @@ class MultiScenarioSimulator:
     engine_dvfs: dict[int, DvfsPoint] = field(default_factory=dict)
     dvfs_policy: str | DvfsGovernor = "static"
     admission: str | AdmissionController = "none"
+    faults: str | FaultPlan | None = "none"
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         if not self.sessions:
@@ -450,6 +469,29 @@ class MultiScenarioSimulator:
             self._controller = make_admission(self.admission)
         else:
             self._controller = self.admission
+        # And for fault injection: "none" resolves to no plan, so no
+        # fault events are ever scheduled and the event stream is the
+        # exact historical one.  Building the plan here also runs its
+        # validation (including the all-engines-down capacity veto) at
+        # construction — i.e. spec-compile — time.
+        if isinstance(self.faults, str):
+            self._fault_plan = make_fault_plan(
+                self.faults,
+                self.system.num_subs,
+                self.duration_s,
+                seed=self.fault_seed,
+            )
+        else:
+            self._fault_plan = self.faults
+            if (
+                self._fault_plan is not None
+                and self._fault_plan.num_engines != self.system.num_subs
+            ):
+                raise ValueError(
+                    f"fault plan describes "
+                    f"{self._fault_plan.num_engines} engine(s) but the "
+                    f"system has {self.system.num_subs}"
+                )
 
     @classmethod
     def replicate(
@@ -598,7 +640,14 @@ class MultiScenarioSimulator:
         dense = getattr(costs, "dense_view", None)
         view = dense(self.system) if dense is not None else None
         base_points = {engine.dvfs for engine in fleet}
-        uniform_base = len(base_points) == 1
+        # A fault plan with thermal events moves per-engine ceilings
+        # mid-run, so the uniform-base dense sweep (one row for the
+        # whole fleet) cannot be trusted — fall back to per-engine
+        # pricing for the run.
+        fplan = self._fault_plan
+        uniform_base = len(base_points) == 1 and (
+            fplan is None or not fplan.has_thermal
+        )
         base_point = base_points.pop() if uniform_base else None
         events = EventQueue()
         states: dict[int, _SessionState] = {}
@@ -666,6 +715,45 @@ class MultiScenarioSimulator:
                     session_id=tick_sid,
                 )
                 tick += 1
+
+        # Fault injection: the plan's events are scheduled up front like
+        # lifecycle events (they are system-wide — the handler ignores
+        # the tagging session).  All of this state stays empty — and no
+        # fault events are ever scheduled — when the profile is "none",
+        # leaving the historical event stream untouched.
+        faults_log: dict[int, FaultRecord] = {}
+        retry_items: dict[int, WorkItem] = {}
+        retry_counts: dict[int, int] = {}
+        kill_times: dict[int, float] = {}
+        thermal_caps: dict[tuple[float, int], float] = {}
+        thermal = fplan is not None and fplan.has_thermal
+        if fplan is not None:
+            fault_kinds = {
+                "engine_fail": EventKind.ENGINE_FAIL,
+                "engine_recover": EventKind.ENGINE_RECOVER,
+                "thermal_throttle": EventKind.THERMAL_THROTTLE,
+                "thermal_release": EventKind.THERMAL_RELEASE,
+            }
+            for sid in states:
+                faults_log[sid] = FaultRecord(profile=fplan.profile)
+            fault_sid = min(states)
+            for fe in fplan.events:
+                events.push(
+                    fe.time_s,
+                    fault_kinds[fe.kind],
+                    sub_index=fe.engine_index,
+                    session_id=fault_sid,
+                )
+                if fe.max_frequency_scale is not None:
+                    thermal_caps[(fe.time_s, fe.engine_index)] = (
+                        fe.max_frequency_scale
+                    )
+            # The throttle clamp points come off the governor's ladder
+            # when one is installed, so governed and clamped choices
+            # price the same points.
+            thermal_ladder = tuple(
+                getattr(governor, "points", DEFAULT_DVFS_POINTS)
+            )
 
         #: In-flight requests waiting for their next segment, as a heap
         #: ordered like the waiting queue (oldest data first, session and
@@ -802,7 +890,10 @@ class MultiScenarioSimulator:
             state = states[item.session_id]
             request = item.request
             if governor is None:
-                point = engine.dvfs
+                # effective_dvfs is the identical object as the base
+                # point unless a thermal ceiling is active, so the
+                # clamp probe stays off the fault-free hot path.
+                point = engine.effective_dvfs if thermal else engine.dvfs
                 cost = self.system.engine_cost(
                     costs, item.code, engine.index, point
                 )
@@ -868,6 +959,16 @@ class MultiScenarioSimulator:
                 return engines[view.best_engine_index(
                     item.code, [e.index for e in idle], base_point
                 )]
+            if thermal:
+                return min(
+                    idle,
+                    key=lambda e: (
+                        self.system.engine_cost(
+                            costs, item.code, e.index, e.effective_dvfs
+                        ).latency_s,
+                        e.index,
+                    ),
+                )
             return min(
                 idle,
                 key=lambda e: (
@@ -877,6 +978,70 @@ class MultiScenarioSimulator:
                     e.index,
                 ),
             )
+
+        def kill(item: WorkItem, engine_index: int, now_s: float,
+                 planned_end_s: float, unspent_mj: float) -> None:
+            """Undo a killed dispatch's accounting and arm its retry.
+
+            The engine-side rollback (truncated record, engine busy
+            time) already happened in :meth:`ExecutionEngine.abort`;
+            this unwinds what :func:`start` charged at dispatch — the
+            session busy time and energy of the unexecuted remainder,
+            and the optimistic ``end_time_s`` of a final segment — then
+            either schedules a deterministic backoff retry or abandons
+            the request as ``failed_faulted`` when the budget is spent.
+            """
+            sid = item.session_id
+            state = states[sid]
+            request = item.request
+            rid = request.request_id
+            # Roll back the session busy-time charge of [now, planned
+            # end], clipped to the active window exactly like start()
+            # clipped the original charge.
+            active_end_s = state.windows[-1][1]
+            state.busy_time_s[engine_index] -= max(
+                0.0,
+                min(planned_end_s, active_end_s)
+                - min(now_s, active_end_s),
+            )
+            if request.energy_mj is not None:
+                request.energy_mj -= unspent_mj
+            if item.is_final_segment:
+                # start() stamped the planned completion; it never
+                # happened.
+                request.end_time_s = None
+            request.faulted = True
+            kill_times.setdefault(rid, now_s)
+            log = faults_log[sid]
+            log.killed += 1
+            attempt = retry_counts.get(rid, 0)
+            log.actions.append(FaultAction(
+                now_s, "kill", engine_index, rid, request.model_code,
+                attempt=attempt,
+            ))
+            if attempt >= fplan.retry_budget:
+                request.dropped = True
+                request.failed_faulted = True
+                log.actions.append(FaultAction(
+                    now_s, "exhausted", engine_index, rid,
+                    request.model_code, attempt=attempt,
+                ))
+                return
+            retry_counts[rid] = attempt + 1
+            request.fault_retries = attempt + 1
+            log.retries += 1
+            delay_s = round(fplan.backoff_s * (2 ** attempt), 9)
+            retry_items[rid] = item
+            push(
+                round(now_s + delay_s, 9),
+                EventKind.WORK_RETRY,
+                request,
+                session_id=sid,
+            )
+            log.actions.append(FaultAction(
+                now_s, "retry_scheduled", engine_index, rid,
+                request.model_code, attempt=attempt + 1,
+            ))
 
         def dispatch(now_s: float) -> None:
             # Pass 1: resume in-flight segmented requests, oldest first.
@@ -936,6 +1101,11 @@ class MultiScenarioSimulator:
         SESSION_JOIN = EventKind.SESSION_JOIN
         SESSION_PHASE = EventKind.SESSION_PHASE
         CONTROL_TICK = EventKind.CONTROL_TICK
+        ENGINE_FAIL = EventKind.ENGINE_FAIL
+        ENGINE_RECOVER = EventKind.ENGINE_RECOVER
+        THERMAL_THROTTLE = EventKind.THERMAL_THROTTLE
+        THERMAL_RELEASE = EventKind.THERMAL_RELEASE
+        WORK_RETRY = EventKind.WORK_RETRY
         heap = events._heap  # drained via pop_fields; peeked for batching
         pop_fields = events.pop_fields
         push = events.push
@@ -968,6 +1138,19 @@ class MultiScenarioSimulator:
                     else:
                         state.requests.append(request)
                         waiting.offer(fresh_item(request, session_id))
+                elif kind is COMPLETION and fplan is not None and (
+                    engines[sub_index].current is None
+                    or engines[sub_index].current.request is not request
+                    or engines[sub_index].busy_until_s != now_s
+                ):
+                    # Stale completion: the dispatch that scheduled this
+                    # event was killed by an engine failure (and the
+                    # engine may since have recovered onto other work),
+                    # so there is nothing to finish.  Genuine
+                    # completions always see their own item with
+                    # busy_until_s at exactly this instant — the event
+                    # time IS the float begin() returned.
+                    pass
                 elif kind is COMPLETION:
                     item = finish(sub_index, now_s)
                     if item.request is not request:
@@ -1089,6 +1272,62 @@ class MultiScenarioSimulator:
                         elif action.kind == "degrade":
                             log.degradation_level = action.level
                             apply_degrade(action)
+                elif kind is ENGINE_FAIL:
+                    killed = fleet.fail(sub_index, now_s)
+                    if killed is not None:
+                        k_item, planned_end_s, unspent_mj = killed
+                        kill(k_item, sub_index, now_s, planned_end_s,
+                             unspent_mj)
+                elif kind is ENGINE_RECOVER:
+                    fleet.recover(sub_index, now_s)
+                elif kind is THERMAL_THROTTLE:
+                    engines[sub_index].throttle(
+                        now_s,
+                        thermal_caps[(now_s, sub_index)],
+                        thermal_ladder,
+                    )
+                elif kind is THERMAL_RELEASE:
+                    engines[sub_index].release_thermal(now_s)
+                elif kind is WORK_RETRY:
+                    item = retry_items.pop(request.request_id, None)
+                    if item is not None:
+                        log = faults_log[session_id]
+                        rid = request.request_id
+                        if (
+                            not state.active
+                            or state.phase_of.get(rid) != state.phase
+                        ):
+                            # The session departed or switched activity
+                            # while the backoff timer ran: nothing to
+                            # requeue into.
+                            request.dropped = True
+                            request.failed_faulted = True
+                            log.actions.append(FaultAction(
+                                now_s, "session_gone", -1, rid,
+                                request.model_code,
+                                attempt=retry_counts.get(rid, 0),
+                            ))
+                        elif waiting.peek(
+                            session_id, request.model_code
+                        ) is not None:
+                            # A fresher frame of the same model is
+                            # already waiting: the freshness policy
+                            # prefers it, so the stale retry is
+                            # abandoned rather than displacing it.
+                            request.dropped = True
+                            request.failed_faulted = True
+                            log.actions.append(FaultAction(
+                                now_s, "superseded", -1, rid,
+                                request.model_code,
+                                attempt=retry_counts.get(rid, 0),
+                            ))
+                        else:
+                            waiting.offer(item)
+                            log.actions.append(FaultAction(
+                                now_s, "requeued", -1, rid,
+                                request.model_code,
+                                attempt=retry_counts.get(rid, 0),
+                            ))
                 else:  # SESSION_LEAVE
                     state.active = False
                     retire_waiting(session_id, include_resumable=True)
@@ -1099,6 +1338,31 @@ class MultiScenarioSimulator:
                 (now_s, _, kind, request, sub_index,
                  session_id) = pop_fields()
             dispatch(now_s)
+
+        if fplan is not None:
+            # Single source of truth for recovered/lost: every request a
+            # fault ever touched either completed on a surviving engine
+            # (recovered, with its first-kill-to-completion latency) or
+            # is lost — exhausted retry budgets, superseded frames,
+            # departed sessions, and retries still waiting when the run
+            # drained all land here, so no killed work silently
+            # vanishes.
+            for sid, state in states.items():
+                log = faults_log[sid]
+                for request in state.requests:
+                    if not request.faulted:
+                        continue
+                    if request.completed:
+                        log.recovered += 1
+                        log.recovery_latencies_s.append(round(
+                            request.end_time_s
+                            - kill_times[request.request_id],
+                            9,
+                        ))
+                    else:
+                        request.dropped = True
+                        request.failed_faulted = True
+                        log.lost += 1
 
         records = sorted(
             (record for engine in fleet for record in engine.records),
@@ -1127,6 +1391,7 @@ class MultiScenarioSimulator:
                     state.active_duration_s if state.spec.dynamic else None
                 ),
                 admission=control.get(sid),
+                faults=faults_log.get(sid),
             )
             for sid, state in sorted(states.items())
         ]

@@ -149,6 +149,16 @@ class WaitingQueue:
         del self._keys[index]
         del self._by_key[key]
 
+    def peek(self, session_id: int, model_code: str) -> WorkItem | None:
+        """The waiting item for ``(session, model)``, if any.
+
+        Lets the fault-recovery machinery honour the freshness policy
+        when deciding whether a killed item may requeue: if a fresher
+        frame of the same model is already waiting, the stale retry is
+        abandoned instead of displacing it.
+        """
+        return self._by_key.get((session_id, model_code))
+
     def purge_session(self, session_id: int) -> list[WorkItem]:
         """Retire every waiting item of one session (departure / phase end).
 

@@ -35,6 +35,7 @@ from repro.workload import InferenceRequest, UsageScenario
 
 from .admission import AdmissionRecord
 from .engine import ExecutionRecord
+from .faults import FaultRecord
 from .scheduler import Scheduler
 
 __all__ = ["SimulationResult", "Simulator"]
@@ -64,6 +65,10 @@ class SimulationResult:
     #: QoE control-plane outcome for this session, or ``None`` when no
     #: admission controller was installed — the historical path.
     admission: AdmissionRecord | None = None
+    #: Fault-injection outcome for this session (kills, retries, lost
+    #: requests, recovery latencies), or ``None`` when no fault plan was
+    #: installed — the historical path.
+    faults: "FaultRecord | None" = None
 
     # -- derived statistics --------------------------------------------------
 

@@ -120,6 +120,15 @@ class InferenceRequest:
     accelerator_id: int | None = None
     energy_mj: float | None = None
     dropped: bool = False
+    #: Fault-injection stamps (repro.runtime.faults): ``faulted`` marks a
+    #: request whose in-flight work was killed by an engine failure at
+    #: least once; ``fault_retries`` counts its requeue attempts;
+    #: ``failed_faulted`` marks it abandoned by the recovery machinery
+    #: (retry budget spent, or no chance to re-run) — distinct from a
+    #: deadline miss, which is a *completed* request that ran late.
+    faulted: bool = False
+    fault_retries: int = 0
+    failed_faulted: bool = False
 
     @property
     def slack_s(self) -> float:

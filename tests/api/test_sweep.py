@@ -134,6 +134,93 @@ class TestExperiment:
         assert Experiment.from_dict(experiment.to_dict()) == experiment
 
 
+class TestWorkerDeathRetry:
+    """A pool worker dying (BrokenProcessPool) retries the cell serially."""
+
+    class _DeadFuture:
+        def result(self):
+            from concurrent.futures.process import BrokenProcessPool
+
+            raise BrokenProcessPool("worker died")
+
+    def test_dead_worker_cell_retried_serially(self, cost_table):
+        from repro.api.execute import _pooled_result
+
+        spec = BASE
+        sink = CollectingSink()
+        report, retries = _pooled_result(
+            spec, self._DeadFuture(), cost_table, [sink], 0, 1
+        )
+        assert retries == 1
+        assert 0.0 <= report.score.overall <= 1.0
+        (event,) = [e for e in sink.events if e.kind == "spec_retried"]
+        assert event.payload["attempt"] == 1
+        assert event.payload["error"] == "BrokenProcessPool"
+
+    def test_retry_budget_exhaustion_fails_the_sweep(self, monkeypatch,
+                                                     cost_table):
+        import importlib
+        from concurrent.futures.process import BrokenProcessPool
+
+        execute_module = importlib.import_module("repro.api.execute")
+
+        def always_broken(spec, **kwargs):
+            raise BrokenProcessPool("still dead")
+
+        monkeypatch.setattr(execute_module, "execute", always_broken)
+        sink = CollectingSink()
+        with pytest.raises(RuntimeError, match="worker process died"):
+            execute_module._pooled_result(
+                BASE, self._DeadFuture(), cost_table, [sink], 0, 1
+            )
+        retried = [e for e in sink.events if e.kind == "spec_retried"]
+        assert [e.payload["attempt"] for e in retried] == [1, 2]
+
+    def test_pooled_run_notes_retried_cells(self, monkeypatch, cost_table):
+        """End to end: one worker dies, the sweep still completes and the
+        experiment_finished event names the retried cell."""
+        import importlib
+
+        execute_module = importlib.import_module("repro.api.execute")
+
+        class _FakePool:
+            def __init__(self, max_workers=None):
+                self.calls = 0
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, spec_dict, costs):
+                self.calls += 1
+                if self.calls == 1:
+                    return TestWorkerDeathRetry._DeadFuture()
+
+                class _Lazy:
+                    def result(_self):
+                        return fn(spec_dict, costs)
+
+                return _Lazy()
+
+        monkeypatch.setattr(execute_module, "ProcessPoolExecutor",
+                            _FakePool)
+        sink = CollectingSink()
+        sweep = Sweep(base=BASE, grid={"seed": (0, 1)})
+        reports = Experiment.from_sweep(sweep).run(
+            workers=2, sinks=[sink], costs=cost_table
+        )
+        assert len(reports) == 2
+        (finished,) = [
+            e for e in sink.events if e.kind == "experiment_finished"
+        ]
+        assert finished.payload["retried"] == [
+            sweep.expand()[0].describe()
+        ]
+        assert sink.kinds().count("spec_retried") == 1
+
+
 class TestSharedCostTable:
     def test_experiment_reuses_analysis_across_specs(self, cost_table):
         """The serial path's shared cache sees hits from the second spec on."""

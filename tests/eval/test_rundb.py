@@ -155,20 +155,48 @@ class TestRunDatabase:
         db.append_record(make_record("shed"))
         assert len(db.load()) == 2
 
-    def test_malformed_line_reported_with_position(self, tmp_path):
+    def test_malformed_line_skipped_and_counted(self, tmp_path):
         path = tmp_path / "db.jsonl"
         db = RunDatabase(path)
         db.append_record(make_record())
         with path.open("a") as fh:
             fh.write('{"truncated": \n')
-        with pytest.raises(ValueError, match=r"db\.jsonl:2: malformed"):
-            db.load()
+        records = db.load()
+        assert len(records) == 1
+        assert [lineno for lineno, _ in db.skipped_lines] == [2]
 
-    def test_missing_keys_are_malformed(self, tmp_path):
+    def test_missing_keys_skipped(self, tmp_path):
         path = tmp_path / "db.jsonl"
         path.write_text('{"spec": {}}\n')
-        with pytest.raises(ValueError, match="malformed run record"):
-            RunDatabase(path).load()
+        db = RunDatabase(path)
+        assert db.load() == []
+        assert len(db.skipped_lines) == 1
+
+    def test_truncated_tail_does_not_poison_later_appends(self, tmp_path):
+        """A crashed writer's half-line corrupts only itself: the reader
+        skips it and records appended afterwards still load."""
+        path = tmp_path / "db.jsonl"
+        db = RunDatabase(path)
+        db.append_record(make_record())
+        with path.open("a") as fh:
+            fh.write('{"spec": {"admission')  # crash mid-write, no \n
+        db.append_record(make_record("shed"))
+        # The interrupted fragment and the next record share a line —
+        # that one line is the only casualty.
+        records = db.load()
+        assert [r.policy for r in records] == ["none"]
+        assert len(db.skipped_lines) == 1
+        db.append_record(make_record("degrade"))
+        assert [r.policy for r in db.load()] == ["none", "degrade"]
+        assert len(db.skipped_lines) == 1
+
+    def test_skipped_lines_reset_per_load(self, tmp_path):
+        path = tmp_path / "db.jsonl"
+        path.write_text("not json\n")
+        db = RunDatabase(path)
+        db.load()
+        db.load()
+        assert len(db.skipped_lines) == 1
 
 
 class TestReportGenerator:

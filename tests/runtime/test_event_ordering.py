@@ -17,6 +17,7 @@ import repro.runtime.multisim as multisim
 from repro.hardware import build_accelerator
 from repro.runtime import MultiScenarioSimulator, make_scheduler
 from repro.runtime.events import EventKind, EventQueue
+from repro.runtime.faults import FaultEvent, FaultPlan
 from repro.runtime.multisim import SessionPhase, SessionSpec
 from repro.workload import SessionWindow, get_scenario
 
@@ -133,8 +134,9 @@ def traced_queue(monkeypatch):
 
 def run_churned_preemptive(scenario_name="vr_gaming", duration_s=0.25):
     """A run exercising every event kind: churn, phases, preemption,
-    segment chains, the slack governor and admission control ticks all
-    at once."""
+    segment chains, the slack governor, admission control ticks and a
+    fault plan (engine failure/recovery, a thermal window, and the
+    retry of work killed mid-flight) all at once."""
     scenario = get_scenario(scenario_name)
     phase_scenario = get_scenario("social_interaction_b")
     specs = [
@@ -144,6 +146,22 @@ def run_churned_preemptive(scenario_name="vr_gaming", duration_s=0.25):
         SessionSpec(2, scenario, seed=2,
                     phases=(SessionPhase(0.125, phase_scenario),)),
     ]
+    # A hand-built plan covering every fault event kind; under three
+    # vr_gaming sessions both engines are saturated, so failing engine 0
+    # mid-run kills in-flight work and arms a WORK_RETRY too.
+    plan = FaultPlan(
+        profile="single",
+        seed=0,
+        num_engines=2,
+        duration_s=duration_s,
+        events=(
+            FaultEvent(0.08 * duration_s / 0.25, "thermal_throttle", 1,
+                       max_frequency_scale=0.7),
+            FaultEvent(0.10 * duration_s / 0.25, "engine_fail", 0),
+            FaultEvent(0.18 * duration_s / 0.25, "engine_recover", 0),
+            FaultEvent(0.20 * duration_s / 0.25, "thermal_release", 1),
+        ),
+    )
     sim = MultiScenarioSimulator(
         sessions=specs,
         system=build_accelerator("J", 8192),
@@ -152,6 +170,7 @@ def run_churned_preemptive(scenario_name="vr_gaming", duration_s=0.25):
         granularity="segment",
         dvfs_policy="slack",
         admission="degrade",
+        faults=plan,
     )
     return sim.run()
 

@@ -123,6 +123,28 @@ GOLDEN_DYNAMIC: dict[
 }
 
 
+#: (scheduler, granularity, sessions, fault profile) ->
+#: (record count, sha256 digest).  Same contract again, over the
+#: fault-injection machinery: seeded engine failures, recovery, the
+#: in-flight kill/requeue path and thermal DVFS clamps.  Fault plans are
+#: deterministic in (profile, seed), so these digests pin the *entire*
+#: resilience path — which dispatch gets killed, when the retry lands,
+#: which surviving engine absorbs the requeued frame, and how thermal
+#: caps reshape every subsequent dispatch.
+GOLDEN_FAULTS: dict[tuple[str, str, int, str], tuple[int, str]] = {
+    ("latency_greedy", "model", 4, "single"):
+        (71, "cc01de145e2698654f92fc7bc442fc6dfad44ef549cc157af5e043dc588e457c"),
+    ("latency_greedy", "segment", 16, "single"):
+        (213, "40cff6b4bfbad7c5cc82410c91af2ed281a2b4e9cd53d34e504bb15786065d53"),
+    ("edf", "segment", 4, "flaky"):
+        (179, "d92b8cccf2d5684f1c8bb75fc23aeaa1b137f7452c08b70ca40bb1581fb56a08"),
+    ("latency_greedy", "model", 4, "thermal"):
+        (86, "7ff37d20c1f09ead270911b82d293505a041de9b5b90c354aeef87c3788607e9"),
+    ("rate_monotonic", "model", 16, "flaky"):
+        (137, "f6481f4aebbc2f2638f22f1b53df493e68dc0233cdcb6f217bf5a911c1c59e95"),
+}
+
+
 def run_case(
     scheduler: str,
     granularity: str,
@@ -130,6 +152,7 @@ def run_case(
     churn: float = 0.0,
     preemptive: bool = False,
     dvfs: str = "static",
+    faults: str = "none",
 ):
     kwargs = {"preemptive": True} if preemptive else {}
     windows = (
@@ -147,6 +170,8 @@ def run_case(
         granularity=granularity,
         windows=windows,
         dvfs_policy=dvfs,
+        faults=faults,
+        fault_seed=BASE_SEED,
     ).run()
 
 
@@ -194,6 +219,27 @@ def test_dynamic_schedule_matches_golden(scheduler, granularity, sessions,
                       dvfs)
     key = (scheduler, granularity, sessions, churn, preemptive, dvfs)
     assert checksum_of(result) == GOLDEN_DYNAMIC[key]
+
+
+@pytest.mark.parametrize(
+    "scheduler,granularity,sessions,faults",
+    sorted(GOLDEN_FAULTS),
+    ids=lambda v: str(v),
+)
+def test_fault_schedule_matches_golden(scheduler, granularity, sessions,
+                                       faults):
+    result = run_case(scheduler, granularity, sessions, faults=faults)
+    key = (scheduler, granularity, sessions, faults)
+    assert checksum_of(result) == GOLDEN_FAULTS[key]
+
+
+def test_faults_none_is_bit_identical_to_historical_path():
+    """``faults="none"`` must not perturb a single dispatch: the run is
+    byte-for-byte the pre-fault-injection schedule."""
+    plain = run_case("latency_greedy", "model", 4)
+    gated = run_case("latency_greedy", "model", 4, faults="none")
+    assert checksum_of(gated) == checksum_of(plain)
+    assert checksum_of(gated) == GOLDEN[("latency_greedy", "model", 4)]
 
 
 def test_golden_covers_every_registered_scheduler():

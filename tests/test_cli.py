@@ -348,6 +348,35 @@ class TestSweepCommand:
         )
         jsonschema.validate(document, schema)
 
+    def test_faults_bearing_spec_validates_against_schema(self, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        from repro.api import FAULT_PROFILES, RunSpec
+
+        assert main(
+            ["sweep", "--dry-run", "--scenario", "vr_gaming",
+             "--accelerator", "J", "--faults", "single"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        schema = json.loads(
+            (REPO_ROOT / "schema" / "runspec.schema.json").read_text()
+        )
+        jsonschema.validate(document, schema)
+        for spec in document["specs"]:
+            assert spec["faults"] == "single"
+        # Every registered profile validates; an unknown one must not.
+        for profile in FAULT_PROFILES:
+            jsonschema.validate(
+                {"specs": [RunSpec(
+                    scenario="vr_gaming", accelerator="J",
+                    faults=profile,
+                ).to_dict()]},
+                schema,
+            )
+        bogus = RunSpec(scenario="vr_gaming", accelerator="J").to_dict()
+        bogus["faults"] = "bitflip"
+        with pytest.raises(jsonschema.ValidationError):
+            jsonschema.validate({"specs": [bogus]}, schema)
+
     def test_sweep_rejects_bad_workers(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--scenario", "vr_gaming", "--workers", "0"])
@@ -501,12 +530,35 @@ class TestRecordAndReport:
         assert main(["report", "--runs", str(tmp_path / "nope.jsonl")]) == 2
         assert "no runs recorded" in capsys.readouterr().err
 
-    def test_report_on_corrupt_database_fails_cleanly(self, tmp_path,
-                                                      capsys):
+    def test_report_on_corrupt_database_warns_and_skips(self, tmp_path,
+                                                        capsys):
+        # A fully-corrupt database leaves no runs: warn about the skipped
+        # line, then fail with the usual empty-database message.
         db = tmp_path / "runs.jsonl"
         db.write_text("not json\n")
         assert main(["report", "--runs", str(db)]) == 2
-        assert "malformed run record" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "skipped 1 malformed line(s) (1)" in err
+        assert "no runs recorded" in err
+
+    def test_report_survives_a_crashed_writers_tail(self, tmp_path,
+                                                    capsys):
+        # A truncated tail (crashed writer) costs only its own line: the
+        # intact records still render, with a warning on stderr and a
+        # banner in the report body.
+        db = tmp_path / "runs.jsonl"
+        assert main(
+            ["run", "vr_gaming", "A", "--duration", "0.2",
+             "--record", str(db)]
+        ) == 0
+        with db.open("a") as fh:
+            fh.write('{"spec": {"trunc')
+        capsys.readouterr()
+        assert main(["report", "--runs", str(db)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 1 malformed line(s) (2)" in captured.err
+        assert "XRBench run report" in captured.out
+        assert "skipped 1 malformed database line(s)" in captured.out
 
     def test_export_can_record(self, tmp_path, capsys):
         db = tmp_path / "runs.jsonl"
