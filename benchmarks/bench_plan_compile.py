@@ -1,0 +1,84 @@
+"""Compilation-layer benches: compile_plan latency and cache reuse.
+
+Not a paper figure — this times the planner seam PR 9 introduced so the
+"planning is cheap" assumption behind per-cell sweep estimates and the
+seed-grid plan cache stays measured, not folklore.  Three facts:
+
+* compiling a static plan is sub-millisecond-ish (pure name resolution
+  plus churn-window math, no cost model);
+* segment-granularity compilation (the split_graph work) is the
+  expensive shape, and ``reuse=`` skips exactly that part;
+* a full dry-run estimate (compile + price through a shared cached
+  cost table) stays far below actually executing the cell.
+"""
+
+from __future__ import annotations
+
+from repro.api import RunSpec, compile_plan, estimate_plan, execute_plan
+from repro.costmodel import CachedCostTable
+
+STATIC = RunSpec(scenario="vr_gaming", sessions=4, duration_s=0.25)
+SEGMENTED = RunSpec(
+    scenario="vr_gaming", sessions=4, duration_s=0.25,
+    granularity="segment", churn=0.25, faults="flaky",
+)
+
+
+def test_compile_static_plan(benchmark):
+    plan = benchmark(compile_plan, STATIC)
+    assert plan.mode == "sessions"
+    assert plan.segment_chains == ()
+
+
+def test_compile_segmented_plan(benchmark):
+    plan = benchmark(compile_plan, SEGMENTED)
+    assert plan.segment_chains
+    assert plan.faults is not None
+
+
+def test_compile_with_chain_reuse(benchmark):
+    """The plan-cache fast path: seed variants adopt cached chains."""
+    first = compile_plan(SEGMENTED)
+
+    def recompile():
+        return compile_plan(SEGMENTED.replace(seed=99), reuse=first)
+
+    plan = benchmark(recompile)
+    assert plan.segment_chains == first.segment_chains
+    assert plan.fingerprint != first.fingerprint
+
+
+def test_estimate_from_shared_cost_table(benchmark, cost_table):
+    shared = CachedCostTable(cost_table)
+    plan = compile_plan(STATIC)
+    estimate_plan(plan, costs=shared)  # warm the per-model analysis
+
+    est = benchmark(estimate_plan, plan, costs=shared)
+    assert est["expected_requests"] > 0
+    print()
+    print(f"  estimate: {est['expected_requests']} requests, "
+          f"busy {est['est_busy_engine_s'] * 1e3:.2f} ms, "
+          f"{est['est_energy_mj']:.0f} mJ")
+
+
+def test_estimate_is_cheaper_than_executing(cost_table):
+    """The dry-run promise: estimating a cell never simulates it."""
+    import time
+
+    shared = CachedCostTable(cost_table)
+    plan = compile_plan(STATIC)
+    estimate_plan(plan, costs=shared)  # warm
+
+    t0 = time.perf_counter()
+    estimate_plan(plan, costs=shared)
+    estimate_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    execute_plan(plan, costs=cost_table)
+    execute_s = time.perf_counter() - t0
+
+    print()
+    print(f"  estimate {estimate_s * 1e3:.2f} ms vs "
+          f"execute {execute_s * 1e3:.2f} ms "
+          f"({execute_s / max(estimate_s, 1e-9):.0f}x)")
+    assert estimate_s < execute_s

@@ -45,9 +45,18 @@ from .execute import (
     Experiment,
     Report,
     execute,
+    execute_plan,
     run_full_suite,
     run_session_group,
     run_single_scenario,
+)
+from .plan import (
+    DispatchPlan,
+    PlanSession,
+    compile_plan,
+    diff_plans,
+    estimate_plan,
+    workload_fingerprint,
 )
 from .spec import (
     ADMISSION_POLICIES,
@@ -61,15 +70,21 @@ __all__ = [
     "ADMISSION_POLICIES",
     "CollectingSink",
     "DVFS_POLICIES",
+    "DispatchPlan",
     "EventSink",
     "FAULT_PROFILES",
     "Experiment",
+    "PlanSession",
     "ProgressEvent",
     "Report",
     "RunSpec",
     "StreamSink",
     "Sweep",
+    "compile_plan",
+    "diff_plans",
+    "estimate_plan",
     "execute",
+    "execute_plan",
     "run_full_suite",
     "run_session_group",
     "run_single_scenario",

@@ -53,11 +53,18 @@ from repro.workload import (
 )
 
 from .events import EventSink, ProgressEvent, emit
+from .plan import (
+    DispatchPlan,
+    PlanSession,
+    compile_plan,
+    workload_fingerprint,
+)
 from .spec import RunSpec, Sweep
 
 __all__ = [
     "Report",
     "execute",
+    "execute_plan",
     "Experiment",
     "run_single_scenario",
     "run_session_group",
@@ -261,52 +268,189 @@ def execute(
 ) -> Report:
     """Execute one spec and return its report.
 
-    The keyword overrides exist for callers that already hold richer
-    objects than a spec can serialize — a pre-built ``system`` (ignoring
-    ``spec.accelerator``/``spec.pes``), a shared cost table, or an
-    inline :class:`ScoreConfig` replacing the named preset.  The
+    Compile-then-execute: the spec is compiled into a
+    :class:`~repro.api.DispatchPlan` and handed to
+    :func:`execute_plan` — the planner/executor seam.  The keyword
+    overrides exist for callers that already hold richer objects than a
+    spec can serialize — a pre-built ``system`` (ignoring
+    ``spec.accelerator``/``spec.pes``; the plan is compiled against it,
+    so fault schedules see its engine count), a shared cost table, or
+    an inline :class:`ScoreConfig` replacing the named preset.  The
     spec-only call is the fully-declarative path.
     """
+    return execute_plan(
+        compile_plan(spec, system=system),
+        system=system, costs=costs, dispatch_costs=dispatch_costs,
+        score=score, measured_quality=measured_quality,
+        sinks=sinks, index=index, total=total,
+    )
+
+
+def _planned_sessions(
+    rows: Sequence[PlanSession],
+) -> list[SessionSpec]:
+    """Plan rows as executor session specs (scenarios resolved by name)."""
+    return [
+        SessionSpec(
+            session_id=row.session_id,
+            scenario=get_scenario(row.scenario),
+            seed=row.seed,
+            frame_loss_probability=row.frame_loss,
+            arrival_s=row.arrival_s,
+            departure_s=row.departure_s,
+        )
+        for row in rows
+    ]
+
+
+def _planned_group(
+    plan: DispatchPlan,
+    rows: Sequence[PlanSession],
+    system: AcceleratorSystem,
+    *,
+    score: ScoreConfig,
+    costs: CostTable | None,
+    dispatch_costs: CostTable | None,
+    measured_quality: dict[str, float] | None,
+    granularity: str,
+    segments_per_model: int,
+    preemptive: bool,
+) -> MultiSessionReport:
+    """One multi-tenant group, built from plan rows instead of a spec.
+
+    The plan is consumed, not re-derived: session lifetime windows come
+    from its session table, the fault schedule from its compiled
+    :class:`~repro.runtime.faults.FaultPlan`, and the segment-chain
+    codes from its chain table (the simulator verifies them against the
+    deterministic re-split).
+    """
+    if dispatch_costs is None:
+        dispatch_costs = CachedCostTable(
+            base=costs if costs is not None else CostTable()
+        )
+    fault_plan = plan.fault_plan()
+    simulator = MultiScenarioSimulator(
+        sessions=_planned_sessions(rows),
+        system=system,
+        scheduler=make_scheduler(
+            plan.scheduler, **({"preemptive": True} if preemptive else {})
+        ),
+        duration_s=plan.duration_s,
+        costs=dispatch_costs,
+        granularity=granularity,
+        segments_per_model=segments_per_model,
+        dvfs_policy=plan.dvfs_policy,
+        admission=plan.admission,
+        faults=fault_plan if fault_plan is not None else "none",
+        fault_seed=plan.seed,
+        segment_plan=(
+            plan.chain_codes() if granularity == "segment" else None
+        ),
+    )
+    result = simulator.run()
+    scores = score_sessions(result, score, measured_quality)
+    reports = tuple(
+        ScenarioReport(simulation=session, score=scored)
+        for session, scored in zip(result.sessions, scores)
+    )
+    return MultiSessionReport(result=result, session_reports=reports)
+
+
+def _planned_suite(
+    plan: DispatchPlan,
+    system: AcceleratorSystem,
+    *,
+    score: ScoreConfig,
+    costs: CostTable | None,
+    sinks: Sequence[EventSink],
+) -> BenchmarkReport:
+    """The full suite from a plan's per-scenario session rows.
+
+    Mirrors :func:`run_full_suite` exactly: dynamic machinery (churn,
+    governors, admission, faults) routes each scenario through the
+    multi-tenant engine at whole-model granularity; the static case
+    keeps the single-tenant simulator.
+    """
+    costs = costs if costs is not None else CostTable()
+    reports = []
+    total = len(plan.sessions)
+    for i, row in enumerate(plan.sessions):
+        if plan.dynamic:
+            group = _planned_group(
+                plan, [row], system,
+                score=score, costs=costs, dispatch_costs=None,
+                measured_quality=None,
+                # run_full_suite never forwarded granularity: suite
+                # scenarios dispatch whole models.
+                granularity="model", segments_per_model=2,
+                preemptive=False,
+            )
+            report = group.session_reports[0]
+        else:
+            report = run_single_scenario(
+                row.scenario, system,
+                scheduler=plan.scheduler, duration_s=plan.duration_s,
+                seed=row.seed, score=score, frame_loss=row.frame_loss,
+                costs=costs,
+            )
+        emit(sinks, ProgressEvent(
+            kind="scenario_finished",
+            label=row.scenario,
+            index=i,
+            total=total,
+            payload={"scenario": row.scenario, "overall": report.overall},
+        ))
+        reports.append(report)
+    return BenchmarkReport(system=system, scenario_reports=reports)
+
+
+def execute_plan(
+    plan: DispatchPlan,
+    *,
+    system: AcceleratorSystem | None = None,
+    costs: CostTable | None = None,
+    dispatch_costs: CostTable | None = None,
+    score: ScoreConfig | None = None,
+    measured_quality: dict[str, float] | None = None,
+    sinks: Sequence[EventSink] = (),
+    index: int = 0,
+    total: int = 1,
+) -> Report:
+    """Execute a compiled :class:`~repro.api.DispatchPlan`.
+
+    The executor half of the planner/executor split: consumes the
+    plan's resolved session table, fault schedule, segment-chain table
+    and policy bindings without re-deriving them from the spec.  A plan
+    round-tripped through :meth:`DispatchPlan.to_json` /
+    :meth:`DispatchPlan.from_json` replays to identical results.
+    """
     if score is None:
-        score = get_score_preset(spec.score_preset)
+        score = get_score_preset(plan.score_preset)
     if system is None:
-        system = build_accelerator(spec.accelerator, spec.pes)
-    label = spec.describe()
+        system = build_accelerator(plan.accelerator, plan.pes)
+    label = plan.describe()
     emit(sinks, ProgressEvent(
         kind="spec_started", label=label, index=index, total=total,
     ))
-    if spec.mode == "suite":
-        report: Report = run_full_suite(
-            system,
-            scheduler=spec.scheduler, duration_s=spec.duration_s,
-            seed=spec.seed, score=score, frame_loss=spec.frame_loss,
-            costs=costs, sinks=sinks, churn=spec.churn,
-            dvfs_policy=spec.dvfs_policy, admission=spec.admission,
-            faults=spec.faults,
+    if plan.mode == "suite":
+        report: Report = _planned_suite(
+            plan, system, score=score, costs=costs, sinks=sinks,
         )
-    elif spec.mode == "sessions":
-        names = (
-            spec.scenario
-            if isinstance(spec.scenario, tuple)
-            else (spec.scenario,) * spec.sessions
-        )
-        report = run_session_group(
-            names, system,
-            scheduler=spec.scheduler, duration_s=spec.duration_s,
-            base_seed=spec.seed, score=score, frame_loss=spec.frame_loss,
-            costs=costs, dispatch_costs=dispatch_costs,
-            granularity=spec.granularity,
-            segments_per_model=spec.segments_per_model,
-            churn=spec.churn, preemptive=spec.preemptive,
-            dvfs_policy=spec.dvfs_policy, admission=spec.admission,
-            faults=spec.faults,
+    elif plan.mode == "sessions":
+        report = _planned_group(
+            plan, plan.sessions, system,
+            score=score, costs=costs, dispatch_costs=dispatch_costs,
             measured_quality=measured_quality,
+            granularity=plan.granularity,
+            segments_per_model=plan.segments_per_model,
+            preemptive=plan.preemptive,
         )
     else:
+        (row,) = plan.sessions
         report = run_single_scenario(
-            spec.scenario, system,
-            scheduler=spec.scheduler, duration_s=spec.duration_s,
-            seed=spec.seed, score=score, frame_loss=spec.frame_loss,
+            row.scenario, system,
+            scheduler=plan.scheduler, duration_s=plan.duration_s,
+            seed=row.seed, score=score, frame_loss=row.frame_loss,
             costs=costs, measured_quality=measured_quality,
         )
     emit(sinks, ProgressEvent(
@@ -436,15 +580,27 @@ class Experiment:
             payload={"specs": total, "workers": workers},
         ))
         retried_cells: list[str] = []
+        plan_cache_hits: int | None = None
         if workers == 1 or total <= 1:
             shared = CachedCostTable(
                 base=costs if costs is not None else CostTable()
             )
-            reports = [
-                execute(spec, costs=shared, sinks=sinks,
-                        index=i, total=total)
-                for i, spec in enumerate(specs)
-            ]
+            # Plan cache keyed on the workload fingerprint (the spec
+            # minus its seed): sweep cells sharing a workload reuse the
+            # seed-independent compilation — notably the segment-chain
+            # table — instead of recompiling it per cell.
+            plans: dict[str, DispatchPlan] = {}
+            plan_cache_hits = 0
+            reports = []
+            for i, spec in enumerate(specs):
+                cached = plans.get(workload_fingerprint(spec))
+                if cached is not None:
+                    plan_cache_hits += 1
+                plan = compile_plan(spec, reuse=cached)
+                plans[plan.workload_fingerprint] = plan
+                reports.append(execute_plan(
+                    plan, costs=shared, sinks=sinks, index=i, total=total,
+                ))
         else:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = []
@@ -475,6 +631,8 @@ class Experiment:
                     reports.append(report)
                 retried_cells = retried
         finished_payload: dict[str, Any] = {"specs": total}
+        if plan_cache_hits is not None:
+            finished_payload["plan_cache_hits"] = plan_cache_hits
         if retried_cells:
             finished_payload["retried"] = retried_cells
         emit(sinks, ProgressEvent(

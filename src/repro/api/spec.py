@@ -22,6 +22,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import json
+import warnings
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
 
@@ -373,13 +374,34 @@ class Sweep:
         return total
 
     def expand(self) -> list[RunSpec]:
-        """All grid points as specs (validated at construction)."""
+        """All *distinct* grid points as specs, first occurrence kept.
+
+        Overlapping axis values (``{"seed": (0, 0, 1)}``, or two axes
+        that collapse to the same spec) would otherwise execute — and
+        plan-cache — identical cells repeatedly; duplicates are dropped
+        with a :class:`UserWarning` naming the count.  ``len(sweep)``
+        still counts raw grid points.
+        """
         if not self.grid:
             return [self.base]
         names = [name for name, _ in self.grid]
         out: list[RunSpec] = []
+        seen: set[RunSpec] = set()
+        duplicates = 0
         for combo in itertools.product(*(values for _, values in self.grid)):
-            out.append(self.base.replace(**dict(zip(names, combo))))
+            spec = self.base.replace(**dict(zip(names, combo)))
+            if spec in seen:
+                duplicates += 1
+                continue
+            seen.add(spec)
+            out.append(spec)
+        if duplicates:
+            warnings.warn(
+                f"sweep grid has overlapping axis values: dropped "
+                f"{duplicates} duplicate cell(s) of {len(self)} "
+                f"grid points",
+                stacklevel=2,
+            )
         return out
 
     def __iter__(self) -> Iterable[RunSpec]:

@@ -10,10 +10,16 @@ Subcommands:
 * ``run`` — run one scenario (or a spec file via ``--spec``) and print
   the report.
 * ``suite`` — run the full seven-scenario suite on one accelerator.
+* ``plan`` — compile a spec into its frozen
+  :class:`repro.api.DispatchPlan` artifact (JSON, validated in CI
+  against ``schema/dispatchplan.schema.json``) without executing
+  anything; ``--diff A.json B.json`` renders a structured
+  field-by-field diff between two compiled plans.
 * ``sweep`` — expand a cartesian scenario x accelerator grid and run it
   (optionally on worker processes); ``--dry-run`` emits the expanded
-  specs as JSON for external runners (validated in CI against
-  ``schema/runspec.schema.json``).
+  specs plus per-cell plan fingerprints and cost/duration estimates
+  from the compiled plans, as JSON for external runners (validated in
+  CI against ``schema/runspec.schema.json``).
 * ``figure5`` / ``figure6`` / ``figure7`` / ``figure8`` — regenerate the
   paper's evaluation figures as text tables.
 * ``tables`` — print the definitional tables (1, 2, 3, 5, 6, 7).
@@ -164,6 +170,43 @@ def build_parser() -> argparse.ArgumentParser:
     suite_p.add_argument("accelerator", choices=list(ACCELERATOR_IDS))
     add_common(suite_p)
     add_dynamics(suite_p)
+
+    plan_p = sub.add_parser(
+        "plan",
+        help="compile a spec into its DispatchPlan artifact, or diff two "
+             "compiled plans",
+    )
+    plan_p.add_argument("scenario", nargs="?", default=None,
+                        choices=list(SCENARIO_ORDER))
+    plan_p.add_argument("accelerator", nargs="?", default=None,
+                        choices=list(ACCELERATOR_IDS))
+    plan_p.add_argument(
+        "--spec", default=None, metavar="SPEC.json",
+        help="load the RunSpec from a JSON file (mutually exclusive with "
+             "the positionals); flags set to non-default values override "
+             "the corresponding spec fields",
+    )
+    plan_p.add_argument(
+        "--diff", nargs=2, default=None, metavar=("A.json", "B.json"),
+        help="render a structured field-by-field diff between two "
+             "compiled plan artifacts instead of compiling one",
+    )
+    plan_p.add_argument(
+        "--json", action="store_true",
+        help="with --diff: emit the diff entries as a JSON array",
+    )
+    plan_p.add_argument(
+        "--output", default=None, metavar="PLAN.json",
+        help="write the compiled plan here instead of stdout",
+    )
+    plan_p.add_argument("--sessions", type=int, default=None)
+    plan_p.add_argument("--granularity", default=None,
+                        choices=["model", "segment"])
+    plan_p.add_argument("--segments", type=int, default=None)
+    plan_p.add_argument("--preemptive", action="store_const", const=True,
+                        default=None)
+    add_common(plan_p)
+    add_dynamics(plan_p)
 
     sweep_p = sub.add_parser(
         "sweep", help="run a cartesian scenario x accelerator grid"
@@ -439,6 +482,69 @@ def main(argv: list[str] | None = None) -> int:
         print(report.summary())
         return 0
 
+    if args.command == "plan":
+        from repro.api import DispatchPlan, compile_plan, diff_plans
+
+        if args.diff is not None:
+            if args.scenario is not None or args.spec is not None:
+                print("--diff takes two compiled plan files; drop the "
+                      "scenario/--spec arguments", file=sys.stderr)
+                return 2
+            try:
+                loaded = []
+                for path in args.diff:
+                    with open(path, encoding="utf-8") as fh:
+                        loaded.append(DispatchPlan.from_json(fh.read()))
+                entries = diff_plans(*loaded)
+            except (KeyError, ValueError, OSError) as exc:
+                return _fail(exc)
+            if args.json:
+                print(json.dumps(entries, indent=2))
+            elif not entries:
+                print("plans are identical")
+            else:
+                for entry in entries:
+                    print(f"{entry['path']}: {entry['a']!r} -> "
+                          f"{entry['b']!r}")
+            return 0
+        try:
+            if args.spec is not None:
+                if args.scenario is not None or args.accelerator is not None:
+                    print("--spec replaces the scenario/accelerator "
+                          "positionals; pass one or the other",
+                          file=sys.stderr)
+                    return 2
+                spec = _load_spec(args.spec)
+                overrides = _explicit_flags(args)
+                if overrides:
+                    spec = spec.replace(**overrides)
+            else:
+                if args.scenario is None or args.accelerator is None:
+                    parser.error(
+                        "plan needs a scenario and an accelerator (or "
+                        "--spec SPEC.json, or --diff A.json B.json)"
+                    )
+                spec = _spec_from_args(
+                    args,
+                    scenario=args.scenario,
+                    accelerator=args.accelerator,
+                    sessions=_flag(args, "sessions"),
+                    granularity=_flag(args, "granularity"),
+                    segments_per_model=_flag(args, "segments"),
+                )
+            plan = compile_plan(spec)
+        except (KeyError, ValueError, OSError) as exc:
+            return _fail(exc)
+        rendered = plan.to_json(indent=2)
+        if args.output is None:
+            print(rendered)
+        else:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(rendered + "\n")
+            print(f"wrote {args.output} "
+                  f"(fingerprint {plan.fingerprint[:12]})", file=sys.stderr)
+        return 0
+
     if args.command == "sweep":
         if args.workers < 1:
             parser.error(f"--workers must be >= 1, got {args.workers}")
@@ -456,10 +562,34 @@ def main(argv: list[str] | None = None) -> int:
         except (KeyError, ValueError) as exc:
             return _fail(exc)
         if args.dry_run:
+            # Per-cell plan fingerprints and cost/duration estimates:
+            # one shared cached cost table prices every cell, and cells
+            # sharing a workload fingerprint reuse a prior compilation.
+            from repro.api import compile_plan, estimate_plan
+            from repro.api import workload_fingerprint as workload_fp
+            from repro.costmodel import CachedCostTable
+
+            shared = CachedCostTable(CostTable())
+            plans: dict[str, object] = {}
+            cells = []
+            try:
+                for spec in specs:
+                    plan = compile_plan(
+                        spec, reuse=plans.get(workload_fp(spec))
+                    )
+                    plans[plan.workload_fingerprint] = plan
+                    cells.append({
+                        "fingerprint": plan.fingerprint,
+                        "workload_fingerprint": plan.workload_fingerprint,
+                        "estimate": estimate_plan(plan, costs=shared),
+                    })
+            except (KeyError, ValueError) as exc:
+                return _fail(exc)
             print(json.dumps(
                 {
                     "sweep": sweep.to_dict(),
                     "specs": [spec.to_dict() for spec in specs],
+                    "cells": cells,
                 },
                 indent=2,
             ))
@@ -622,10 +752,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "export":
+        from repro.api import compile_plan
         from repro.core import benchmark_to_dict, submission, to_csv
 
         try:
             spec = _spec_from_args(args, suite=True)
+            plan = compile_plan(spec)
             report = execute(spec)
         except (KeyError, ValueError) as exc:
             return _fail(exc)
@@ -633,9 +765,16 @@ def main(argv: list[str] | None = None) -> int:
         if args.format == "submission":
             print(submission(report, include_breakdowns=args.breakdowns))
         elif args.format == "json":
-            print(json.dumps(benchmark_to_dict(report), indent=2))
+            print(json.dumps(
+                benchmark_to_dict(
+                    report,
+                    plan_fingerprint=plan.fingerprint,
+                    workload_fingerprint=plan.workload_fingerprint,
+                ),
+                indent=2,
+            ))
         else:
-            print(to_csv(report), end="")
+            print(to_csv(report, plan_fingerprint=plan.fingerprint), end="")
         return 0
 
     if args.command == "report":

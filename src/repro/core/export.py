@@ -170,28 +170,54 @@ def scenario_to_dict(report: ScenarioReport) -> dict[str, Any]:
     }
 
 
-def benchmark_to_dict(report: BenchmarkReport) -> dict[str, Any]:
-    """Full suite report as plain data."""
-    return {
+def benchmark_to_dict(
+    report: BenchmarkReport,
+    *,
+    plan_fingerprint: str | None = None,
+    workload_fingerprint: str | None = None,
+) -> dict[str, Any]:
+    """Full suite report as plain data.
+
+    The optional fingerprints stamp which compiled
+    :class:`~repro.api.DispatchPlan` produced the report (``xrbench
+    export`` passes them), so exports from the identical plan — and,
+    via the workload fingerprint, from the same plan under different
+    seeds — are groupable without re-deriving anything.
+    """
+    data: dict[str, Any] = {
         "system": report.system.describe(),
         "xrbench_score": report.xrbench_score,
         "scenarios": [
             scenario_to_dict(r) for r in report.scenario_reports
         ],
     }
+    if plan_fingerprint is not None:
+        data["plan_fingerprint"] = plan_fingerprint
+    if workload_fingerprint is not None:
+        data["workload_fingerprint"] = workload_fingerprint
+    return data
 
 
-def to_csv(report: BenchmarkReport) -> str:
-    """One CSV row per (scenario, model) with all score components."""
+def to_csv(
+    report: BenchmarkReport, *, plan_fingerprint: str | None = None
+) -> str:
+    """One CSV row per (scenario, model) with all score components.
+
+    ``plan_fingerprint`` (when given) is repeated on every row — CSV
+    consumers join on it to group rows produced by the identical
+    compiled plan.
+    """
     buf = io.StringIO()
     writer = csv.writer(buf)
-    writer.writerow(
-        ["system", "scenario", "model", "per_model", "qoe", "rt",
-         "energy", "accuracy", "executed", "streamed", "dropped",
-         "missed_deadlines", "session_id", "active_duration_s",
-         "session_energy_mj", "shed", "degradation_level",
-         "quality_proxy", "fault_killed", "fault_retries", "fault_lost"]
-    )
+    header = ["system", "scenario", "model", "per_model", "qoe", "rt",
+              "energy", "accuracy", "executed", "streamed", "dropped",
+              "missed_deadlines", "session_id", "active_duration_s",
+              "session_energy_mj", "shed", "degradation_level",
+              "quality_proxy", "fault_killed", "fault_retries",
+              "fault_lost"]
+    if plan_fingerprint is not None:
+        header.append("plan_fingerprint")
+    writer.writerow(header)
     system = report.system.describe()
     for scenario_report in report.scenario_reports:
         data = scenario_to_dict(scenario_report)
@@ -199,18 +225,19 @@ def to_csv(report: BenchmarkReport) -> str:
         admission = data["admission"]
         faults = data["faults"]
         for m in data["models"]:
-            writer.writerow(
-                [system, data["scenario"], m["code"],
-                 f"{m['per_model']:.6f}", f"{m['qoe']:.6f}",
-                 f"{m['rt']:.6f}", f"{m['energy']:.6f}",
-                 f"{m['accuracy']:.6f}", m["executed"], m["streamed"],
-                 m["dropped"], m["missed_deadlines"],
-                 session["id"], f"{session['active_duration_s']:.6f}",
-                 f"{data['energy_mj']:.6f}",
-                 int(admission["shed"]), admission["degradation_level"],
-                 f"{admission['quality_proxy']:.6f}",
-                 faults["killed"], faults["retries"], faults["lost"]]
-            )
+            row = [system, data["scenario"], m["code"],
+                   f"{m['per_model']:.6f}", f"{m['qoe']:.6f}",
+                   f"{m['rt']:.6f}", f"{m['energy']:.6f}",
+                   f"{m['accuracy']:.6f}", m["executed"], m["streamed"],
+                   m["dropped"], m["missed_deadlines"],
+                   session["id"], f"{session['active_duration_s']:.6f}",
+                   f"{data['energy_mj']:.6f}",
+                   int(admission["shed"]), admission["degradation_level"],
+                   f"{admission['quality_proxy']:.6f}",
+                   faults["killed"], faults["retries"], faults["lost"]]
+            if plan_fingerprint is not None:
+                row.append(plan_fingerprint)
+            writer.writerow(row)
     return buf.getvalue()
 
 

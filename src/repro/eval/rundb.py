@@ -56,15 +56,33 @@ _METRIC_COLUMNS = (
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One persisted run: the spec that produced it plus its metrics."""
+    """One persisted run: the spec that produced it plus its metrics.
+
+    ``plan`` stamps the compiled :class:`~repro.api.DispatchPlan` that
+    executed the run — its full ``fingerprint`` and the seed-independent
+    ``workload_fingerprint`` — so the report generator can group runs of
+    the identical plan under different seeds.  Records appended before
+    the stamp existed load with an empty block.
+    """
 
     spec: dict
     metrics: dict
     sessions: tuple[dict, ...] = ()
+    plan: dict = field(default_factory=dict)
 
     @property
     def policy(self) -> str:
         return str(self.spec.get("admission", "none"))
+
+    @property
+    def plan_fingerprint(self) -> str | None:
+        value = self.plan.get("fingerprint")
+        return str(value) if value else None
+
+    @property
+    def workload_fingerprint(self) -> str | None:
+        value = self.plan.get("workload_fingerprint")
+        return str(value) if value else None
 
     @property
     def label(self) -> str:
@@ -87,11 +105,14 @@ class RunRecord:
         )
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "spec": self.spec,
             "metrics": self.metrics,
             "sessions": list(self.sessions),
         }
+        if self.plan:
+            data["plan"] = self.plan
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunRecord":
@@ -99,6 +120,7 @@ class RunRecord:
             spec=dict(data["spec"]),
             metrics=dict(data["metrics"]),
             sessions=tuple(data.get("sessions", ())),
+            plan=dict(data.get("plan", {})),
         )
 
 
@@ -181,7 +203,23 @@ def summarize_report(spec, report) -> RunRecord:
         0.0 if row["shed"] else row["quality_proxy"] for row in sessions
     ]
     metrics["quality_proxy"] = sum(qualities) / len(qualities)
-    return RunRecord(spec=spec_dict, metrics=metrics, sessions=sessions)
+    # Stamp which compiled plan this run executed.  Compilation is pure
+    # and deterministic, so recompiling here yields exactly the plan the
+    # executor consumed; records of the same plan under different seeds
+    # share the workload fingerprint.
+    from repro.api import RunSpec, compile_plan
+
+    spec_obj = RunSpec.from_dict(spec_dict) if isinstance(spec, dict) else spec
+    plan = compile_plan(spec_obj)
+    return RunRecord(
+        spec=spec_dict,
+        metrics=metrics,
+        sessions=sessions,
+        plan={
+            "fingerprint": plan.fingerprint,
+            "workload_fingerprint": plan.workload_fingerprint,
+        },
+    )
 
 
 class RunDatabase:
@@ -297,6 +335,36 @@ class ReportGenerator:
         points = self.policy_points()
         return pareto_frontier(points) if points else []
 
+    def workload_groups(self) -> list[tuple[str, list[RunRecord]]]:
+        """Records grouped by workload fingerprint, first-seen order.
+
+        Every group's runs executed the *identical compiled plan up to
+        the seed* — the seed-replicate set whose spread is measurement
+        noise, not workload difference.  Unstamped legacy records
+        (appended before the plan stamp existed) are left out.
+        """
+        groups: dict[str, list[RunRecord]] = {}
+        for record in self.records:
+            fp = record.workload_fingerprint
+            if fp is not None:
+                groups.setdefault(fp, []).append(record)
+        return list(groups.items())
+
+    def _workload_rows(self) -> list[list[str]]:
+        rows = []
+        for fp, runs in self.workload_groups():
+            seeds = [str(r.spec.get("seed", "?")) for r in runs]
+            rows.append(
+                [
+                    fp[:12],
+                    runs[0].label,
+                    str(len(runs)),
+                    ", ".join(seeds),
+                    format(_mean([r.metrics["qoe"] for r in runs]), ".3f"),
+                ]
+            )
+        return rows
+
     def _run_rows(self) -> list[list[str]]:
         rows = []
         for record in self.records:
@@ -339,6 +407,20 @@ class ReportGenerator:
             ]
         lines += ["## Runs", ""]
         lines += _markdown_table(run_headers, self._run_rows())
+        workload_rows = self._workload_rows()
+        if workload_rows:
+            lines += [
+                "",
+                "## Seed replicates by workload fingerprint",
+                "",
+                "Runs in one group executed the identical compiled plan "
+                "up to the seed.",
+                "",
+            ]
+            lines += _markdown_table(
+                ["workload", "run", "runs", "seeds", "mean QoE"],
+                workload_rows,
+            )
         frontier, rows = self._frontier_rows()
         lines += ["", "## QoE Pareto frontier by admission policy", ""]
         if rows:
@@ -382,8 +464,19 @@ class ReportGenerator:
         parts += [
             "<h2>Runs</h2>",
             _html_table(run_headers, self._run_rows()),
-            "<h2>QoE Pareto frontier by admission policy</h2>",
         ]
+        workload_rows = self._workload_rows()
+        if workload_rows:
+            parts += [
+                "<h2>Seed replicates by workload fingerprint</h2>",
+                "<p>Runs in one group executed the identical compiled "
+                "plan up to the seed.</p>",
+                _html_table(
+                    ["workload", "run", "runs", "seeds", "mean QoE"],
+                    workload_rows,
+                ),
+            ]
+        parts.append("<h2>QoE Pareto frontier by admission policy</h2>")
         if frontier_rows:
             parts.append(
                 _html_table(

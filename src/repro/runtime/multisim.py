@@ -80,6 +80,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 from repro.costmodel import (
     DEFAULT_DVFS_POINTS,
@@ -405,6 +406,14 @@ class MultiScenarioSimulator:
             retry budget; thermal events clamp the DVFS ladder.
         fault_seed: seed for string-named fault profiles (ignored when a
             plan instance is supplied).
+        segment_plan: optional precompiled segment-chain table — model
+            code to the exact piece codes it splits into (a
+            :class:`~repro.api.DispatchPlan`'s ``segment_chains``).
+            When supplied it is the authority: models absent from it
+            run whole (no split is attempted), and a code mismatch
+            against the deterministic re-split raises — plan/table
+            drift must fail loudly, not reschedule quietly.  ``None``
+            (the default) derives the chains as always.
     """
 
     sessions: list[SessionSpec]
@@ -419,6 +428,7 @@ class MultiScenarioSimulator:
     admission: str | AdmissionController = "none"
     faults: str | FaultPlan | None = "none"
     fault_seed: int = 0
+    segment_plan: Mapping[str, Sequence[str]] | None = None
 
     def __post_init__(self) -> None:
         if not self.sessions:
@@ -571,6 +581,7 @@ class MultiScenarioSimulator:
         plans: dict[str, SegmentChain] = {}
         if self.granularity != "segment" or self.segments_per_model < 2:
             return plans
+        planned = self.segment_plan
         seen: set[str] = set()
         scenarios = []
         for spec in self.sessions:
@@ -581,12 +592,29 @@ class MultiScenarioSimulator:
                 if sm.code in seen:
                     continue
                 seen.add(sm.code)
-                try:
+                if planned is not None:
+                    # A compiled plan is the authority on what splits:
+                    # absent models run whole without re-attempting the
+                    # (deterministically failing) split.
+                    expected = planned.get(sm.code)
+                    if expected is None:
+                        continue
                     pieces = split_graph(
                         sm.model.graph, self.segments_per_model
                     )
-                except ValueError:
-                    continue
+                    if len(pieces) != len(expected):
+                        raise ValueError(
+                            f"segment plan drift: {sm.code!r} splits "
+                            f"into {len(pieces)} piece(s) but the plan "
+                            f"recorded {len(expected)}"
+                        )
+                else:
+                    try:
+                        pieces = split_graph(
+                            sm.model.graph, self.segments_per_model
+                        )
+                    except ValueError:
+                        continue
                 codes: list[str | None] = []
                 for idx, piece in enumerate(pieces):
                     # The code embeds the split count: a table reused
@@ -594,6 +622,12 @@ class MultiScenarioSimulator:
                     # never resolve against a stale graph (split_graph is
                     # deterministic, so same-count reuse is safe).
                     vcode = dispatch_segment_code(sm.code, idx, len(pieces))
+                    if planned is not None and vcode != expected[idx]:
+                        raise ValueError(
+                            f"segment plan drift: piece {idx} of "
+                            f"{sm.code!r} is {vcode!r} but the plan "
+                            f"recorded {expected[idx]!r}"
+                        )
                     if not costs.knows(vcode):
                         costs.register_graph(vcode, piece)
                     codes.append(vcode)

@@ -302,3 +302,67 @@ class TestAdmissionField:
         assert [s.admission for s in sweep.expand()] == [
             "none", "shed", "degrade",
         ]
+
+
+class TestFieldDrift:
+    """New-field drift canaries: serialization must cover every field.
+
+    When a field is added to RunSpec but forgotten in to_dict/from_dict
+    (or in these fixtures), the round-trip and key-set assertions here
+    fail loudly instead of the field silently vanishing over the wire.
+    """
+
+    #: Every RunSpec field set to a non-default value — from_dict
+    #: dropping any one of them breaks equality.
+    FULL = RunSpec(
+        scenario=("vr_gaming", "ar_gaming", "ar_assistant"),
+        accelerator="H",
+        pes=8192,
+        scheduler="edf",
+        granularity="segment",
+        segments_per_model=3,
+        duration_s=0.5,
+        seed=11,
+        frame_loss=0.05,
+        score_preset="strict_rt",
+        churn=0.3,
+        preemptive=True,
+        dvfs_policy="slack",
+        admission="degrade",
+        faults="flaky",
+    )
+
+    def test_every_dataclass_field_is_serialized(self):
+        import dataclasses
+
+        field_names = {f.name for f in dataclasses.fields(RunSpec)}
+        assert set(self.FULL.to_dict()) == field_names
+
+    def test_full_spec_round_trips(self):
+        spec = self.FULL
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_replace_round_trips_dynamics_fields(self):
+        base = RunSpec(scenario="vr_gaming", sessions=2)
+        spec = base.replace(admission="shed", faults="single",
+                            dvfs_policy="race_to_idle", seed=9)
+        assert spec.admission == "shed"
+        assert spec.faults == "single"
+        assert spec.seed == 9
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        # replace() leaves the original untouched (frozen value type).
+        assert base.admission == "none" and base.faults == "none"
+
+    def test_faults_round_trip(self):
+        spec = RunSpec(scenario="vr_gaming", sessions=2, faults="thermal")
+        assert spec.to_dict()["faults"] == "thermal"
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_fault_seed_is_not_a_field(self):
+        # The fault timeline is seeded by `seed`; a separate fault_seed
+        # key must be rejected, not silently dropped.
+        with pytest.raises(ValueError, match="unknown RunSpec fields"):
+            RunSpec.from_dict(
+                {"scenario": "ar_gaming", "fault_seed": 1}
+            )

@@ -56,6 +56,40 @@ class TestSweep:
         assert clone.expand() == sweep.expand()
 
 
+class TestSweepDeduplication:
+    """Overlapping axis values must not silently duplicate work."""
+
+    def test_repeated_axis_values_deduplicated_with_warning(self):
+        sweep = Sweep(
+            base=BASE,
+            grid={"accelerator": ("A", "J", "A"), "seed": (0, 0)},
+        )
+        assert len(sweep) == 6  # raw grid points, pre-dedup
+        with pytest.warns(UserWarning, match="overlapping axis values"):
+            specs = sweep.expand()
+        assert len(specs) == 2
+        assert [s.accelerator for s in specs] == ["A", "J"]
+        assert len(set(specs)) == len(specs)
+
+    def test_first_occurrence_order_is_kept(self):
+        sweep = Sweep(
+            base=BASE,
+            grid={"scenario": ("vr_gaming", "ar_gaming", "vr_gaming")},
+        )
+        with pytest.warns(UserWarning, match="dropped 1 duplicate"):
+            specs = sweep.expand()
+        assert [s.scenario for s in specs] == ["vr_gaming", "ar_gaming"]
+
+    def test_distinct_grid_warns_nothing(self):
+        import warnings
+
+        sweep = Sweep(base=BASE, grid={"seed": (0, 1, 2)})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            specs = sweep.expand()
+        assert len(specs) == 3
+
+
 class TestExperiment:
     def test_from_sweep_preserves_order(self):
         sweep = Sweep(base=BASE, grid={"accelerator": ("A", "J")})

@@ -258,3 +258,77 @@ def test_checksum_is_schedule_sensitive():
     a = checksum_of(run_case("latency_greedy", "model", 4))
     b = checksum_of(run_case("edf", "model", 4))
     assert a != b
+
+
+# -- plan-path equivalence ----------------------------------------------------
+#
+# PR 9 split execution into compile_plan(spec) -> execute_plan(plan).
+# Every golden cell is re-asserted through that seam: the spec compiles
+# to a DispatchPlan, the plan round-trips through JSON, and the executor
+# replays it to the exact pre-plan schedule.  A 1-tuple scenario forces
+# sessions=1 cells into the multi-tenant engine run_case exercises
+# (a bare string would route to the single-tenant simulator).
+
+
+def run_case_via_plan(
+    scheduler: str,
+    granularity: str,
+    sessions: int,
+    churn: float = 0.0,
+    preemptive: bool = False,
+    dvfs: str = "static",
+    faults: str = "none",
+):
+    from repro.api import DispatchPlan, RunSpec, compile_plan, execute_plan
+
+    spec = RunSpec(
+        scenario=(SCENARIO,) * sessions,
+        accelerator=ACCELERATOR,
+        pes=PES,
+        scheduler=scheduler,
+        granularity=granularity,
+        duration_s=DURATION_S,
+        seed=BASE_SEED,
+        churn=churn,
+        preemptive=preemptive,
+        dvfs_policy=dvfs,
+        faults=faults,
+    )
+    plan = DispatchPlan.from_json(compile_plan(spec).to_json())
+    return execute_plan(plan).result
+
+
+@pytest.mark.parametrize(
+    "scheduler,granularity,sessions",
+    sorted(GOLDEN),
+    ids=lambda v: str(v),
+)
+def test_plan_path_matches_golden(scheduler, granularity, sessions):
+    result = run_case_via_plan(scheduler, granularity, sessions)
+    assert checksum_of(result) == GOLDEN[(scheduler, granularity, sessions)]
+
+
+@pytest.mark.parametrize(
+    "scheduler,granularity,sessions,churn,preemptive,dvfs",
+    sorted(GOLDEN_DYNAMIC),
+    ids=lambda v: str(v),
+)
+def test_plan_path_matches_dynamic_golden(scheduler, granularity, sessions,
+                                          churn, preemptive, dvfs):
+    result = run_case_via_plan(scheduler, granularity, sessions, churn,
+                               preemptive, dvfs)
+    key = (scheduler, granularity, sessions, churn, preemptive, dvfs)
+    assert checksum_of(result) == GOLDEN_DYNAMIC[key]
+
+
+@pytest.mark.parametrize(
+    "scheduler,granularity,sessions,faults",
+    sorted(GOLDEN_FAULTS),
+    ids=lambda v: str(v),
+)
+def test_plan_path_matches_fault_golden(scheduler, granularity, sessions,
+                                        faults):
+    result = run_case_via_plan(scheduler, granularity, sessions,
+                               faults=faults)
+    key = (scheduler, granularity, sessions, faults)
+    assert checksum_of(result) == GOLDEN_FAULTS[key]

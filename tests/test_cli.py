@@ -348,6 +348,25 @@ class TestSweepCommand:
         )
         jsonschema.validate(document, schema)
 
+    def test_dry_run_emits_per_cell_estimates(self, capsys):
+        assert main(
+            ["sweep", "--dry-run", "--duration", "0.1",
+             "--scenario", "ar_gaming", "--scenario", "vr_gaming",
+             "--accelerator", "A", "--accelerator", "J"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        cells = document["cells"]
+        assert len(cells) == len(document["specs"]) == 4
+        fingerprints = {c["fingerprint"] for c in cells}
+        assert len(fingerprints) == 4  # every cell is a distinct plan
+        for cell in cells:
+            assert len(cell["fingerprint"]) == 64
+            assert len(cell["workload_fingerprint"]) == 64
+            estimate = cell["estimate"]
+            assert estimate["expected_requests"] > 0
+            assert estimate["est_busy_engine_s"] > 0
+            assert estimate["est_energy_mj"] > 0
+
     def test_faults_bearing_spec_validates_against_schema(self, capsys):
         jsonschema = pytest.importorskip("jsonschema")
         from repro.api import FAULT_PROFILES, RunSpec
@@ -570,3 +589,118 @@ class TestRecordAndReport:
         assert "shed" in captured.out.splitlines()[0]
         record = json.loads(db.read_text())
         assert record["spec"]["suite"] is True
+
+
+class TestPlanCommand:
+    def test_emits_schema_valid_artifact(self, capsys):
+        jsonschema = pytest.importorskip("jsonschema")
+        assert main(
+            ["plan", "vr_gaming", "J", "--duration", "0.25",
+             "--sessions", "2", "--granularity", "segment",
+             "--faults", "single", "--admission", "shed"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        schema = json.loads(
+            (REPO_ROOT / "schema" / "dispatchplan.schema.json").read_text()
+        )
+        jsonschema.validate(document, schema)
+        assert document["mode"] == "sessions"
+        assert document["faults"]["profile"] == "single"
+        assert document["segment_chains"]
+
+    def test_output_flag_writes_loadable_artifact(self, tmp_path, capsys):
+        from repro.api import DispatchPlan
+
+        path = tmp_path / "plan.json"
+        assert main(
+            ["plan", "ar_gaming", "A", "--duration", "0.25",
+             "--output", str(path)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().err
+        plan = DispatchPlan.from_json(path.read_text())
+        assert plan.spec.scenario == "ar_gaming"
+
+    def test_spec_file_input(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            RunSpec(scenario="vr_gaming", duration_s=0.25).to_json()
+        )
+        assert main(["plan", "--spec", str(spec_path)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["spec"]["scenario"] == "vr_gaming"
+
+    def test_diff_renders_structured_entries(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        for path, scheduler in ((a, "latency_greedy"), (b, "edf")):
+            assert main(
+                ["plan", "vr_gaming", "J", "--duration", "0.25",
+                 "--scheduler", scheduler, "--output", str(path)]
+            ) == 0
+        capsys.readouterr()
+        assert main(["plan", "--diff", str(a), str(b), "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert entries, "scheduler A/B must yield a non-empty diff"
+        by_path = {e["path"]: e for e in entries}
+        assert by_path["scheduler"]["a"] == "latency_greedy"
+        assert by_path["scheduler"]["b"] == "edf"
+
+    def test_diff_of_identical_plans_is_empty(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        assert main(
+            ["plan", "vr_gaming", "J", "--duration", "0.25",
+             "--output", str(a)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["plan", "--diff", str(a), str(a)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_tampered_artifact_fails_cleanly(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        assert main(
+            ["plan", "vr_gaming", "J", "--duration", "0.25",
+             "--output", str(a)]
+        ) == 0
+        data = json.loads(a.read_text())
+        data["scheduler"] = "edf"
+        a.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["plan", "--diff", str(a), str(a)]) == 2
+        assert "fingerprint mismatch" in capsys.readouterr().err
+
+    def test_missing_positionals_error(self):
+        with pytest.raises(SystemExit):
+            main(["plan"])
+
+
+class TestExportFingerprints:
+    def test_json_export_stamps_fingerprints(self, capsys):
+        assert main(
+            ["export", "A", "--duration", "0.2", "--format", "json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["plan_fingerprint"]) == 64
+        assert len(document["workload_fingerprint"]) == 64
+
+    def test_csv_export_stamps_fingerprint_column(self, capsys):
+        assert main(
+            ["export", "A", "--duration", "0.2", "--format", "csv"]
+        ) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].endswith("plan_fingerprint")
+        fingerprints = {line.rsplit(",", 1)[1] for line in lines[1:]}
+        assert len(fingerprints) == 1  # one suite run, one plan
+        assert len(fingerprints.pop()) == 64
+
+    def test_recorded_runs_group_by_workload(self, tmp_path, capsys):
+        db = tmp_path / "runs.jsonl"
+        for seed in ("0", "3"):
+            assert main(
+                ["run", "vr_gaming", "A", "--duration", "0.2",
+                 "--seed", seed, "--record", str(db)]
+            ) == 0
+        capsys.readouterr()
+        assert main(["report", "--runs", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "Seed replicates by workload fingerprint" in out
+        # Both seeds land in one group row listing them.
+        assert "| 2 | 0, 3 |" in out
