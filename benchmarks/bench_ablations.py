@@ -7,8 +7,6 @@ budget, slack-aware DVFS, and weight quantisation.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.eval import (
     dvfs_ablation,
     enmax_sensitivity,

@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core import score_simulation
-from repro.costmodel import CostModel, CostTable, Dataflow
+from repro.costmodel import CostModel, Dataflow
 from repro.hardware import build_accelerator
 from repro.nn import GraphExecutor
 from repro.runtime import LatencyGreedyScheduler, Simulator

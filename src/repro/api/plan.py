@@ -32,11 +32,13 @@ checksums.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:
+    from repro.runtime.faults import FaultPlan
 
 from repro.costmodel import DEFAULT_DVFS_POINTS, CostTable
 from repro.hardware import AcceleratorSystem, build_accelerator
@@ -196,7 +198,7 @@ class DispatchPlan:
         """The segment-chain table as a mapping (executor input)."""
         return dict(self.segment_chains)
 
-    def fault_plan(self):
+    def fault_plan(self) -> FaultPlan | None:
         """The plan's :class:`~repro.runtime.faults.FaultPlan`, or None."""
         if self.faults is None:
             return None

@@ -51,6 +51,7 @@ from repro.api import (
 from repro.core import Harness, HarnessConfig
 from repro.costmodel import CostTable, Dataflow
 from repro.hardware import ACCELERATOR_IDS
+from repro.lint.cli import add_lint_arguments, run as run_lint_command
 from repro.workload import SCENARIO_ORDER, UNIT_MODELS
 
 __all__ = ["main", "build_parser"]
@@ -312,6 +313,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the rendered report here instead of stdout",
     )
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="xrlint: determinism & contract static analysis "
+             "(zero unsuppressed findings gates CI)",
+    )
+    add_lint_arguments(lint_p)
+
     return parser
 
 
@@ -424,6 +432,15 @@ def _fail(exc: BaseException) -> int:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "lint":
+        return run_lint_command(
+            args.paths,
+            output_format=args.format,
+            rule_names=args.rule,
+            root=args.root,
+            list_rules=args.list_rules,
+        )
 
     if args.command == "run":
         try:

@@ -16,10 +16,14 @@ layer buys on identical workloads.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
+import numpy.typing as npt
 
+from repro.nn import ModelGraph
 from repro.workload import UNIT_MODELS
 
 from .analysis import CostModel, ModelCost, memoized_model_cost
@@ -35,6 +39,37 @@ __all__ = [
     "UncachedCostTable",
 ]
 
+#: One dense pricing row: (lat tuple, energy tuple, lat array, energy
+#: array), all indexed by engine position.
+Row = tuple[
+    tuple[float, ...],
+    tuple[float, ...],
+    npt.NDArray[np.float64],
+    npt.NDArray[np.float64],
+]
+
+
+class EngineLike(Protocol):
+    """Engine-descriptor shape (the hardware layer imports this package,
+    so the concrete :class:`repro.hardware.SubAccelerator` cannot be
+    named here without a cycle)."""
+
+    @property
+    def index(self) -> int: ...
+
+    @property
+    def dataflow(self) -> Dataflow: ...
+
+    @property
+    def num_pes(self) -> int: ...
+
+
+class FleetLike(Protocol):
+    """Fleet shape: an index-ordered ``subs`` tuple of engines."""
+
+    @property
+    def subs(self) -> tuple[EngineLike, ...]: ...
+
 
 class GraphRegistry:
     """Mixin: a registry of virtual task-code graphs (segment pieces).
@@ -44,9 +79,9 @@ class GraphRegistry:
     whether a cost table can price dispatch-time segment codes.
     """
 
-    _graphs: dict[str, object]
+    _graphs: dict[str, ModelGraph]
 
-    def register_graph(self, code: str, graph) -> None:
+    def register_graph(self, code: str, graph: ModelGraph) -> None:
         """Make a virtual task code priceable from its layer graph.
 
         Re-registering the *same* graph is a no-op — segment plans are
@@ -104,7 +139,9 @@ class CachedCostTable(GraphRegistry, CostTable):
         self._entries: dict[
             tuple[str, Dataflow, int, DvfsPoint | None], ModelCost
         ] = {}
-        self._views: dict[tuple, DenseCostView] = {}
+        self._views: dict[
+            tuple[tuple[int, Dataflow, int], ...], DenseCostView
+        ] = {}
         self._last_view: tuple[object, DenseCostView] | None = None
 
     # -- lookups -------------------------------------------------------------
@@ -146,7 +183,7 @@ class CachedCostTable(GraphRegistry, CostTable):
         return self._lookup(task_code, dataflow, num_pes, None)
 
     def engine_cost(
-        self, task_code: str, sub, dvfs: DvfsPoint | None = None
+        self, task_code: str, sub: EngineLike, dvfs: DvfsPoint | None = None
     ) -> ModelCost:
         """Cost of ``task_code`` on one engine at a DVFS operating point.
 
@@ -156,7 +193,7 @@ class CachedCostTable(GraphRegistry, CostTable):
         """
         return self._lookup(task_code, sub.dataflow, sub.num_pes, dvfs)
 
-    def dense_view(self, system) -> DenseCostView:
+    def dense_view(self, system: FleetLike) -> DenseCostView:
         """The dense per-fleet pricing view over this cache.
 
         ``system`` is an :class:`~repro.hardware.AcceleratorSystem` (any
@@ -207,7 +244,7 @@ class DenseCostView:
 
     __slots__ = ("table", "subs", "_rows")
 
-    def __init__(self, table: CachedCostTable, subs) -> None:
+    def __init__(self, table: CachedCostTable, subs: Iterable[EngineLike]) -> None:
         self.table = table
         self.subs = tuple(subs)
         if [s.index for s in self.subs] != list(range(len(self.subs))):
@@ -215,15 +252,10 @@ class DenseCostView:
                 "dense view needs an index-ordered engine tuple, got "
                 f"{[s.index for s in self.subs]}"
             )
-        #: (task_code, dvfs) -> (lat tuple, energy tuple, lat array,
-        #: energy array), all indexed by engine position.
-        self._rows: dict[
-            tuple[str, DvfsPoint | None],
-            tuple[tuple[float, ...], tuple[float, ...], np.ndarray,
-                  np.ndarray],
-        ] = {}
+        #: (task_code, dvfs) -> dense pricing row.
+        self._rows: dict[tuple[str, DvfsPoint | None], Row] = {}
 
-    def _fill(self, task_code: str, dvfs: DvfsPoint | None):
+    def _fill(self, task_code: str, dvfs: DvfsPoint | None) -> Row:
         lookup = self.table._lookup
         costs = [
             lookup(task_code, sub.dataflow, sub.num_pes, dvfs)
@@ -240,7 +272,7 @@ class DenseCostView:
         self._rows[(task_code, dvfs)] = entry
         return entry
 
-    def row(self, task_code: str, dvfs: DvfsPoint | None = None):
+    def row(self, task_code: str, dvfs: DvfsPoint | None = None) -> Row:
         """The row of ``task_code`` at ``dvfs``: (lat, en, lat[], en[])."""
         entry = self._rows.get((task_code, dvfs))
         if entry is None:
@@ -251,7 +283,7 @@ class DenseCostView:
         return entry
 
     def latencies(self, task_code: str,
-                  dvfs: DvfsPoint | None = None) -> np.ndarray:
+                  dvfs: DvfsPoint | None = None) -> npt.NDArray[np.float64]:
         """Per-engine latency array of ``task_code`` at ``dvfs``."""
         return self.row(task_code, dvfs)[2]
 
@@ -264,7 +296,7 @@ class DenseCostView:
         return entry[0][engine_index], entry[1][engine_index]
 
     def best_engine_index(
-        self, task_code: str, idle_indices,
+        self, task_code: str, idle_indices: Sequence[int],
         dvfs: DvfsPoint | None = None,
     ) -> int:
         """Fastest engine for ``task_code`` among ``idle_indices``.

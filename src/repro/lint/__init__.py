@@ -1,0 +1,45 @@
+"""``xrlint`` — AST-based determinism & contract linter for this repo.
+
+The golden sha256 schedule checksums prove ``execute(spec)`` stayed
+deterministic *after the fact*; this package catches the classes of
+change that would eventually break them — wall-clock reads, unseeded
+RNG, set-iteration-order tie-breaks — plus the executable contracts
+(schema/dataclass drift, registry completeness, ``__slots__`` on hot
+records) *at lint time*.
+
+Quickstart::
+
+    from repro.lint import run_lint
+
+    report = run_lint(["src/repro"])   # or run_lint() from the repo root
+    assert not report.unsuppressed, report.render()
+
+Command line: ``xrbench lint [--format json] [--rule D001] [paths]``
+or the equivalent standalone ``python -m repro.lint``.  See the
+README's "Static analysis" section for the rule catalogue and the
+suppression syntax.
+"""
+
+from .engine import (
+    FileContext,
+    Finding,
+    LintReport,
+    Project,
+    Suppression,
+    run_lint,
+)
+from .rules import HOT_RECORDS, Rule, all_rules, resolve_rules, rules
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "HOT_RECORDS",
+    "LintReport",
+    "Project",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "resolve_rules",
+    "rules",
+    "run_lint",
+]

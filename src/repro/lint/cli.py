@@ -1,0 +1,95 @@
+"""The ``xrlint`` command line, shared by its two entry points.
+
+``xrbench lint ...`` (the subcommand) and ``python -m repro.lint ...``
+(standalone, importable without numpy) both funnel into :func:`run`.
+Exit codes: 0 — no unsuppressed findings; 1 — findings; 2 — usage
+errors (unknown rule, bad path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence, TextIO
+
+from .engine import run_lint
+from .rules import all_rules, resolve_rules
+
+__all__ = ["add_lint_arguments", "run", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``lint`` flags (used by ``xrbench`` and ``__main__``)."""
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: <root>/src/repro)",
+    )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="output format (json follows schema/lintreport.schema.json)",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="RULE",
+        help="run only this rule (id like D001 or slug like "
+             "no-wall-clock; repeatable)",
+    )
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repository root for relative paths and project rules "
+             "(default: auto-detected from the first path)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list the shipped rules and exit",
+    )
+
+
+def run(
+    paths: Sequence[str],
+    *,
+    output_format: str = "text",
+    rule_names: Sequence[str] | None = None,
+    root: str | None = None,
+    list_rules: bool = False,
+    stdout: TextIO | None = None,
+) -> int:
+    """Run the linter; returns the process exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    if list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name}", file=out)
+            print(f"      {rule.description}", file=out)
+        return 0
+    try:
+        rules = resolve_rules(rule_names)
+        report = run_lint(paths or None, root=root, rules=rules)
+    except KeyError as exc:
+        # str(KeyError) is the repr of its argument, which would wrap
+        # the registry's did-you-mean message in stray quotes.
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    except (ValueError, OSError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if output_format == "json":
+        print(report.to_json(), file=out)
+    else:
+        print(report.render(), file=out)
+    return report.exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="xrlint: determinism & contract linter for the "
+                    "XRBench reproduction",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run(
+        args.paths,
+        output_format=args.format,
+        rule_names=args.rule,
+        root=args.root,
+        list_rules=args.list_rules,
+    )

@@ -1,0 +1,454 @@
+"""The ``xrlint`` rule engine: files in, :class:`Finding` objects out.
+
+The engine is deliberately small and dependency-free (``ast`` +
+``tokenize`` only): it walks a set of Python files, hands each parsed
+module to every selected :class:`~repro.lint.rules.Rule`, applies the
+suppression comments found in the source, and renders the surviving
+findings as human-readable text or as the JSON shape documented by
+``schema/lintreport.schema.json``.
+
+Suppressions are line-scoped comments with *required* justification
+text::
+
+    total = time.time()  # xrlint: disable=D001 -- wall time is the output here
+
+* A suppression without justification does **not** suppress — it raises
+  an ``X001`` finding instead, so "just silence it" is never free.
+* A justified suppression that matches no finding on its line raises
+  ``X002`` (stale suppressions rot; delete them with the violation).
+* ``X001``/``X002`` are engine-level meta findings and cannot
+  themselves be suppressed.
+
+Suppressed findings stay in the report (``suppressed: true`` in JSON)
+so reviewers can audit the justifications; only *unsuppressed* findings
+drive the exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .rules import Rule
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Project",
+    "LintReport",
+    "Suppression",
+    "find_root",
+    "collect_files",
+    "run_lint",
+]
+
+#: JSON report layout version (bumped on incompatible shape changes).
+REPORT_VERSION = 1
+
+#: Matches suppression comments of the form ``<RULE>[,<RULE>...]`` with
+#: an optional ``-- <why>`` tail (required for the suppression to take
+#: effect; see the module docstring for the full syntax).
+_SUPPRESS_RE = re.compile(
+    r"xrlint:\s*disable=(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+#: Directory names never descended into when collecting files.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".mypy_cache"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    The tuple ``(rule, path, line, message, suppressed)`` is the stable
+    public shape: ``schema/lintreport.schema.json`` pins it and
+    ``xrbench lint --format json`` emits exactly these keys per finding
+    (plus ``justification`` for suppressed ones).
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    justification: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.justification is not None:
+            out["justification"] = self.justification
+        return out
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.suppressed:
+            text += f"  [suppressed: {self.justification}]"
+        return text
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# xrlint: disable=...`` comment, parsed."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str | None
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """One parsed source file, as handed to per-file rule checks."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    suppressions: tuple[Suppression, ...]
+
+
+class Project:
+    """The lint root plus every parsed file — the project-rule view.
+
+    Project-level rules (schema drift, registry completeness) need files
+    *beyond* the linted set — the JSON schemas, or an api module when
+    only ``runtime/`` was linted.  :meth:`module` and :meth:`read_json`
+    fall back to reading from ``root`` on disk, returning ``None`` when
+    the file does not exist so rules degrade silently on partial trees
+    (fixture projects, third-party checkouts).
+    """
+
+    def __init__(self, root: Path, files: Sequence[FileContext]):
+        self.root = root
+        self.files = tuple(files)
+        self._by_relpath = {ctx.relpath: ctx for ctx in self.files}
+        self._disk_cache: dict[str, ast.Module | None] = {}
+        self._json_cache: dict[str, Any] = {}
+
+    def module(self, relpath: str) -> ast.Module | None:
+        """The parsed AST for ``relpath``, linted or loaded from disk."""
+        ctx = self._by_relpath.get(relpath)
+        if ctx is not None:
+            return ctx.tree
+        if relpath not in self._disk_cache:
+            path = self.root / relpath
+            tree: ast.Module | None = None
+            if path.is_file():
+                try:
+                    tree = ast.parse(
+                        path.read_text(encoding="utf-8"), filename=str(path)
+                    )
+                except SyntaxError:
+                    tree = None
+            self._disk_cache[relpath] = tree
+        return self._disk_cache[relpath]
+
+    def read_json(self, relpath: str) -> Any | None:
+        """A JSON document under the root, or ``None`` when absent."""
+        if relpath not in self._json_cache:
+            path = self.root / relpath
+            data: Any | None = None
+            if path.is_file():
+                try:
+                    data = json.loads(path.read_text(encoding="utf-8"))
+                except (OSError, json.JSONDecodeError):
+                    data = None
+            self._json_cache[relpath] = data
+        return self._json_cache[relpath]
+
+    def glob(self, pattern: str) -> list[Path]:
+        """Sorted on-disk matches under the root (project-rule sweeps)."""
+        return sorted(self.root.glob(pattern))
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Everything one lint run produced.
+
+    ``findings`` are sorted ``(path, line, rule)``; ``files_checked``
+    counts parsed files; ``rules`` names the rule ids that ran.
+    """
+
+    root: str
+    rules: tuple[str, ...]
+    files_checked: int
+    findings: tuple[Finding, ...]
+
+    @property
+    def unsuppressed(self) -> tuple[Finding, ...]:
+        return tuple(f for f in self.findings if not f.suppressed)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.unsuppressed else 0
+
+    def to_dict(self) -> dict[str, Any]:
+        suppressed = len(self.findings) - len(self.unsuppressed)
+        return {
+            "version": REPORT_VERSION,
+            "root": self.root,
+            "rules": list(self.rules),
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": {
+                "total": len(self.findings),
+                "suppressed": suppressed,
+                "unsuppressed": len(self.unsuppressed),
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render(self) -> str:
+        lines = [f.render() for f in self.findings]
+        suppressed = len(self.findings) - len(self.unsuppressed)
+        summary = (
+            f"xrlint: {self.files_checked} file(s), "
+            f"{len(self.unsuppressed)} finding(s)"
+        )
+        if suppressed:
+            summary += f" (+{suppressed} suppressed)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def find_root(start: Path | None = None) -> Path:
+    """The repository root: nearest ancestor holding ``setup.py``,
+    ``pyproject.toml`` or ``.git`` (falling back to ``start`` itself)."""
+    here = (start or Path.cwd()).resolve()
+    if here.is_file():
+        here = here.parent
+    for candidate in (here, *here.parents):
+        for marker in ("setup.py", "pyproject.toml", ".git"):
+            if (candidate / marker).exists():
+                return candidate
+    return here
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths`` (sorted, duplicates dropped)."""
+    out: list[Path] = []
+    seen: set[Path] = set()
+    for path in paths:
+        path = path.resolve()
+        if path.is_dir():
+            found = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not _SKIP_DIRS.intersection(p.parts)
+            )
+        elif path.suffix == ".py":
+            found = [path]
+        else:
+            raise ValueError(f"not a Python file or directory: {path}")
+        for p in found:
+            if p not in seen:
+                seen.add(p)
+                out.append(p)
+    return out
+
+
+def parse_suppressions(source: str) -> tuple[Suppression, ...]:
+    """Every ``# xrlint: disable=`` comment in ``source``.
+
+    Comments are found with :mod:`tokenize` (not substring search), so
+    string literals *talking about* suppressions do not suppress.
+    """
+    out: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = []
+    for line, comment in comments:
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            continue
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        out.append(
+            Suppression(
+                line=line, rules=rules, justification=match.group("why")
+            )
+        )
+    return tuple(out)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def _load_context(path: Path, root: Path) -> FileContext | Finding:
+    source = path.read_text(encoding="utf-8")
+    relpath = _relpath(path, root)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            rule="E000",
+            path=relpath,
+            line=exc.lineno or 1,
+            message=f"syntax error: {exc.msg}",
+        )
+    return FileContext(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+    )
+
+
+def _apply_suppressions(
+    findings: Iterable[Finding],
+    contexts: dict[str, FileContext],
+    selected: frozenset[str],
+) -> list[Finding]:
+    """Mark suppressed findings and raise the X001/X002 meta findings."""
+    out: list[Finding] = []
+    fired: set[tuple[str, int, str]] = set()
+    for finding in findings:
+        ctx = contexts.get(finding.path)
+        suppressed = finding
+        if ctx is not None:
+            for sup in ctx.suppressions:
+                if sup.line != finding.line or finding.rule not in sup.rules:
+                    continue
+                if not sup.justification:
+                    continue  # unjustified comments never suppress (X001)
+                fired.add((finding.path, sup.line, finding.rule))
+                suppressed = Finding(
+                    rule=finding.rule,
+                    path=finding.path,
+                    line=finding.line,
+                    message=finding.message,
+                    suppressed=True,
+                    justification=sup.justification,
+                )
+                break
+        out.append(suppressed)
+    for ctx in contexts.values():
+        for sup in ctx.suppressions:
+            if not sup.justification:
+                out.append(
+                    Finding(
+                        rule="X001",
+                        path=ctx.relpath,
+                        line=sup.line,
+                        message=(
+                            "suppression is missing its justification; "
+                            "write '# xrlint: disable="
+                            f"{','.join(sup.rules)} -- <why>'"
+                        ),
+                    )
+                )
+                continue
+            for rule_id in sup.rules:
+                # A suppression for a rule that did not run this pass
+                # (--rule selection) is not provably stale.
+                if rule_id not in selected:
+                    continue
+                if (ctx.relpath, sup.line, rule_id) not in fired:
+                    out.append(
+                        Finding(
+                            rule="X002",
+                            path=ctx.relpath,
+                            line=sup.line,
+                            message=(
+                                f"suppression for {rule_id} matches no "
+                                "finding on this line; delete it"
+                            ),
+                        )
+                    )
+    return out
+
+
+def run_lint(
+    paths: Sequence[Path | str] | None = None,
+    *,
+    root: Path | str | None = None,
+    rules: Sequence["Rule"] | None = None,
+) -> LintReport:
+    """Lint ``paths`` (default: ``<root>/src/repro``) with ``rules``.
+
+    ``root`` anchors relative finding paths and is where project-level
+    rules look for ``schema/`` and the api modules; it is auto-detected
+    from the first path (nearest ``setup.py``/``.git`` ancestor) when
+    not given.  ``rules`` defaults to every registered rule.
+    """
+    if rules is None:
+        from .rules import all_rules
+
+        rules = all_rules()
+    resolved_paths = [Path(p) for p in (paths or ())]
+    if root is None:
+        root_path = find_root(resolved_paths[0] if resolved_paths else None)
+    else:
+        root_path = Path(root).resolve()
+    if not resolved_paths:
+        default = root_path / "src" / "repro"
+        if not default.is_dir():
+            raise ValueError(
+                f"no paths given and {default} does not exist; "
+                "pass explicit paths or --root"
+            )
+        resolved_paths = [default]
+
+    contexts: dict[str, FileContext] = {}
+    findings: list[Finding] = []
+    for path in collect_files(resolved_paths):
+        loaded = _load_context(path, root_path)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+            continue
+        contexts[loaded.relpath] = loaded
+
+    project = Project(root_path, tuple(contexts.values()))
+    for rule in rules:
+        for ctx in project.files:
+            for line, message in rule.check_file(ctx):
+                findings.append(
+                    Finding(
+                        rule=rule.id,
+                        path=ctx.relpath,
+                        line=line,
+                        message=message,
+                    )
+                )
+        for relpath, line, message in rule.check_project(project):
+            findings.append(
+                Finding(rule=rule.id, path=relpath, line=line, message=message)
+            )
+
+    findings = _apply_suppressions(
+        findings, contexts, frozenset(rule.id for rule in rules)
+    )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return LintReport(
+        root=str(root_path),
+        rules=tuple(rule.id for rule in rules),
+        files_checked=len(contexts),
+        findings=tuple(findings),
+    )

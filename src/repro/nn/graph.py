@@ -72,11 +72,11 @@ class ModelGraph:
 
     def compute_layers(self) -> list[LayerSpec]:
         """Layers that perform MACs, in execution order."""
-        return [l for l in self.layers if l.op.is_compute]
+        return [layer for layer in self.layers if layer.op.is_compute]
 
     def conv_dims(self) -> list[ConvDims]:
         """The (K,C,Y,X,R,S) dims of every compute layer, in order."""
-        dims = [l.conv_dims() for l in self.layers]
+        dims = [layer.conv_dims() for layer in self.layers]
         return [d for d in dims if d is not None]
 
     def operator_mix(self) -> dict[str, int]:
@@ -87,11 +87,11 @@ class ModelGraph:
     def major_operators(self, top: int = 3) -> list[str]:
         """The ``top`` most frequent compute-relevant operator names."""
         interesting = [
-            l.op.value
-            for l in self.layers
-            if l.op
+            layer.op.value
+            for layer in self.layers
+            if layer.op
             not in (OpType.ADD, OpType.CONCAT, OpType.LAYERNORM)
-            or l.op is OpType.LAYERNORM
+            or layer.op is OpType.LAYERNORM
         ]
         counts = Counter(interesting)
         return [op for op, _ in counts.most_common(top)]

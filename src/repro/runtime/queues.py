@@ -202,7 +202,7 @@ class WaitingQueue:
     def __bool__(self) -> bool:
         return bool(self._items)
 
-    def __getitem__(self, index) -> WorkItem:
+    def __getitem__(self, index: int) -> WorkItem:
         return self._items[index]
 
     def __iter__(self) -> Iterator[WorkItem]:

@@ -1,5 +1,17 @@
 """The XRBench model zoo: reference graphs for the 11 unit models."""
 
-from .registry import MODEL_BUILDERS, TASK_CODES, all_models, build_model
+from .registry import (
+    MODEL_BUILDERS,
+    TASK_CODES,
+    all_models,
+    build_model,
+    register_model,
+)
 
-__all__ = ["MODEL_BUILDERS", "TASK_CODES", "all_models", "build_model"]
+__all__ = [
+    "MODEL_BUILDERS",
+    "TASK_CODES",
+    "all_models",
+    "build_model",
+    "register_model",
+]

@@ -12,11 +12,14 @@ from __future__ import annotations
 
 from repro.nn import GraphBuilder, ModelGraph
 
+from .registry import register_model
+
 WIDTH = 1.0
 TIME_GRID = (8, 16)  # 128 temporal steps folded into 2-D
 FEATURE_DIM = 2048
 
 
+@register_model("AS")
 def build(width: float = WIDTH) -> ModelGraph:
     """Build the AS model graph."""
 

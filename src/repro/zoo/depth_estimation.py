@@ -10,9 +10,12 @@ from __future__ import annotations
 
 from repro.nn import GraphBuilder, ModelGraph
 
+from .registry import register_model
+
 WIDTH = 3.0
 
 
+@register_model("DE")
 def build(width: float = WIDTH) -> ModelGraph:
     """Build the DE model graph."""
 

@@ -11,9 +11,12 @@ from __future__ import annotations
 
 from repro.nn import GraphBuilder, ModelGraph
 
+from .registry import register_model
+
 WIDTH = 1.5
 
 
+@register_model("DR")
 def build(width: float = WIDTH) -> ModelGraph:
     """Build the DR model graph."""
 

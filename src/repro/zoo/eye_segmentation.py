@@ -10,9 +10,12 @@ from __future__ import annotations
 
 from repro.nn import GraphBuilder, ModelGraph
 
+from .registry import register_model
+
 WIDTH = 2.0
 
 
+@register_model("ES")
 def build(width: float = WIDTH) -> ModelGraph:
     """Build the ES model graph."""
 

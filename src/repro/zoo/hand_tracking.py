@@ -13,11 +13,14 @@ from __future__ import annotations
 
 from repro.nn import GraphBuilder, ModelGraph
 
+from .registry import register_model
+
 #: Channel-width multiplier.  Widths are calibrated (see DESIGN.md) so the
 #: simulated 4K/8K-PE accelerators are stressed the way the paper's are.
 WIDTH = 2.0
 
 
+@register_model("HT")
 def build(width: float = WIDTH) -> ModelGraph:
     """Build the HT model graph."""
 

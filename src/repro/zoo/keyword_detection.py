@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from repro.nn import GraphBuilder, ModelGraph
 
+from .registry import register_model
+
 #: res8-narrow is kept at its published size; it is negligible either way.
 WIDTH = 1.0
 
 
+@register_model("KD")
 def build(width: float = WIDTH) -> ModelGraph:
     """Build the KD model graph."""
     ch = max(8, int(19 * width))

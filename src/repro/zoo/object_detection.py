@@ -10,10 +10,13 @@ from __future__ import annotations
 
 from repro.nn import GraphBuilder, ModelGraph
 
+from .registry import register_model
+
 WIDTH = 2.0
 ROIS = 64
 
 
+@register_model("OD")
 def build(width: float = WIDTH) -> ModelGraph:
     """Build the OD model graph."""
 

@@ -13,10 +13,13 @@ from __future__ import annotations
 
 from repro.nn import GraphBuilder, ModelGraph
 
+from .registry import register_model
+
 WIDTH = 1.35
 ROIS = 64
 
 
+@register_model("PD")
 def build(width: float = WIDTH) -> ModelGraph:
     """Build the PD model graph."""
 

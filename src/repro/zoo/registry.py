@@ -1,51 +1,96 @@
 """Registry of the eleven XRBench unit-model graphs.
 
-Graphs are built lazily and cached: constructing all eleven takes a moment
-and most callers only need a subset.  ``build_model`` is the single public
-entry point; ``MODEL_BUILDERS`` maps the canonical task codes from Table 1
-to builder callables.
+Model modules self-register through the same decorator idiom as every
+other pluggable axis (:mod:`repro.registry`)::
+
+    from repro.zoo.registry import register_model
+
+    @register_model("HT")
+    def build(width: float = WIDTH) -> ModelGraph:
+        ...
+
+``MODEL_BUILDERS`` maps the canonical task codes from Table 1 to the
+registered builder callables; duplicate codes raise at import time
+(the old literal-dict form would have silently kept the last writer).
+``TASK_CODES`` stays an explicit Table-1-ordered literal rather than
+being derived from registration order: it is the presentation order of
+every table/figure, and deriving it would reorder under the partially-
+initialised-module window of a circular import (importing a model
+module directly imports this module, which imports the other model
+modules).  Lint rule C003 (registry-completeness) statically pins the
+literal to the set of ``@register_model`` decorators.
+
+Graphs are built lazily and cached: constructing all eleven takes a
+moment and most callers only need a subset.  ``build_model`` is the
+single public entry point.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable
 from functools import lru_cache
+from typing import TypeVar
 
 from repro.nn import ModelGraph
 
-from . import (
+__all__ = [
+    "MODEL_BUILDERS",
+    "TASK_CODES",
+    "build_model",
+    "all_models",
+    "register_model",
+]
+
+_Builder = TypeVar("_Builder", bound=Callable[..., ModelGraph])
+
+#: Task code (Table 1) -> builder callable, populated by the
+#: ``@register_model`` decorators in the model modules below.
+MODEL_BUILDERS: dict[str, Callable[[], ModelGraph]] = {}
+
+#: The canonical task codes in Table-1 order (see module docstring for
+#: why this is a literal and not ``tuple(MODEL_BUILDERS)``).
+TASK_CODES: tuple[str, ...] = (
+    "HT", "ES", "GE", "KD", "SR", "SS", "OD", "AS", "DE", "DR", "PD",
+)
+
+
+def register_model(task_code: str) -> Callable[[_Builder], _Builder]:
+    """Register a zoo module's builder under its Table-1 task code.
+
+    Exactly one builder per module, one module per code: duplicate
+    registrations raise ``ValueError`` instead of silently replacing
+    the earlier builder.  Returns the builder unchanged.
+    """
+
+    def _decorate(builder: _Builder) -> _Builder:
+        if task_code in MODEL_BUILDERS:
+            raise ValueError(
+                f"model builder for task code {task_code!r} is already "
+                f"registered ({MODEL_BUILDERS[task_code]!r})"
+            )
+        MODEL_BUILDERS[task_code] = builder
+        return builder
+
+    return _decorate
+
+
+# Importing the model modules triggers their @register_model decorators.
+# This must follow the decorator definition (E402 is deliberate), and
+# the import order matches TASK_CODES so MODEL_BUILDERS iterates in
+# Table-1 order like the literal dict it replaced.
+from . import (  # noqa: E402
+    hand_tracking,
+    eye_segmentation,
+    gaze_estimation,
+    keyword_detection,
+    speech_recognition,
+    semantic_segmentation,
+    object_detection,
     action_segmentation,
     depth_estimation,
     depth_refinement,
-    eye_segmentation,
-    gaze_estimation,
-    hand_tracking,
-    keyword_detection,
-    object_detection,
     plane_detection,
-    semantic_segmentation,
-    speech_recognition,
 )
-
-__all__ = ["MODEL_BUILDERS", "TASK_CODES", "build_model", "all_models"]
-
-#: Task code (Table 1) -> builder module.
-MODEL_BUILDERS: dict[str, Callable[[], ModelGraph]] = {
-    "HT": hand_tracking.build,
-    "ES": eye_segmentation.build,
-    "GE": gaze_estimation.build,
-    "KD": keyword_detection.build,
-    "SR": speech_recognition.build,
-    "SS": semantic_segmentation.build,
-    "OD": object_detection.build,
-    "AS": action_segmentation.build,
-    "DE": depth_estimation.build,
-    "DR": depth_refinement.build,
-    "PD": plane_detection.build,
-}
-
-TASK_CODES: tuple[str, ...] = tuple(MODEL_BUILDERS)
-
 
 @lru_cache(maxsize=None)
 def build_model(task_code: str) -> ModelGraph:

@@ -13,9 +13,12 @@ from __future__ import annotations
 
 from repro.nn import GraphBuilder, ModelGraph
 
+from .registry import register_model
+
 WIDTH = 1.5
 
 
+@register_model("SS")
 def build(width: float = WIDTH) -> ModelGraph:
     """Build the SS model graph."""
 

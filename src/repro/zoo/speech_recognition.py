@@ -11,12 +11,15 @@ from __future__ import annotations
 
 from repro.nn import GraphBuilder, ModelGraph
 
+from .registry import register_model
+
 DIM = 512
 BLOCKS = 24
 SEQ = 144  # 128 segment frames + 16 summarised left-context tokens.
 HEADS = 8
 
 
+@register_model("SR")
 def build(width: float = 1.0) -> ModelGraph:
     """Build the SR model graph."""
     dim = max(64, int(DIM * width))

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import ScoreConfig, benchmark_score, score_simulation
+from repro.core import ScoreConfig, benchmark_score
 from repro.core.aggregate import InferenceScore, ModelScore, ScenarioScore
 from repro.workload import InferenceRequest
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core import Harness, HarnessConfig, ScoreConfig
-from repro.hardware import build_accelerator
 from repro.workload import SCENARIO_ORDER, get_scenario
 
 

@@ -145,7 +145,7 @@ class TestFigure8:
     def test_larger_k_sharper_at_deadline(self):
         mild, sharp = run_figure8(ks=(1.0, 50.0), points=201)
         # Just past the deadline (latency 1.1 x slack 1.0).
-        idx = next(i for i, l in enumerate(mild.latencies_s) if l > 1.1)
+        idx = next(i for i, lat in enumerate(mild.latencies_s) if lat > 1.1)
         assert sharp.scores[idx] < mild.scores[idx]
 
     def test_rejects_too_few_points(self):

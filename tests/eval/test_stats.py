@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.eval import ScoreStatistics, run_seed_sweep
+from repro.eval import run_seed_sweep
 from repro.eval.stats import _summarise
 from repro.hardware import build_accelerator
 

@@ -72,7 +72,7 @@ class TestTable6:
 
     def test_xrbench_row_is_fully_checked(self):
         row = next(
-            l for l in table6().splitlines() if l.startswith("XRBench")
+            line for line in table6().splitlines() if line.startswith("XRBench")
         )
         assert row.count("y") == 8  # every column satisfied
 

@@ -1,0 +1,40 @@
+"""Shared lint-test plumbing: fixture paths and a lint helper."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+
+TESTS_LINT = Path(__file__).resolve().parent
+FIXTURES = TESTS_LINT / "fixtures"
+PROJECTS = FIXTURES / "projects"
+REPO_ROOT = TESTS_LINT.parents[1]
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    return REPO_ROOT
+
+
+@pytest.fixture
+def lint_fixture():
+    """Lint one fixture file (or dir) against the fixtures root."""
+
+    def _lint(relpath: str, *, rules=None, root: Path = FIXTURES):
+        return run_lint([root / relpath], root=root, rules=rules)
+
+    return _lint
+
+
+@pytest.fixture
+def lint_project():
+    """Lint one mini project tree under fixtures/projects."""
+
+    def _lint(name: str, *, rules=None):
+        root = PROJECTS / name
+        return run_lint([root / "src"], root=root, rules=rules)
+
+    return _lint

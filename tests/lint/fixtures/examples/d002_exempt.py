@@ -1,0 +1,7 @@
+"""D002 path-exemption fixture: ad-hoc example scripts may use global RNG."""
+
+import numpy as np
+
+
+def noisy() -> float:
+    return float(np.random.rand())

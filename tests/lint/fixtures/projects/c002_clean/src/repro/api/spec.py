@@ -1,0 +1,11 @@
+"""C002 clean fixture: fields and schema keys agree on both contracts."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    scenario: str
+    duration_s: float = 1.0
+    _cache: ClassVar[dict] = {}  # ClassVar is not a field

@@ -1,0 +1,11 @@
+"""C002 drift fixture: the DispatchPlan side matches exactly."""
+
+from dataclasses import dataclass
+
+from .spec import RunSpec
+
+
+@dataclass(frozen=True)
+class DispatchPlan:
+    spec: RunSpec
+    mode: str

@@ -1,0 +1,9 @@
+"""C002 drift fixture: duration_s has no schema key; seed has no field."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    scenario: str
+    duration_s: float = 1.0

@@ -1,0 +1,4 @@
+"""C003 policy-clean fixture: every mirror agrees."""
+
+DVFS_POLICIES = ("static", "slack")
+ADMISSION_POLICIES = ("none", "shed")

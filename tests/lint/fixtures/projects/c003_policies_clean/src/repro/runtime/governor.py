@@ -1,0 +1,3 @@
+"""C003 policy-clean fixture: runtime mirror of the spec tuple."""
+
+DVFS_POLICIES: tuple[str, ...] = ("static", "slack")

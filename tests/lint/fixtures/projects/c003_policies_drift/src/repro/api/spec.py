@@ -1,0 +1,4 @@
+"""C003 policy-drift fixture: the spec-side tuples."""
+
+DVFS_POLICIES = ("static", "slack")
+ADMISSION_POLICIES = ("none", "shed", "degrade")

@@ -1,0 +1,3 @@
+"""C003 policy-drift fixture: runtime grew a policy the spec missed."""
+
+DVFS_POLICIES: tuple[str, ...] = ("static", "slack", "race_to_idle")

@@ -1,0 +1,8 @@
+"""C003 zoo fixture: the well-behaved module — exactly one builder."""
+
+from .registry import register_model
+
+
+@register_model("AA")
+def build():
+    return "alpha"

@@ -1,0 +1,5 @@
+"""C003 zoo fixture: a model module that forgot to register."""
+
+
+def build():
+    return "beta"

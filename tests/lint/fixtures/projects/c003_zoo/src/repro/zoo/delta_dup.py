@@ -1,0 +1,8 @@
+"""C003 zoo fixture: re-registers alpha's task code."""
+
+from .registry import register_model
+
+
+@register_model("AA")
+def build():
+    return "delta"

@@ -1,0 +1,13 @@
+"""C003 zoo fixture: registers two builders (one per module allowed)."""
+
+from .registry import register_model
+
+
+@register_model("BB")
+def build():
+    return "gamma-b"
+
+
+@register_model("CC")
+def build_extra():
+    return "gamma-c"

@@ -1,0 +1,13 @@
+"""C003 zoo fixture registry: TASK_CODES misses gamma's extra code."""
+
+MODEL_BUILDERS: dict = {}
+
+TASK_CODES: tuple[str, ...] = ("AA", "BB")
+
+
+def register_model(task_code: str):
+    def _decorate(builder):
+        MODEL_BUILDERS[task_code] = builder
+        return builder
+
+    return _decorate

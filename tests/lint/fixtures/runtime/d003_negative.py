@@ -1,0 +1,31 @@
+"""D003 negative fixture: order-safe set usage in runtime code."""
+
+
+def sorted_first(engines: list[int]) -> list[int]:
+    out = []
+    for engine in sorted(set(engines)):  # sorted() fixes the order
+        out.append(engine)
+    return out
+
+
+def membership_only(engines: list[int], probe: int) -> bool:
+    idle = set(engines)
+    return probe in idle  # membership tests are order-free
+
+
+def aggregates(engines: list[int]) -> tuple[int, int, int]:
+    idle = set(engines)
+    return len(idle), min(idle), max(idle)  # order-free consumers
+
+
+def rebound_to_list(engines: list[int]) -> list[int]:
+    idle = set(engines)
+    idle = sorted(idle)  # rebinding to a sorted list clears set-ness
+    out = []
+    for engine in idle:
+        out.append(engine)
+    return out
+
+
+def dict_iteration(costs: dict[str, float]) -> list[str]:
+    return [code for code in costs]  # dicts preserve insertion order

@@ -1,0 +1,37 @@
+"""D003 positive fixture: every flagged shape of set-order iteration."""
+
+
+def literal_loop() -> list[int]:
+    out = []
+    for engine in {3, 1, 2}:  # line 6: set literal
+        out.append(engine)
+    return out
+
+
+def call_loop(engines: list[int]) -> list[int]:
+    out = []
+    for engine in set(engines):  # line 13: set() call
+        out.append(engine)
+    return out
+
+
+def bound_name(engines: list[int]) -> list[int]:
+    idle = set(engines)
+    out = []
+    for engine in idle:  # line 21: name bound to a set
+        out.append(engine)
+    return out
+
+
+def annotated_name() -> list[str]:
+    seen: set[str] = set()
+    seen.add("a")
+    return [code for code in seen]  # line 29: comprehension over a set
+
+
+def materialised(engines: list[int]) -> list[int]:
+    return list(set(engines))  # line 33: list() leaks hash order
+
+
+def enumerated(engines: list[int]) -> list[tuple[int, int]]:
+    return [pair for pair in enumerate(set(engines))]  # line 37

@@ -1,0 +1,21 @@
+"""C001 negative fixture: slotted hot records, and non-registry classes."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class WorkItem:
+    code: str
+
+
+class ExecutionRecord:
+    __slots__ = ("start_s", "end_s")
+
+    def __init__(self, start_s: float, end_s: float) -> None:
+        self.start_s = start_s
+        self.end_s = end_s
+
+
+class ColdConfigBlob:  # not in the hot-record registry: no slots needed
+    def __init__(self) -> None:
+        self.payload = {}

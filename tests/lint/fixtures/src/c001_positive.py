@@ -1,0 +1,14 @@
+"""C001 positive fixture: hot records without __slots__."""
+
+from dataclasses import dataclass
+
+
+class WorkItem:  # line 6: plain class, no __slots__
+    def __init__(self, code: str) -> None:
+        self.code = code
+
+
+@dataclass(frozen=True)  # line 11: dataclass without slots=True
+class ExecutionRecord:
+    start_s: float
+    end_s: float

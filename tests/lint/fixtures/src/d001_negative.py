@@ -1,0 +1,23 @@
+"""D001 negative fixture: simulated time only — no wall-clock reads.
+
+Importing the modules is fine (D001 bans the *reads*); so is passing
+clock values around or calling sleep-free helpers named like clocks.
+"""
+
+import time  # noqa: F401  (import alone is not a read)
+
+
+def advance(now_s: float, dt_s: float) -> float:
+    return now_s + dt_s
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now_s = 0.0
+
+    def time(self) -> float:  # method named time() is not time.time()
+        return self.now_s
+
+
+def read(clock: FakeClock) -> float:
+    return clock.time()

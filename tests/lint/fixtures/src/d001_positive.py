@@ -1,0 +1,22 @@
+"""D001 positive fixture: every banned wall-clock read, every spelling."""
+
+import time
+import datetime
+from time import perf_counter
+from datetime import datetime as dt
+
+
+def stamp() -> float:
+    return time.time()  # line 10: direct module call
+
+
+def tick() -> float:
+    return perf_counter()  # line 14: from-imported name
+
+
+def today() -> object:
+    return datetime.datetime.now()  # line 18: full dotted path
+
+
+def aliased_now() -> object:
+    return dt.now()  # line 22: aliased class method

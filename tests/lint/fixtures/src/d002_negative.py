@@ -1,0 +1,19 @@
+"""D002 negative fixture: the seeded keyed-derivation idiom is allowed."""
+
+import hashlib
+
+import numpy as np
+
+
+def unit_roll(key: str) -> float:
+    digest = hashlib.sha256(key.encode()).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+    return float(rng.random())  # instance method on a seeded Generator
+
+
+def explicit_seed(seed: int) -> object:
+    return np.random.default_rng(seed)
+
+
+def seed_sequence(seed: int) -> object:
+    return np.random.SeedSequence(seed)

@@ -1,0 +1,26 @@
+"""D002 positive fixture: hidden-state and unseeded RNG, every spelling."""
+
+import random
+from random import randint
+
+import numpy as np
+
+
+def stdlib_draw() -> float:
+    return random.random()  # line 10: stdlib global state
+
+
+def stdlib_from_import() -> int:
+    return randint(0, 10)  # line 14: from-imported stdlib draw
+
+
+def numpy_global() -> float:
+    return float(np.random.rand())  # line 18: numpy global state
+
+
+def numpy_seed_mutation() -> None:
+    np.random.seed(0)  # line 22: mutates the hidden global generator
+
+
+def unseeded_generator() -> object:
+    return np.random.default_rng()  # line 26: entropy-seeded

@@ -1,0 +1,12 @@
+"""D003 scope fixture: identical set iteration *outside* runtime/ paths.
+
+Hash-order iteration only feeds schedule tie-breaks inside runtime/
+dispatch code; elsewhere the rule stays quiet.
+"""
+
+
+def literal_loop() -> list[int]:
+    out = []
+    for engine in {3, 1, 2}:
+        out.append(engine)
+    return out

@@ -1,0 +1,7 @@
+"""Suppression fixture: no `-- why` text, so nothing is suppressed."""
+
+import time
+
+
+def wall_deadline() -> float:
+    return time.time() + 5.0  # xrlint: disable=D001

@@ -1,0 +1,5 @@
+"""Suppression fixture: a justified suppression that matches nothing."""
+
+
+def clean(a: float, b: float) -> float:
+    return a + b  # xrlint: disable=D001 -- fixture: stale suppression under test

@@ -1,0 +1,222 @@
+"""Engine-level behaviour: suppressions, JSON contract, CLI, rule lookup."""
+
+from __future__ import annotations
+
+import io
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import all_rules, resolve_rules, run_lint
+from repro.lint.cli import run as lint_cli_run
+
+try:
+    import jsonschema
+except ImportError:  # pragma: no cover - optional in minimal envs
+    jsonschema = None
+
+
+# ---------------------------------------------------------------------------
+# Suppression semantics
+# ---------------------------------------------------------------------------
+
+
+def test_justified_suppression_silences_and_keeps_the_finding(lint_fixture):
+    report = lint_fixture("src/suppression_ok.py")
+    assert report.exit_code == 0
+    assert not report.unsuppressed
+    [finding] = report.findings
+    assert finding.rule == "D001"
+    assert finding.suppressed is True
+    assert finding.justification == "fixture: justified suppression under test"
+
+
+def test_unjustified_suppression_does_not_suppress(lint_fixture):
+    report = lint_fixture("src/suppression_unjustified.py")
+    assert report.exit_code == 1
+    rules_hit = sorted(f.rule for f in report.unsuppressed)
+    assert rules_hit == ["D001", "X001"]
+    x001 = next(f for f in report.unsuppressed if f.rule == "X001")
+    assert "justification" in x001.message
+
+
+def test_stale_justified_suppression_raises_x002(lint_fixture):
+    report = lint_fixture("src/suppression_unused.py")
+    assert report.exit_code == 1
+    [finding] = report.unsuppressed
+    assert finding.rule == "X002"
+    assert "D001" in finding.message
+
+
+def test_stale_suppression_not_flagged_when_rule_not_selected(lint_fixture):
+    # The D001 suppression cannot be proven stale in a C001-only pass.
+    report = lint_fixture("src/suppression_unused.py", rules=resolve_rules(["C001"]))
+    assert report.exit_code == 0
+    assert not report.findings, report.render()
+
+
+# ---------------------------------------------------------------------------
+# Report structure and JSON contract
+# ---------------------------------------------------------------------------
+
+
+def test_findings_are_sorted_and_paths_are_relative(lint_fixture):
+    report = lint_fixture("src")
+    keys = [(f.path, f.line, f.rule) for f in report.findings]
+    assert keys == sorted(keys)
+    assert all(not Path(f.path).is_absolute() for f in report.findings)
+
+
+def test_json_report_shape(lint_fixture):
+    report = lint_fixture("src/suppression_ok.py")
+    payload = json.loads(report.to_json())
+    assert payload["version"] == 1
+    assert payload["files_checked"] == 1
+    assert set(payload["summary"]) == {"total", "suppressed", "unsuppressed"}
+    assert payload["summary"]["total"] == 1
+    assert payload["summary"]["suppressed"] == 1
+    assert payload["summary"]["unsuppressed"] == 0
+    [finding] = payload["findings"]
+    assert set(finding) == {"rule", "path", "line", "message", "suppressed", "justification"}
+    assert finding["suppressed"] is True
+
+
+def test_json_report_validates_against_schema(lint_fixture, repo_root):
+    if jsonschema is None:
+        pytest.skip("jsonschema not installed")
+    schema = json.loads((repo_root / "schema" / "lintreport.schema.json").read_text())
+    for relpath in ("src/suppression_ok.py", "src/d001_positive.py", "src/d001_negative.py"):
+        payload = json.loads(lint_fixture(relpath).to_json())
+        jsonschema.validate(payload, schema)
+
+
+def test_exit_code_zero_only_without_unsuppressed_findings(lint_fixture):
+    assert lint_fixture("src/d001_negative.py").exit_code == 0
+    assert lint_fixture("src/d001_positive.py").exit_code == 1
+    assert lint_fixture("src/suppression_ok.py").exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# Rule lookup
+# ---------------------------------------------------------------------------
+
+
+def test_rules_resolve_by_id_and_slug():
+    by_id = resolve_rules(["D001"])
+    by_slug = resolve_rules(["no-wall-clock"])
+    assert by_id == by_slug
+    assert by_id[0].id == "D001"
+
+
+def test_unknown_rule_gets_did_you_mean():
+    with pytest.raises(KeyError, match=r"did you mean 'D001'"):
+        resolve_rules(["D0001"])
+
+
+def test_all_rules_cover_the_documented_set():
+    assert [rule.id for rule in all_rules()] == [
+        "D001",
+        "D002",
+        "D003",
+        "C001",
+        "C002",
+        "C003",
+    ]
+
+
+# ---------------------------------------------------------------------------
+# CLI entry points
+# ---------------------------------------------------------------------------
+
+
+def _cli(args_paths, **kwargs):
+    out = io.StringIO()
+    code = lint_cli_run(args_paths, stdout=out, **kwargs)
+    return code, out.getvalue()
+
+
+def test_cli_text_output(lint_fixture, repo_root):
+    fixtures = repo_root / "tests" / "lint" / "fixtures"
+    code, out = _cli(
+        [fixtures / "src" / "d001_positive.py"],
+        output_format="text",
+        rule_names=None,
+        root=fixtures,
+        list_rules=False,
+    )
+    assert code == 1
+    assert "D001" in out
+    assert "d001_positive.py:10" in out
+
+
+def test_cli_json_output(repo_root):
+    fixtures = repo_root / "tests" / "lint" / "fixtures"
+    code, out = _cli(
+        [fixtures / "src" / "d001_negative.py"],
+        output_format="json",
+        rule_names=None,
+        root=fixtures,
+        list_rules=False,
+    )
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["summary"]["total"] == 0
+
+
+def test_cli_unknown_rule_is_usage_error(repo_root, capsys):
+    fixtures = repo_root / "tests" / "lint" / "fixtures"
+    code, _ = _cli(
+        [fixtures / "src"],
+        output_format="text",
+        rule_names=["D0001"],
+        root=fixtures,
+        list_rules=False,
+    )
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "did you mean 'D001'" in err
+
+
+def test_cli_list_rules(repo_root):
+    code, out = _cli(
+        [],
+        output_format="text",
+        rule_names=None,
+        root=repo_root,
+        list_rules=True,
+    )
+    assert code == 0
+    for rule_id in ("D001", "D002", "D003", "C001", "C002", "C003"):
+        assert rule_id in out
+
+
+def test_python_dash_m_entry_point(repo_root):
+    fixtures = repo_root / "tests" / "lint" / "fixtures"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.lint",
+            "--root",
+            str(fixtures),
+            "--format",
+            "json",
+            str(fixtures / "src" / "d001_negative.py"),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=repo_root,
+        env={"PYTHONPATH": str(repo_root / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["summary"]["unsuppressed"] == 0
+
+
+def test_run_lint_defaults_to_src_repro(repo_root):
+    report = run_lint(root=repo_root)
+    assert report.files_checked > 50
+    assert all(f.path.startswith("src/repro/") for f in report.findings)

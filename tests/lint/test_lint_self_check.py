@@ -1,0 +1,27 @@
+"""Tier-1 self-check: the repo's own runtime must lint clean.
+
+This is the in-process equivalent of the gating CI step
+``xrbench lint src/repro``: every determinism and contract rule runs over
+the shipped sources and zero unsuppressed findings are tolerated.
+"""
+
+from __future__ import annotations
+
+from repro.lint import run_lint
+
+
+def test_src_repro_has_zero_unsuppressed_findings(repo_root):
+    report = run_lint(root=repo_root)
+    assert report.files_checked > 0
+    assert not report.unsuppressed, "\n" + report.render()
+    assert report.exit_code == 0
+
+
+def test_every_suppression_in_src_repro_is_justified(repo_root):
+    report = run_lint(root=repo_root)
+    for finding in report.findings:
+        if finding.suppressed:
+            assert finding.justification, (
+                f"{finding.path}:{finding.line} suppresses {finding.rule} "
+                "without a justification"
+            )

@@ -60,7 +60,7 @@ class TestExecution:
         g = tiny_graph()
         ex = GraphExecutor(g, record_activations=True)
         ex.run()
-        assert set(ex.activations) == {l.name for l in g.layers}
+        assert set(ex.activations) == {layer.name for layer in g.layers}
 
     def test_every_activation_matches_spec(self):
         g = skip_graph()

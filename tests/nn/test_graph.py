@@ -72,7 +72,7 @@ class TestCompositeBlocks:
         b.conv(16, 3, name="pre")
         b.residual_block(16)
         graph = b.build()
-        adds = [l for l in graph.layers if l.op is OpType.ADD]
+        adds = [layer for layer in graph.layers if layer.op is OpType.ADD]
         assert len(adds) == 1
         assert adds[0].residual_from == "pre"
 
@@ -88,7 +88,7 @@ class TestCompositeBlocks:
         b.conv(16, 1)
         b.inverted_residual(16, expand=4, stride=1)
         graph = b.build()
-        assert any(l.op is OpType.ADD for l in graph.layers)
+        assert any(layer.op is OpType.ADD for layer in graph.layers)
         assert graph.out_shape == (16, 8, 8)
 
     def test_inverted_residual_stride2_no_skip(self):
@@ -97,13 +97,13 @@ class TestCompositeBlocks:
         n_before = len(b._layers)
         b.inverted_residual(32, expand=4, stride=2)
         new = b._layers[n_before:]
-        assert not any(l.op is OpType.ADD for l in new)
+        assert not any(layer.op is OpType.ADD for layer in new)
 
     def test_transformer_block_structure(self):
         b = GraphBuilder("m", (64, 1, 16))
         b.transformer_block(heads=8)
         graph = b.build()
-        ops = [l.op for l in graph.layers]
+        ops = [layer.op for layer in graph.layers]
         assert ops.count(OpType.LAYERNORM) == 2
         assert ops.count(OpType.ATTENTION) == 1
         assert ops.count(OpType.ADD) == 2
@@ -150,12 +150,12 @@ class TestGraphQueries:
 
     def test_totals(self):
         g = self.small()
-        assert g.total_macs == sum(l.macs for l in g.layers)
-        assert g.total_params == sum(l.params for l in g.layers)
+        assert g.total_macs == sum(layer.macs for layer in g.layers)
+        assert g.total_params == sum(layer.params for layer in g.layers)
         assert g.num_layers == 5
 
     def test_compute_layers(self):
-        names = [l.name for l in self.small().compute_layers()]
+        names = [layer.name for layer in self.small().compute_layers()]
         assert names == ["c1", "c2", "head"]
 
     def test_conv_dims_count_matches_compute(self):

@@ -27,7 +27,6 @@ from test_schedule_equivalence import (
     GOLDEN,
     GOLDEN_DYNAMIC,
     checksum_of,
-    run_case,
 )
 
 from repro.hardware import build_accelerator

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.costmodel import CostTable, Dataflow
+from repro.costmodel import CostTable
 from repro.hardware import build_accelerator
 from repro.runtime import (
     SCHEDULERS,

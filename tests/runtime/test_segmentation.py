@@ -29,7 +29,7 @@ class TestSplitGraph:
         g = build_model("PD")
         pieces = split_graph(g, k)
         assert len(pieces) == k
-        recombined = [l for p in pieces for l in p.layers]
+        recombined = [layer for p in pieces for layer in p.layers]
         assert recombined == list(g.layers)
 
     def test_macs_conserved(self):
@@ -53,7 +53,7 @@ class TestSplitGraph:
         # ModelGraph validation would reject it, so construction succeeding
         # is the proof; verify explicitly anyway.
         for piece in split_graph(build_model("DE"), 3):
-            names = {l.name for l in piece.layers}
+            names = {layer.name for layer in piece.layers}
             for layer in piece.layers:
                 if layer.residual_from is not None:
                     assert layer.residual_from in names

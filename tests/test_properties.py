@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import energy_score, qoe_score, realtime_score
@@ -40,7 +39,7 @@ class TestGraphProperties:
     @settings(max_examples=40, deadline=None)
     @given(graph=small_cnn())
     def test_totals_consistent(self, graph):
-        assert graph.total_macs == sum(l.macs for l in graph.layers)
+        assert graph.total_macs == sum(layer.macs for layer in graph.layers)
         assert graph.total_params >= 0
 
     @settings(max_examples=20, deadline=None)

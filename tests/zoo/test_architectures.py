@@ -8,14 +8,12 @@ calibrated architectures DESIGN.md documents.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.nn import OpType
 from repro.zoo import build_model
 
 
 def ops_of(code: str) -> list[OpType]:
-    return [l.op for l in build_model(code).layers]
+    return [layer.op for layer in build_model(code).layers]
 
 
 def count(code: str, op: OpType) -> int:
@@ -31,8 +29,8 @@ class TestHandTracking:
 
     def test_graph_cnn_head_is_fc(self):
         g = self.g()
-        tail = [l for l in g.layers if l.op is OpType.FC]
-        assert [l.name for l in tail] == [
+        tail = [layer for layer in g.layers if layer.op is OpType.FC]
+        assert [layer.name for layer in tail] == [
             "graph_latent", "mesh_vertices", "joints",
         ]
 
@@ -45,7 +43,7 @@ class TestHandTracking:
     def test_encoder_reaches_stride_32(self):
         # 240 -> 120 -> 60 -> 30 -> 15 -> 8 (odd dims round up at stride 2).
         g = self.g()
-        gap_in = next(l for l in g.layers if l.op is OpType.GLOBALPOOL)
+        gap_in = next(layer for layer in g.layers if layer.op is OpType.GLOBALPOOL)
         assert gap_in.in_shape[1] == 8
 
 
@@ -57,7 +55,7 @@ class TestEyeSegmentation:
 
     def test_skip_concats(self):
         g = build_model("ES")
-        cats = [l for l in g.layers if l.op is OpType.CONCAT]
+        cats = [layer for layer in g.layers if layer.op is OpType.CONCAT]
         assert {c.residual_from for c in cats} == {"enc1b", "enc2b"}
 
     def test_dense_prediction_at_input_resolution(self):
@@ -72,7 +70,7 @@ class TestGazeEstimation:
 
     def test_downsamples_to_stride_32(self):
         g = build_model("GE")
-        gap = next(l for l in g.layers if l.op is OpType.GLOBALPOOL)
+        gap = next(layer for layer in g.layers if layer.op is OpType.GLOBALPOOL)
         assert gap.in_shape[1:] == (4, 4)  # 128 / 32
 
     def test_regression_head(self):
@@ -129,7 +127,7 @@ class TestSemanticSegmentation:
 class TestObjectDetection:
     def test_two_stage_structure(self):
         g = build_model("OD")
-        names = [l.name for l in g.layers]
+        names = [layer.name for layer in g.layers]
         assert names.index("rpn_conv") < names.index("roialign")
 
     def test_roi_count(self):
@@ -183,7 +181,7 @@ class TestPlaneDetection:
             assert g.find(name).op is OpType.CONV2D
 
     def test_roi_head_depth(self):
-        names = [l.name for l in build_model("PD").layers]
+        names = [layer.name for layer in build_model("PD").layers]
         heads = [n for n in names if n.startswith("head_conv")]
         assert len(heads) == 4
 
@@ -197,7 +195,7 @@ class TestPlaneDetection:
 
     def test_dominant_cost_is_roi_heads(self):
         g = build_model("PD")
-        names = [l.name for l in g.layers]
+        names = [layer.name for layer in g.layers]
         roi_start = names.index("roialign")
-        head_macs = sum(l.macs for l in g.layers[roi_start:])
+        head_macs = sum(layer.macs for layer in g.layers[roi_start:])
         assert head_macs > 0.4 * g.total_macs

@@ -80,7 +80,7 @@ class TestOperatorMixes:
     def test_skip_connections_present(self, models):
         for code in ("HT", "ES", "GE", "KD", "DE"):
             assert any(
-                l.op is OpType.ADD for l in models[code].layers
+                layer.op is OpType.ADD for layer in models[code].layers
             ), code
 
 
@@ -167,4 +167,4 @@ class TestWidthParameter:
 
         tiny = keyword_detection.build(width=0.01)
         # Channel floor of 8 keeps the graph valid.
-        assert all(l.out_shape[0] >= 4 for l in tiny.layers)
+        assert all(layer.out_shape[0] >= 4 for layer in tiny.layers)

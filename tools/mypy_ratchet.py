@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Ratchet gate for mypy: the error count may only go down.
+
+Usage (CI)::
+
+    mypy src/repro | python tools/mypy_ratchet.py
+    mypy src/repro | python tools/mypy_ratchet.py --update   # after a cleanup
+
+Reads mypy's human output on stdin, counts ``error:`` lines, and
+compares against the pinned ceiling in ``tools/mypy_ratchet.txt``:
+
+* count >  ceiling  -> exit 1 (new type errors were introduced)
+* count == ceiling  -> exit 0
+* count <  ceiling  -> exit 0 with a nag to ratchet the pin down
+  (``--update`` rewrites the pin instead)
+
+The pin file may instead contain the word ``bootstrap``: the ratchet
+then reports the observed count and exits 0, so the first CI run on an
+environment that actually has mypy (the dev container does not) can
+establish the ceiling; commit the printed number to arm the gate.
+
+Strict-tier modules (see mypy.ini) get no such grace in either mode:
+any error in a path listed in STRICT_PREFIXES fails immediately.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+PIN_FILE = Path(__file__).with_name("mypy_ratchet.txt")
+
+#: Module paths that must stay at zero errors (mirrors the strict
+#: sections of mypy.ini).
+STRICT_PREFIXES = (
+    "src/repro/api/",
+    "src/repro/runtime/queues.py",
+    "src/repro/costmodel/cached.py",
+    "src/repro/lint/",
+)
+
+_ERROR_RE = re.compile(r"^(?P<path>[^:\s]+\.py):\d+:(?:\d+:)? error:")
+
+
+def read_ceiling() -> int | None:
+    """The pinned ceiling, or None while the pin is ``bootstrap``."""
+    try:
+        text = PIN_FILE.read_text().strip()
+    except FileNotFoundError:
+        return 0
+    if text == "bootstrap":
+        return None
+    return int(text)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the pin to the observed error count",
+    )
+    args = parser.parse_args(argv)
+
+    errors: list[str] = []
+    strict_errors: list[str] = []
+    for line in sys.stdin:
+        match = _ERROR_RE.match(line)
+        if not match:
+            continue
+        errors.append(line.rstrip())
+        path = match.group("path").replace("\\", "/")
+        if path.startswith(STRICT_PREFIXES):
+            strict_errors.append(line.rstrip())
+
+    ceiling = read_ceiling()
+    count = len(errors)
+
+    if strict_errors:
+        print(f"mypy-ratchet: {len(strict_errors)} error(s) in strict-tier modules:")
+        for line in strict_errors:
+            print(f"  {line}")
+        return 1
+
+    if args.update:
+        PIN_FILE.write_text(f"{count}\n")
+        print(f"mypy-ratchet: pin updated to {count}")
+        return 0
+
+    if ceiling is None:
+        print(
+            f"mypy-ratchet: bootstrap mode — observed {count} error(s); "
+            f"write that number to {PIN_FILE.name} to arm the ratchet"
+        )
+        return 0
+
+    if count > ceiling:
+        print(f"mypy-ratchet: {count} error(s) exceeds the pinned ceiling of {ceiling}:")
+        for line in errors:
+            print(f"  {line}")
+        print("fix the new errors (preferred) or justify a pin bump in review")
+        return 1
+
+    if count < ceiling:
+        print(
+            f"mypy-ratchet: {count} error(s), pin is {ceiling} — nice; "
+            "run with --update to ratchet the pin down"
+        )
+        return 0
+
+    print(f"mypy-ratchet: {count} error(s), at the pinned ceiling")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
